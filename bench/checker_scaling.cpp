@@ -1,0 +1,118 @@
+// EXP-G — checker cost scaling (google-benchmark).
+//
+// Wall-clock cost of the analysis pipeline as the network grows: reachable-
+// state construction, CDG build + acyclicity, extended-CDG build for the
+// canonical escape class, the full subfunction search, and CWG construction.
+// Expected: polynomial growth for the graph builders; the subfunction search
+// is dominated by its (constant-count) VC-class candidates on these inputs.
+#include <benchmark/benchmark.h>
+
+#include "wormnet/wormnet.hpp"
+
+namespace {
+
+using namespace wormnet;
+
+topology::Topology mesh_for(std::int64_t k) {
+  return topology::make_mesh(
+      {static_cast<std::uint32_t>(k), static_cast<std::uint32_t>(k)}, 2);
+}
+
+void BM_StateGraph(benchmark::State& state) {
+  const auto topo = mesh_for(state.range(0));
+  const auto routing = routing::make_duato_mesh(topo);
+  for (auto _ : state) {
+    cdg::StateGraph states(topo, *routing);
+    benchmark::DoNotOptimize(states.num_reachable_states());
+  }
+  state.SetComplexityN(topo.num_nodes());
+}
+BENCHMARK(BM_StateGraph)->Arg(4)->Arg(6)->Arg(8)->Arg(10)->Complexity();
+
+void BM_BuildCdg(benchmark::State& state) {
+  const auto topo = mesh_for(state.range(0));
+  const auto routing = routing::make_duato_mesh(topo);
+  const cdg::StateGraph states(topo, *routing);
+  for (auto _ : state) {
+    auto cdg_graph = cdg::build_cdg(states);
+    benchmark::DoNotOptimize(cdg_graph.num_edges());
+  }
+  state.SetComplexityN(topo.num_nodes());
+}
+BENCHMARK(BM_BuildCdg)->Arg(4)->Arg(6)->Arg(8)->Arg(10)->Complexity();
+
+void BM_ExtendedCdg(benchmark::State& state) {
+  const auto topo = mesh_for(state.range(0));
+  const auto routing = routing::make_duato_mesh(topo);
+  const cdg::StateGraph states(topo, *routing);
+  std::vector<bool> c1(topo.num_channels(), false);
+  for (topology::ChannelId c = 0; c < topo.num_channels(); ++c) {
+    if (topo.channel(c).vc == 0) c1[c] = true;
+  }
+  const cdg::Subfunction sub(states, c1, "vc0");
+  for (auto _ : state) {
+    auto ecdg = cdg::build_extended_cdg(sub);
+    benchmark::DoNotOptimize(ecdg.graph.num_edges());
+  }
+  state.SetComplexityN(topo.num_nodes());
+}
+BENCHMARK(BM_ExtendedCdg)->Arg(4)->Arg(6)->Arg(8)->Complexity();
+
+void BM_DuatoSearch(benchmark::State& state) {
+  const auto topo = mesh_for(state.range(0));
+  const auto routing = routing::make_duato_mesh(topo);
+  for (auto _ : state) {
+    const cdg::StateGraph states(topo, *routing);
+    auto result = cdg::search(states);
+    benchmark::DoNotOptimize(result.found);
+  }
+  state.SetComplexityN(topo.num_nodes());
+}
+BENCHMARK(BM_DuatoSearch)->Arg(4)->Arg(6)->Arg(8)->Complexity();
+
+void BM_CwgBuild(benchmark::State& state) {
+  const auto topo = mesh_for(state.range(0));
+  const routing::HighestPositiveLast routing(topo, /*nonminimal=*/false);
+  const cdg::StateGraph states(topo, routing);
+  for (auto _ : state) {
+    auto graph = cwg::build_cwg(states);
+    benchmark::DoNotOptimize(graph.graph.num_edges());
+  }
+  state.SetComplexityN(topo.num_nodes());
+}
+BENCHMARK(BM_CwgBuild)->Arg(3)->Arg(4)->Arg(5)->Arg(6)->Complexity();
+
+void BM_HypercubeSearch(benchmark::State& state) {
+  const auto topo =
+      topology::make_hypercube(static_cast<std::size_t>(state.range(0)), 2);
+  const auto routing = routing::make_duato_hypercube(topo);
+  for (auto _ : state) {
+    const cdg::StateGraph states(topo, *routing);
+    auto result = cdg::search(states);
+    benchmark::DoNotOptimize(result.found);
+  }
+  state.SetComplexityN(topo.num_nodes());
+}
+BENCHMARK(BM_HypercubeSearch)->Arg(2)->Arg(3)->Arg(4)->Complexity();
+
+void BM_SimulationCycle(benchmark::State& state) {
+  // Cost per simulated cycle at moderate load on an 8x8 mesh.
+  const auto topo = mesh_for(8);
+  const auto routing = routing::make_duato_mesh(topo);
+  sim::SimConfig cfg;
+  cfg.injection_rate = 0.3;
+  cfg.warmup_cycles = 0;
+  cfg.measure_cycles = static_cast<std::uint64_t>(state.range(0));
+  cfg.drain_cycles = 0;
+  cfg.deadlock_check_interval = 256;
+  for (auto _ : state) {
+    auto stats = sim::run(topo, *routing, cfg);
+    benchmark::DoNotOptimize(stats.packets_delivered);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulationCycle)->Arg(1000)->Arg(4000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

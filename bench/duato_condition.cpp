@@ -1,0 +1,77 @@
+// EXP-C — the headline result: deadlock-free routing with a CYCLIC channel
+// dependency graph.
+//
+// For Duato's fully adaptive construction on mesh, torus and hypercube:
+//   * the full CDG has cycles (the classical condition cannot certify it),
+//   * the checker finds a connected escape subfunction whose extended CDG —
+//     direct AND indirect dependencies — is acyclic (the paper's condition
+//     certifies it),
+//   * heavy-load simulation delivers every packet.
+#include <iostream>
+
+#include "wormnet/wormnet.hpp"
+
+int main() {
+  using namespace wormnet;
+
+  // Routing functions keep a pointer to their topology, so the topologies
+  // need stable addresses: heap-allocate both.
+  struct Case {
+    std::unique_ptr<topology::Topology> topo;
+    std::unique_ptr<routing::RoutingFunction> routing;
+  };
+  std::vector<Case> cases;
+  {
+    auto mesh =
+        std::make_unique<topology::Topology>(topology::make_mesh({6, 6}, 2));
+    auto routing = routing::make_duato_mesh(*mesh);
+    cases.push_back({std::move(mesh), std::move(routing)});
+  }
+  {
+    auto torus =
+        std::make_unique<topology::Topology>(topology::make_torus({4, 4}, 3));
+    auto routing = routing::make_duato_torus(*torus);
+    cases.push_back({std::move(torus), std::move(routing)});
+  }
+  {
+    auto cube =
+        std::make_unique<topology::Topology>(topology::make_hypercube(4, 2));
+    auto routing = routing::make_duato_hypercube(*cube);
+    cases.push_back({std::move(cube), std::move(routing)});
+  }
+
+  util::Table table({"topology", "algorithm", "cdg cyclic", "escape set",
+                     "direct", "indirect", "ecdg acyclic", "sim @0.8 load"});
+  for (const Case& c : cases) {
+    const cdg::StateGraph states(*c.topo, *c.routing);
+    const auto cdg_graph = cdg::build_cdg(states);
+    const cdg::SearchResult search = cdg::search(states);
+
+    sim::SimConfig cfg;
+    cfg.injection_rate = 0.8;
+    cfg.packet_length = 16;
+    cfg.buffer_depth = 2;
+    cfg.warmup_cycles = 0;
+    cfg.measure_cycles = 12000;
+    cfg.drain_cycles = 10000;
+    cfg.seed = 5;
+    const sim::SimStats stats = sim::run(*c.topo, *c.routing, cfg);
+
+    table.add_row(
+        {c.topo->name(), c.routing->name(),
+         util::fmt_bool(cdg_graph.has_cycle()),
+         search.found ? search.report.subfunction_label : "none found",
+         std::to_string(search.report.direct_edges),
+         std::to_string(search.report.indirect_edges),
+         util::fmt_bool(search.found && search.report.acyclic),
+         stats.deadlocked ? "DEADLOCK" : "all delivered"});
+  }
+
+  std::cout << "EXP-C: cyclic CDG, yet provably deadlock-free (the paper's "
+               "condition)\n\n";
+  table.print(std::cout);
+  std::cout << "\nexpected shape: every row has a cyclic CDG, a found escape "
+               "class with acyclic\nextended CDG (nonzero indirect edges), "
+               "and a clean simulation.\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// EXP-H — the worked incoherent example, reproduced mechanically.
+//
+// Rebuilds the companion text's Sections 5-8 narrative as tables: the CWG,
+// its classified cycles, the CWG -> CWG' reduction log, and the verdict
+// split between the two waiting disciplines.
+#include <iostream>
+
+#include "wormnet/wormnet.hpp"
+
+int main() {
+  using namespace wormnet;
+
+  const topology::Topology topo = routing::make_incoherent_net();
+  const routing::IncoherentRouting wait_any(topo, false);
+  const routing::IncoherentRouting wait_one(topo, true);
+
+  std::cout << "EXP-H: Duato's incoherent example — waiting-graph analysis\n\n";
+
+  const cdg::StateGraph states(topo, wait_any);
+  const cwg::Cwg graph = cwg::build_cwg(states);
+
+  std::cout << "CWG edges (" << graph.graph.num_edges() << "):\n";
+  for (graph::Vertex u = 0; u < graph.graph.num_vertices(); ++u) {
+    for (graph::Vertex v : graph.graph.out(u)) {
+      std::cout << "  " << topo.channel_name(u) << " -> "
+                << topo.channel_name(v) << "\n";
+    }
+  }
+
+  const cwg::CycleSurvey survey = cwg::survey_cycles(states, graph);
+  util::Table cycles({"cycle", "classification"});
+  for (const auto& cycle : survey.cycles) {
+    cycles.add_row({core::describe_cycle(topo, cycle.channels),
+                    cwg::to_string(cycle.kind)});
+  }
+  std::cout << "\ncycle classification (" << survey.true_cycles << " True, "
+            << survey.false_cycles << " False Resource):\n";
+  cycles.print(std::cout);
+
+  const cwg::ReductionResult reduction =
+      cwg::reduce_cwg(states, graph, survey, {});
+  std::cout << "\nreduction to CWG': "
+            << (reduction.success ? "success" : "FAILED") << "; removed:\n";
+  for (const auto& [from, to] : reduction.removed) {
+    std::cout << "  " << topo.channel_name(from) << " -/-> "
+              << topo.channel_name(to) << "\n";
+  }
+
+  util::Table verdicts({"wait discipline", "cwg verdict", "detail"});
+  for (const routing::IncoherentRouting* routing : {&wait_any, &wait_one}) {
+    const core::Verdict v =
+        core::verify(topo, *routing, {.method = core::Method::kCwg});
+    verdicts.add_row({routing->name(), core::to_string(v.conclusion),
+                      v.detail.substr(0, 70)});
+  }
+  std::cout << "\n";
+  verdicts.print(std::cout);
+  std::cout << "\nexpected shape: both True and False Resource cycles in the "
+               "CWG; reduction\nsucceeds; wait-on-any deadlock-free, "
+               "wait-specific deadlockable (Theorems 2/3).\n";
+  return 0;
+}

@@ -1,0 +1,94 @@
+// EXP-I — constructive necessity, executed.
+//
+// For known-deadlockable relations, the static analysis produces a True
+// Cycle; the witness builder converts it into a scripted-packet scenario;
+// the flit-level simulator replays it and wedges within bounded cycles.
+// Controls: the deadlock-free siblings have no True Cycle to exploit and
+// survive the same pressure.
+#include <iostream>
+
+#include "wormnet/wormnet.hpp"
+
+namespace {
+
+using namespace wormnet;
+
+struct Outcome {
+  std::string net;
+  std::string algo;
+  std::string true_cycle = "-";
+  std::string replay = "-";
+};
+
+Outcome attack(const topology::Topology& topo,
+               const routing::RoutingFunction& routing) {
+  Outcome out{topo.name(), routing.name(), "-", "-"};
+  const cdg::StateGraph states(topo, routing);
+  const cwg::Cwg graph = cwg::build_cwg(states);
+  const cwg::CycleSurvey survey = cwg::survey_cycles(states, graph, 4000);
+  for (const auto& cycle : survey.cycles) {
+    if (cycle.kind != cwg::CycleKind::kTrue) continue;
+    out.true_cycle = core::describe_cycle(topo, cycle.channels);
+    if (out.true_cycle.size() > 48) {
+      out.true_cycle = out.true_cycle.substr(0, 45) + "...";
+    }
+    const sim::SimStats stats = core::replay_witness(topo, routing, cycle);
+    out.replay = stats.deadlocked
+                     ? "DEADLOCK @" + std::to_string(stats.deadlock.cycle)
+                     : "survived (?)";
+    return out;
+  }
+  out.true_cycle = "none";
+  // Control pressure: heavy random traffic instead.
+  sim::SimConfig cfg;
+  cfg.injection_rate = 0.85;
+  cfg.packet_length = 16;
+  cfg.buffer_depth = 2;
+  cfg.warmup_cycles = 0;
+  cfg.measure_cycles = 12000;
+  cfg.drain_cycles = 8000;
+  cfg.seed = 21;
+  const sim::SimStats stats = sim::run(topo, routing, cfg);
+  out.replay = stats.deadlocked ? "DEADLOCK (unexpected!)" : "survived stress";
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "EXP-I: True Cycle -> scripted witness -> simulated deadlock\n\n";
+
+  std::vector<Outcome> rows;
+  {
+    const auto ring = topology::make_unidirectional_ring(4, 1);
+    const routing::UnrestrictedMinimal routing(ring);
+    rows.push_back(attack(ring, routing));
+  }
+  {
+    const auto ring = topology::make_unidirectional_ring(4, 2);
+    const routing::DatelineRouting routing(ring);
+    rows.push_back(attack(ring, routing));
+  }
+  {
+    const auto cube = topology::make_hypercube(3, 2);
+    const routing::EnhancedFullyAdaptive relaxed(cube, /*relaxed=*/true);
+    rows.push_back(attack(cube, relaxed));
+    const routing::EnhancedFullyAdaptive strict(cube, /*relaxed=*/false);
+    rows.push_back(attack(cube, strict));
+  }
+  {
+    const auto net = routing::make_incoherent_net();
+    const routing::IncoherentRouting wait_one(net, /*wait_specific=*/true);
+    rows.push_back(attack(net, wait_one));
+  }
+
+  util::Table table({"network", "algorithm", "true cycle", "witness replay"});
+  for (const Outcome& o : rows) {
+    table.add_row({o.net, o.algo, o.true_cycle, o.replay});
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected shape: deadlockable rows show a True Cycle whose "
+               "replay deadlocks;\ndeadlock-free rows have no True Cycle and "
+               "survive stress.\n";
+  return 0;
+}

@@ -1,0 +1,103 @@
+// EXP-F — latency and accepted throughput vs offered load.
+//
+// The performance payoff the adaptive-routing literature reports: under
+// uniform traffic deterministic and adaptive algorithms are comparable, but
+// under adversarial patterns (transpose, hotspot) the adaptive algorithm
+// sustains visibly higher accepted throughput and saturates later.  One
+// table per (topology, traffic pattern); rows are injection rates, columns
+// are algorithms.  All simulations for a table run in parallel.
+#include <iostream>
+
+#include "wormnet/wormnet.hpp"
+
+namespace {
+
+using namespace wormnet;
+
+struct Cell {
+  sim::SimStats stats;
+};
+
+void sweep(const topology::Topology& topo,
+           const std::vector<std::string>& algorithms, sim::Pattern pattern,
+           const std::vector<double>& rates) {
+  std::vector<Cell> cells(algorithms.size() * rates.size());
+  util::parallel_for(cells.size(), [&](std::size_t i) {
+    const std::size_t a = i / rates.size();
+    const std::size_t r = i % rates.size();
+    const auto routing = core::make_algorithm(algorithms[a], topo);
+    sim::SimConfig cfg;
+    cfg.injection_rate = rates[r];
+    cfg.packet_length = 8;
+    cfg.buffer_depth = 4;
+    cfg.pattern = pattern;
+    cfg.warmup_cycles = 1000;
+    cfg.measure_cycles = 4000;
+    cfg.drain_cycles = 20000;
+    cfg.seed = 1000 + i;
+    cells[i].stats = sim::run(topo, *routing, cfg);
+  });
+
+  std::vector<std::string> headers{"rate"};
+  for (const auto& algo : algorithms) {
+    headers.push_back(algo + " lat");
+    headers.push_back(algo + " thr");
+  }
+  util::Table table(std::move(headers));
+  for (std::size_t r = 0; r < rates.size(); ++r) {
+    std::vector<std::string> row{util::fmt_double(rates[r], 2)};
+    for (std::size_t a = 0; a < algorithms.size(); ++a) {
+      const sim::SimStats& stats = cells[a * rates.size() + r].stats;
+      if (stats.deadlocked) {
+        row.push_back("DEADLOCK");
+      } else if (stats.saturated) {
+        row.push_back("sat");
+      } else {
+        row.push_back(util::fmt_double(stats.avg_latency, 1));
+      }
+      row.push_back(util::fmt_double(stats.accepted_throughput, 3));
+    }
+    table.add_row(std::move(row));
+  }
+  std::cout << topo.name() << " / " << sim::to_string(pattern)
+            << "  (lat = avg packet latency in cycles, thr = accepted "
+               "flits/node/cycle)\n";
+  table.print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "EXP-F: latency & accepted throughput vs offered load\n\n";
+
+  {
+    const topology::Topology mesh = topology::make_mesh({8, 8}, 2);
+    const std::vector<std::string> algos{"e-cube", "west-first", "duato-mesh"};
+    const std::vector<double> rates{0.05, 0.15, 0.25, 0.35, 0.45, 0.55};
+    sweep(mesh, algos, sim::Pattern::kUniform, rates);
+    sweep(mesh, algos, sim::Pattern::kTranspose, rates);
+    sweep(mesh, algos, sim::Pattern::kHotspot,
+          {0.05, 0.10, 0.15, 0.20, 0.25});
+  }
+  {
+    const topology::Topology torus = topology::make_torus({8, 8}, 3);
+    const std::vector<std::string> algos{"dateline", "duato-torus"};
+    sweep(torus, algos, sim::Pattern::kUniform,
+          {0.05, 0.15, 0.25, 0.35, 0.45});
+    sweep(torus, algos, sim::Pattern::kTornado, {0.05, 0.15, 0.25, 0.35});
+  }
+  {
+    const topology::Topology cube = topology::make_hypercube(6, 2);
+    const std::vector<std::string> algos{"e-cube", "duato-hypercube",
+                                         "enhanced"};
+    sweep(cube, algos, sim::Pattern::kUniform, {0.05, 0.15, 0.30, 0.45});
+    sweep(cube, algos, sim::Pattern::kBitComplement, {0.05, 0.15, 0.25});
+  }
+
+  std::cout << "expected shape: comparable latency at low load; adaptive "
+               "algorithms saturate\nat higher rates than deterministic ones, "
+               "most visibly under transpose/tornado/\nbit-complement; no "
+               "DEADLOCK cells anywhere.\n";
+  return 0;
+}

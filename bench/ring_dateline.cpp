@@ -1,0 +1,64 @@
+// EXP-B — the canonical ring example (Dally & Seitz).
+//
+// A unidirectional ring with one virtual channel per link has a cyclic
+// channel dependency graph and deadlocks under load; splitting every link
+// into two VCs with a dateline breaks the cycle and the checker proves it.
+// Prints the dependency-graph shapes, the static verdicts, and the observed
+// simulator behaviour for rings of several sizes.
+#include <iostream>
+
+#include "wormnet/wormnet.hpp"
+
+int main() {
+  using namespace wormnet;
+
+  util::Table table({"ring", "vcs", "algorithm", "cdg edges", "cdg cyclic",
+                     "duato verdict", "sim result", "deadlock cycle"});
+
+  for (std::uint32_t nodes : {4u, 6u, 8u}) {
+    for (int vcs = 1; vcs <= 2; ++vcs) {
+      const topology::Topology topo =
+          topology::make_unidirectional_ring(nodes, vcs);
+      std::unique_ptr<routing::RoutingFunction> routing;
+      if (vcs == 1) {
+        routing = std::make_unique<routing::UnrestrictedMinimal>(topo);
+      } else {
+        routing = std::make_unique<routing::DatelineRouting>(topo);
+      }
+      const cdg::StateGraph states(topo, *routing);
+      const auto cdg_graph = cdg::build_cdg(states);
+      const core::Verdict duato =
+          core::verify(topo, *routing, {.method = core::Method::kDuato});
+
+      sim::SimConfig cfg;
+      cfg.injection_rate = 0.8;
+      cfg.packet_length = 3 * nodes;
+      cfg.buffer_depth = 2;
+      cfg.warmup_cycles = 0;
+      cfg.measure_cycles = 20000;
+      cfg.drain_cycles = 8000;
+      cfg.seed = 11;
+      const sim::SimStats stats = sim::run(topo, *routing, cfg);
+
+      std::string cycle_desc = "-";
+      if (stats.deadlocked && !stats.deadlock.blocked_channels.empty()) {
+        cycle_desc = std::to_string(stats.deadlock.packet_cycle.size()) +
+                     " packets @" + std::to_string(stats.deadlock.cycle);
+      }
+      table.add_row({topo.name(), std::to_string(vcs),
+                     std::string(routing->name()),
+                     std::to_string(cdg_graph.num_edges()),
+                     util::fmt_bool(cdg_graph.has_cycle()),
+                     core::to_string(duato.conclusion),
+                     stats.deadlocked ? "DEADLOCK" : "all delivered",
+                     cycle_desc});
+    }
+  }
+
+  std::cout << "EXP-B: unidirectional ring, 1 VC vs 2 VC dateline\n\n";
+  table.print(std::cout);
+  std::cout << "\nexpected shape: every 1-VC row is cyclic + deadlockable + "
+               "deadlocks;\nevery 2-VC dateline row is acyclic + proven free "
+               "+ delivers everything.\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// EXP-F2 — saturation throughput, one scalar per (topology, pattern,
+// algorithm).
+//
+// Condenses the EXP-F curves: the binary-searched offered load at which each
+// algorithm stops accepting what is offered.  Expected shape: under uniform
+// traffic the algorithms are close; under adversarial permutations the
+// adaptive construction's saturation point is clearly higher; nothing
+// deadlocks.
+#include <iostream>
+
+#include "wormnet/wormnet.hpp"
+
+namespace {
+
+using namespace wormnet;
+
+void sweep(const topology::Topology& topo,
+           const std::vector<std::string>& algorithms,
+           const std::vector<sim::Pattern>& patterns) {
+  struct Cell {
+    analysis::SaturationResult result;
+  };
+  std::vector<Cell> cells(algorithms.size() * patterns.size());
+  util::parallel_for(cells.size(), [&](std::size_t i) {
+    const std::size_t a = i / patterns.size();
+    const std::size_t p = i % patterns.size();
+    const auto routing = core::make_algorithm(algorithms[a], topo);
+    analysis::SaturationOptions options;
+    options.iterations = 6;
+    options.base.pattern = patterns[p];
+    options.base.packet_length = 8;
+    options.base.warmup_cycles = 800;
+    options.base.measure_cycles = 2500;
+    options.base.drain_cycles = 12000;
+    options.base.seed = 4242 + i;
+    cells[i].result = analysis::find_saturation(topo, *routing, options);
+  });
+
+  std::vector<std::string> headers{"pattern"};
+  for (const auto& algo : algorithms) headers.push_back(algo);
+  util::Table table(std::move(headers));
+  for (std::size_t p = 0; p < patterns.size(); ++p) {
+    std::vector<std::string> row{sim::to_string(patterns[p])};
+    for (std::size_t a = 0; a < algorithms.size(); ++a) {
+      const auto& result = cells[a * patterns.size() + p].result;
+      row.push_back(result.deadlocked
+                        ? "DEADLOCK"
+                        : util::fmt_double(result.saturation_rate, 3));
+    }
+    table.add_row(std::move(row));
+  }
+  std::cout << topo.name() << "  (saturation offered load, flits/node/cycle)\n";
+  table.print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "EXP-F2: saturation throughput per algorithm\n\n";
+  {
+    const topology::Topology mesh = topology::make_mesh({8, 8}, 2);
+    sweep(mesh, {"e-cube", "west-first", "negative-first", "duato-mesh"},
+          {sim::Pattern::kUniform, sim::Pattern::kTranspose,
+           sim::Pattern::kBitReverse});
+  }
+  {
+    const topology::Topology torus = topology::make_torus({8, 8}, 3);
+    sweep(torus, {"dateline", "duato-torus"},
+          {sim::Pattern::kUniform, sim::Pattern::kTornado});
+  }
+  std::cout << "expected shape: near-parity under uniform; adaptive clearly "
+               "ahead under\ntranspose/bit-reverse/tornado; no DEADLOCK "
+               "cells.\n";
+  return 0;
+}

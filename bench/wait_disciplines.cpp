@@ -1,0 +1,91 @@
+// EXP-J — the waiting discipline matters (the Section-6 dichotomy, run).
+//
+// The same routing relation behaves differently depending on how a blocked
+// header waits:
+//   * wait-on-any: re-arbitrate over every candidate each cycle — the
+//     discipline Duato's condition assumes;
+//   * wait-specific: commit to the first candidate until it frees — the
+//     discipline under which only the waiting-channel structure protects
+//     you.
+// Duato's fully adaptive construction is proven free under wait-on-any; its
+// proof does NOT transfer to blind wait-specific commitment (committing to
+// an adaptive channel instead of the escape can wedge).  This harness runs
+// both disciplines on the same relations under stress and reports what
+// happens — the empirical counterpart of choosing the right theorem.
+#include <iostream>
+
+#include "wormnet/wormnet.hpp"
+
+namespace {
+
+using namespace wormnet;
+
+std::string outcome(const sim::SimStats& stats) {
+  if (stats.deadlocked) {
+    return "DEADLOCK @" + std::to_string(stats.deadlock.cycle);
+  }
+  if (stats.saturated) return "saturated";
+  return "ok, lat " + util::fmt_double(stats.avg_latency, 1);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "EXP-J: wait-on-any vs wait-specific, same relations\n\n";
+
+  struct Case {
+    std::string topo_kind;
+    std::string algo;
+  };
+  const std::vector<Case> cases = {
+      {"mesh", "duato-mesh"},      {"mesh", "e-cube"},
+      {"torus", "duato-torus"},    {"hypercube", "enhanced"},
+      {"mesh1", "unrestricted"},   {"incoherent", "incoherent"},
+  };
+
+  util::Table table(
+      {"topology", "algorithm", "wait-on-any", "wait-specific (commit first)"});
+  for (const Case& c : cases) {
+    const topology::Topology topo = [&]() -> topology::Topology {
+      if (c.topo_kind == "mesh") return topology::make_mesh({4, 4}, 2);
+      if (c.topo_kind == "mesh1") return topology::make_mesh({4, 4}, 1);
+      if (c.topo_kind == "torus") return topology::make_torus({4, 4}, 3);
+      if (c.topo_kind == "incoherent") return routing::make_incoherent_net();
+      return topology::make_hypercube(3, 2);
+    }();
+    const auto routing = core::make_algorithm(c.algo, topo);
+    std::string results[2];
+    for (int mode = 0; mode < 2; ++mode) {
+      bool deadlocked = false;
+      sim::SimStats last;
+      for (std::uint64_t seed = 1; seed <= 3 && !deadlocked; ++seed) {
+        sim::SimConfig cfg;
+        cfg.injection_rate = 0.8;
+        cfg.packet_length = 20;
+        cfg.buffer_depth = 1;
+        cfg.warmup_cycles = 0;
+        cfg.measure_cycles = 12000;
+        cfg.drain_cycles = 8000;
+        cfg.seed = seed;
+        cfg.wait_override = mode == 0 ? sim::WaitOverride::kForceAny
+                                      : sim::WaitOverride::kForceSpecific;
+        last = sim::run(topo, *routing, cfg);
+        deadlocked = last.deadlocked;
+      }
+      results[mode] = outcome(last);
+    }
+    table.add_row({topo.name(), c.algo, results[0], results[1]});
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nexpected shape: wait-on-any never deadlocks a proven-free"
+      << "\nrelation (duato-*, e-cube, enhanced, incoherent).  Blind"
+      << "\nwait-specific commitment CAN wedge relations whose proof assumed"
+      << "\nwait-on-any — committing to an adaptive channel instead of the"
+      << "\nescape defeats Duato's construction, and the incoherent example"
+      << "\nenters its Theorem-2 regime.  Deterministic e-cube/dateline and"
+      << "\nthe Enhanced algorithm (whose native waiting channel is already"
+      << "\nspecific and safe) are unaffected; unrestricted 1-VC wedges"
+      << "\nunder either discipline.\n";
+  return 0;
+}

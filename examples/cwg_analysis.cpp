@@ -1,0 +1,66 @@
+// [companion] Channel-waiting-graph analysis of the incoherent example.
+//
+// Walks the worked example of the companion text end to end:
+//   1. build the 4-node incoherent network and its CWG,
+//   2. enumerate and classify its cycles (True vs False Resource),
+//   3. run the CWG -> CWG' reduction and print the removal log,
+//   4. contrast wait-on-any (deadlock-free) with wait-specific (deadlocks),
+//      replaying a True-Cycle witness in the simulator for the latter.
+#include <iostream>
+
+#include "wormnet/wormnet.hpp"
+
+int main() {
+  using namespace wormnet;
+
+  const topology::Topology topo = routing::make_incoherent_net();
+  const routing::IncoherentRouting wait_any(topo, /*wait_specific=*/false);
+  const routing::IncoherentRouting wait_one(topo, /*wait_specific=*/true);
+
+  std::cout << "network: " << topo.name() << " — 4 nodes, "
+            << topo.num_channels()
+            << " channels (cH* right, cL* left, cA1/cB2 detour)\n\n";
+
+  // 1-2. CWG + cycle classification for the wait-on-any variant.
+  const cdg::StateGraph states(topo, wait_any);
+  const cwg::Cwg graph = cwg::build_cwg(states);
+  std::cout << "CWG: " << graph.graph.num_edges() << " waiting edges; "
+            << "wait-connected: "
+            << (cwg::wait_connected(states) ? "yes" : "no") << "\n";
+  const cwg::CycleSurvey survey = cwg::survey_cycles(states, graph);
+  std::cout << "cycles: " << survey.cycles.size() << " total, "
+            << survey.true_cycles << " True, " << survey.false_cycles
+            << " False Resource\n";
+  for (const auto& cycle : survey.cycles) {
+    std::cout << "  [" << cwg::to_string(cycle.kind) << "] "
+              << core::describe_cycle(topo, cycle.channels) << "\n";
+  }
+
+  // 3. Reduction to CWG'.
+  const cwg::ReductionResult reduction =
+      cwg::reduce_cwg(states, graph, survey, {});
+  std::cout << "\nCWG' reduction: "
+            << (reduction.success ? "SUCCESS" : "failed") << ", removed "
+            << reduction.removed.size() << " waiting edges:\n";
+  for (const auto& [from, to] : reduction.removed) {
+    std::cout << "  drop  " << topo.channel_name(from) << " may-wait-for "
+              << topo.channel_name(to) << "\n";
+  }
+  std::cout << "=> wait-on-any variant is deadlock-free (Theorem 3)\n\n";
+
+  // 4. The wait-specific variant deadlocks; replay a witness.
+  const cdg::StateGraph states_one(topo, wait_one);
+  const cwg::Cwg graph_one = cwg::build_cwg(states_one);
+  const cwg::CycleSurvey survey_one = cwg::survey_cycles(states_one, graph_one);
+  for (const auto& cycle : survey_one.cycles) {
+    if (cycle.kind != cwg::CycleKind::kTrue) continue;
+    std::cout << "wait-specific True Cycle: "
+              << core::describe_cycle(topo, cycle.channels) << "\n";
+    const sim::SimStats stats = core::replay_witness(topo, wait_one, cycle);
+    std::cout << "witness replay: "
+              << (stats.deadlocked ? "DEADLOCK reproduced" : "no deadlock (?)")
+              << " at cycle " << stats.deadlock.cycle << "\n";
+    break;
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Duato's design methodology, mechanized.
+//
+// The paper's practical payoff: to build a fully adaptive deadlock-free
+// router, take ANY deterministic deadlock-free routing as an escape layer on
+// a reserved virtual-channel class, add unrestricted minimal routing on the
+// remaining classes, and certify the result with the necessary-and-
+// sufficient condition.  This example walks the construction on the three
+// standard topologies and shows what the checker reports at each step —
+// including a deliberately broken escape layer to demonstrate rejection.
+#include <iostream>
+
+#include "wormnet/wormnet.hpp"
+
+namespace {
+
+using namespace wormnet;
+
+void report(const topology::Topology& topo,
+            const routing::RoutingFunction& routing) {
+  std::cout << "== " << routing.name() << " on " << topo.name() << " ==\n";
+  const cdg::StateGraph states(topo, routing);
+  const auto cdg_graph = cdg::build_cdg(states);
+  std::cout << "  full CDG: " << cdg_graph.num_edges() << " edges, "
+            << (cdg_graph.has_cycle() ? "CYCLIC" : "acyclic") << "\n";
+  const cdg::SearchResult search = cdg::search(states);
+  if (search.found) {
+    std::cout << "  condition HOLDS via " << search.report.subfunction_label
+              << " (direct " << search.report.direct_edges << ", indirect "
+              << search.report.indirect_edges << " deps)\n";
+  } else {
+    std::cout << "  condition FAILS ("
+              << (search.exhaustive_complete ? "proven: no subfunction exists"
+                                             : "no subfunction within budget")
+              << ")\n";
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  using topology::make_hypercube;
+  using topology::make_mesh;
+  using topology::make_torus;
+
+  std::cout << "--- step 1: escape layers alone (deterministic bases) ---\n";
+  {
+    const auto mesh = make_mesh({6, 6});
+    const routing::DimensionOrder ecube(mesh);
+    report(mesh, ecube);
+    const auto ring = topology::make_unidirectional_ring(6, 2);
+    const routing::DatelineRouting dateline(ring);
+    report(ring, dateline);
+  }
+
+  std::cout << "--- step 2: full constructions (escape + adaptive) ---\n";
+  {
+    const auto mesh = make_mesh({6, 6}, 2);
+    report(mesh, *routing::make_duato_mesh(mesh));
+    const auto torus = make_torus({4, 4}, 3);
+    report(torus, *routing::make_duato_torus(torus));
+    const auto cube = make_hypercube(4, 2);
+    report(cube, *routing::make_duato_hypercube(cube));
+  }
+
+  std::cout << "--- step 3: a broken escape layer is rejected ---\n";
+  {
+    // Escape = plain minimal routing on the dateline classes of a ring,
+    // WITHOUT the dateline VC switch: the wrap cycle survives.
+    const auto ring = topology::make_unidirectional_ring(6, 1);
+    const routing::UnrestrictedMinimal broken(ring);
+    report(ring, broken);
+  }
+  return 0;
+}

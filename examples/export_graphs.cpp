@@ -1,0 +1,69 @@
+// Export the analysis graphs as Graphviz .dot files.
+//
+//   $ ./export_graphs [output-dir]
+//
+// Writes: ecube_mesh_cdg.dot          (acyclic CDG of e-cube on a 3x3 mesh)
+//         duato_mesh_full_cdg.dot     (cyclic full CDG of the construction)
+//         duato_mesh_escape_ecdg.dot  (acyclic extended CDG of the escape)
+//         incoherent_cwg.dot          (the companion example's waiting graph)
+//         incoherent_cwg_prime.dot    (its reduced CWG')
+// Render with `dot -Tsvg file.dot -o file.svg`.
+#include <fstream>
+#include <iostream>
+
+#include "wormnet/wormnet.hpp"
+
+namespace {
+
+using namespace wormnet;
+
+void write(const std::string& dir, const std::string& name,
+           const graph::Digraph& graph, const topology::Topology& topo) {
+  const std::string path = dir + "/" + name;
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write " << path << "\n";
+    return;
+  }
+  out << graph.to_dot(
+      [&](graph::Vertex v) { return topo.channel_name(v); });
+  std::cout << "wrote " << path << " (" << graph.num_vertices()
+            << " vertices, " << graph.num_edges() << " edges)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string dir = argc > 1 ? argv[1] : ".";
+
+  {
+    const auto mesh = topology::make_mesh({3, 3});
+    const routing::DimensionOrder ecube(mesh);
+    write(dir, "ecube_mesh_cdg.dot", cdg::build_cdg(mesh, ecube), mesh);
+  }
+  {
+    const auto mesh = topology::make_mesh({3, 3}, 2);
+    const auto duato = routing::make_duato_mesh(mesh);
+    const cdg::StateGraph states(mesh, *duato);
+    write(dir, "duato_mesh_full_cdg.dot", cdg::build_cdg(states), mesh);
+    std::vector<bool> c1(mesh.num_channels(), false);
+    for (topology::ChannelId c = 0; c < mesh.num_channels(); ++c) {
+      if (mesh.channel(c).vc == 0) c1[c] = true;
+    }
+    const cdg::Subfunction sub(states, c1, "vc0");
+    write(dir, "duato_mesh_escape_ecdg.dot",
+          cdg::build_extended_cdg(sub).graph, mesh);
+  }
+  {
+    const auto net = routing::make_incoherent_net();
+    const routing::IncoherentRouting routing(net);
+    const cdg::StateGraph states(net, routing);
+    const cwg::Cwg graph = cwg::build_cwg(states);
+    write(dir, "incoherent_cwg.dot", graph.graph, net);
+    const cwg::ReductionResult reduction = cwg::reduce_cwg(states, graph);
+    if (reduction.success) {
+      write(dir, "incoherent_cwg_prime.dot", reduction.reduced, net);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Quickstart: verify a routing algorithm's deadlock freedom and measure its
+// performance, in ~40 lines of user code.
+//
+//   $ ./quickstart
+//
+// Builds an 8x8 mesh with 2 virtual channels, instantiates Duato's fully
+// adaptive routing (e-cube escape on vc0, unrestricted minimal on vc1),
+// applies the necessary-and-sufficient condition, and cross-checks with a
+// short simulation.
+#include <iostream>
+
+#include "wormnet/wormnet.hpp"
+
+int main() {
+  using namespace wormnet;
+
+  // 1. A topology and a routing algorithm.
+  const topology::Topology topo = topology::make_mesh({8, 8}, /*vcs=*/2);
+  const auto routing = routing::make_duato_mesh(topo);
+  std::cout << "network:   " << topo.name() << " (" << topo.num_nodes()
+            << " nodes, " << topo.num_channels() << " virtual channels)\n";
+  std::cout << "algorithm: " << routing->name() << "\n\n";
+
+  // 2. The classical test fails — the full channel dependency graph cycles.
+  const core::Verdict cdg =
+      core::verify(topo, *routing, {.method = core::Method::kCdgAcyclic});
+  std::cout << "classic acyclic-CDG test: " << core::to_string(cdg.conclusion)
+            << "\n  " << cdg.detail << "\n\n";
+
+  // 3. The paper's condition succeeds: an escape subfunction exists whose
+  //    extended channel dependency graph is acyclic.
+  const core::Verdict duato =
+      core::verify(topo, *routing, {.method = core::Method::kDuato});
+  std::cout << "necessary & sufficient condition: "
+            << core::to_string(duato.conclusion) << "\n  " << duato.detail
+            << "\n\n";
+
+  // 4. Empirical cross-check under heavy uniform traffic.
+  sim::SimConfig cfg;
+  cfg.injection_rate = 0.35;
+  cfg.packet_length = 8;
+  cfg.warmup_cycles = 1000;
+  cfg.measure_cycles = 5000;
+  cfg.seed = 2026;
+  const sim::SimStats stats = sim::run(topo, *routing, cfg);
+  std::cout << "simulation @ 0.35 flits/node/cycle:\n  " << stats.summary()
+            << "\n";
+  return stats.deadlocked ? 1 : 0;
+}

@@ -1,0 +1,219 @@
+// wormnet_cli — command-line front end for the library.
+//
+//   wormnet_cli list
+//   wormnet_cli verify   --topo mesh:8x8:2 --alg duato-mesh [--method duato]
+//   wormnet_cli simulate --topo torus:8x8:3 --alg duato-torus
+//                        [--rate 0.3] [--pattern transpose] [--seed 1]
+//                        [--length 8] [--buffers 4] [--cycles 5000]
+//   wormnet_cli analyze  --topo mesh:5x5:1 --alg west-first
+//
+// Topology specs:  mesh:AxB[xC...]:VCS   torus:AxB:VCS   hypercube:N:VCS
+//                  ring:N:VCS   uniring:N:VCS   incoherent
+// Methods:         cdg | duato | cwg | message-flow | sim
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <sstream>
+
+#include "wormnet/wormnet.hpp"
+
+namespace {
+
+using namespace wormnet;
+
+[[noreturn]] void usage(const std::string& error = {}) {
+  if (!error.empty()) std::cerr << "error: " << error << "\n\n";
+  std::cerr <<
+      "usage:\n"
+      "  wormnet_cli list\n"
+      "  wormnet_cli verify   --topo SPEC --alg NAME [--method M]\n"
+      "  wormnet_cli simulate --topo SPEC --alg NAME [--rate R] [--pattern P]\n"
+      "                       [--seed S] [--length L] [--buffers B] [--cycles N]\n"
+      "  wormnet_cli analyze  --topo SPEC --alg NAME\n"
+      "topology SPEC: mesh:4x4:2 torus:8x8:3 hypercube:6:2 ring:8:2\n"
+      "               uniring:4:1 incoherent\n"
+      "method M: cdg duato cwg message-flow sim (default: duato)\n"
+      "pattern P: uniform transpose bit-complement bit-reverse shuffle\n"
+      "           tornado hotspot\n";
+  std::exit(2);
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::istringstream stream(text);
+  std::string part;
+  while (std::getline(stream, part, sep)) parts.push_back(part);
+  return parts;
+}
+
+topology::Topology parse_topology(const std::string& spec) {
+  const auto parts = split(spec, ':');
+  if (parts.empty()) usage("empty topology spec");
+  const std::string& kind = parts[0];
+  if (kind == "incoherent") return routing::make_incoherent_net();
+  if (parts.size() < 2) usage("topology spec needs a size: " + spec);
+  const std::uint8_t vcs =
+      parts.size() > 2 ? static_cast<std::uint8_t>(std::stoul(parts[2])) : 1;
+  if (kind == "hypercube") {
+    return topology::make_hypercube(std::stoul(parts[1]), vcs);
+  }
+  if (kind == "ring") {
+    return topology::make_ring(std::stoul(parts[1]), vcs);
+  }
+  if (kind == "uniring") {
+    return topology::make_unidirectional_ring(std::stoul(parts[1]), vcs);
+  }
+  std::vector<std::uint32_t> radices;
+  for (const std::string& r : split(parts[1], 'x')) {
+    radices.push_back(static_cast<std::uint32_t>(std::stoul(r)));
+  }
+  if (kind == "mesh") return topology::make_mesh(radices, vcs);
+  if (kind == "torus") return topology::make_torus(radices, vcs);
+  usage("unknown topology kind: " + kind);
+}
+
+sim::Pattern parse_pattern(const std::string& name) {
+  static const std::map<std::string, sim::Pattern> kPatterns = {
+      {"uniform", sim::Pattern::kUniform},
+      {"transpose", sim::Pattern::kTranspose},
+      {"bit-complement", sim::Pattern::kBitComplement},
+      {"bit-reverse", sim::Pattern::kBitReverse},
+      {"shuffle", sim::Pattern::kShuffle},
+      {"tornado", sim::Pattern::kTornado},
+      {"hotspot", sim::Pattern::kHotspot}};
+  const auto it = kPatterns.find(name);
+  if (it == kPatterns.end()) usage("unknown pattern: " + name);
+  return it->second;
+}
+
+core::Method parse_method(const std::string& name) {
+  if (name == "cdg") return core::Method::kCdgAcyclic;
+  if (name == "duato") return core::Method::kDuato;
+  if (name == "cwg") return core::Method::kCwg;
+  if (name == "message-flow") return core::Method::kMessageFlow;
+  if (name == "sim") return core::Method::kSimulation;
+  usage("unknown method: " + name);
+}
+
+int cmd_list() {
+  util::Table table({"algorithm", "description"});
+  for (const core::AlgorithmEntry& entry : core::all_algorithms()) {
+    table.add_row({entry.name, entry.description});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_verify(const std::map<std::string, std::string>& args) {
+  const topology::Topology topo = parse_topology(args.at("--topo"));
+  const auto routing = core::make_algorithm(args.at("--alg"), topo);
+  core::VerifyOptions options;
+  options.method = parse_method(args.count("--method") ? args.at("--method")
+                                                       : "duato");
+  const core::Verdict verdict = core::verify(topo, *routing, options);
+  std::cout << topo.name() << " / " << routing->name() << "\n"
+            << "method:  " << core::to_string(options.method) << "\n"
+            << "verdict: " << core::to_string(verdict.conclusion) << "\n"
+            << "detail:  " << verdict.detail << "\n";
+  if (!verdict.witness_channels.empty()) {
+    std::cout << "witness: "
+              << core::describe_cycle(topo, verdict.witness_channels) << "\n";
+  }
+  return verdict.conclusion == core::Conclusion::kDeadlockable ? 1 : 0;
+}
+
+int cmd_simulate(const std::map<std::string, std::string>& args) {
+  const topology::Topology topo = parse_topology(args.at("--topo"));
+  const auto routing = core::make_algorithm(args.at("--alg"), topo);
+  sim::SimConfig cfg;
+  if (args.count("--rate")) cfg.injection_rate = std::stod(args.at("--rate"));
+  if (args.count("--pattern")) cfg.pattern = parse_pattern(args.at("--pattern"));
+  if (args.count("--seed")) cfg.seed = std::stoull(args.at("--seed"));
+  if (args.count("--length")) {
+    cfg.packet_length = static_cast<std::uint32_t>(std::stoul(args.at("--length")));
+  }
+  if (args.count("--buffers")) {
+    cfg.buffer_depth = static_cast<std::uint32_t>(std::stoul(args.at("--buffers")));
+  }
+  if (args.count("--cycles")) {
+    cfg.measure_cycles = std::stoull(args.at("--cycles"));
+  }
+  const sim::SimStats stats = sim::run(topo, *routing, cfg);
+  std::cout << topo.name() << " / " << routing->name() << " @ "
+            << cfg.injection_rate << " flits/node/cycle, "
+            << sim::to_string(cfg.pattern) << "\n"
+            << stats.summary() << "\n"
+            << "channel utilization avg "
+            << util::fmt_double(stats.avg_channel_utilization, 3) << ", max "
+            << util::fmt_double(stats.max_channel_utilization, 3)
+            << "; longest path " << stats.max_hops << " hops\n";
+  return stats.deadlocked ? 1 : 0;
+}
+
+int cmd_analyze(const std::map<std::string, std::string>& args) {
+  const topology::Topology topo = parse_topology(args.at("--topo"));
+  const auto routing = core::make_algorithm(args.at("--alg"), topo);
+  const cdg::StateGraph states(topo, *routing);
+  const auto cdg_graph = cdg::build_cdg(states);
+  std::cout << topo.name() << " / " << routing->name() << "\n";
+  std::cout << "reachable states: " << states.num_reachable_states()
+            << ", CDG: " << cdg_graph.num_edges() << " edges, "
+            << (cdg_graph.has_cycle() ? "CYCLIC" : "acyclic") << "\n";
+  std::cout << "relation connected: "
+            << util::fmt_bool(cdg::relation_connected(states))
+            << ", wait-connected: "
+            << util::fmt_bool(cwg::wait_connected(states)) << "\n";
+
+  const cdg::SearchResult search = cdg::search(states);
+  std::cout << "n&s condition: "
+            << (search.found
+                    ? "holds via " + search.report.subfunction_label
+                    : std::string("no subfunction found"))
+            << "\n";
+
+  if (topo.is_cube() && topo.num_dims() == 2 && !topo.cube().wraps[0] &&
+      !topo.cube().wraps[1]) {
+    const analysis::TurnCensus census = analysis::turn_census(states);
+    std::cout << "turns: " << census.permitted_count << " permitted, "
+              << census.prohibited_count << " prohibited; prohibited:";
+    for (std::size_t from = 0; from < 4; ++from) {
+      for (std::size_t to = 0; to < 4; ++to) {
+        if (from / 2 != to / 2 && !census.permitted[from][to]) {
+          std::cout << " " << analysis::direction_name(from) << "->"
+                    << analysis::direction_name(to);
+        }
+      }
+    }
+    std::cout << "\n";
+  }
+  if (topo.is_cube() && routing->minimal()) {
+    const auto degree = analysis::degree_of_adaptiveness(topo, *routing);
+    std::cout << "degree of adaptiveness: "
+              << util::fmt_double(degree.degree, 4)
+              << (degree.sampled ? " (sampled)" : "") << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string command = argv[1];
+  std::map<std::string, std::string> args;
+  for (int i = 2; i + 1 < argc; i += 2) {
+    args[argv[i]] = argv[i + 1];
+  }
+  try {
+    if (command == "list") return cmd_list();
+    if (command == "verify") return cmd_verify(args);
+    if (command == "simulate") return cmd_simulate(args);
+    if (command == "analyze") return cmd_analyze(args);
+  } catch (const std::out_of_range&) {
+    usage("missing required option for '" + command + "'");
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 2;
+  }
+  usage("unknown command: " + command);
+}

@@ -1,0 +1,43 @@
+#include "wormnet/analysis/adaptiveness.hpp"
+
+#include "wormnet/util/rng.hpp"
+
+namespace wormnet::analysis {
+
+AdaptivenessResult degree_of_adaptiveness(const Topology& topo,
+                                          const RoutingFunction& routing,
+                                          const AdaptivenessOptions& options) {
+  AdaptivenessResult result;
+  const NodeId n = topo.num_nodes();
+  const std::size_t all_pairs = static_cast<std::size_t>(n) * (n - 1);
+
+  double sum = 0.0;
+  if (all_pairs <= options.pair_budget) {
+    for (NodeId s = 0; s < n; ++s) {
+      for (NodeId d = 0; d < n; ++d) {
+        if (s == d) continue;
+        const double total = count_all_minimal_paths(topo, s, d);
+        if (total <= 0) continue;
+        sum += count_permitted_paths(topo, routing, s, d) / total;
+        ++result.pairs;
+      }
+    }
+  } else {
+    result.sampled = true;
+    util::Xoshiro256 rng(options.seed);
+    while (result.pairs < options.pair_budget) {
+      const NodeId s = static_cast<NodeId>(rng.below(n));
+      NodeId d = static_cast<NodeId>(rng.below(n - 1));
+      if (d >= s) ++d;
+      const double total = count_all_minimal_paths(topo, s, d);
+      if (total <= 0) continue;
+      sum += count_permitted_paths(topo, routing, s, d) / total;
+      ++result.pairs;
+    }
+  }
+  if (result.pairs > 0) sum /= static_cast<double>(result.pairs);
+  result.degree = sum;
+  return result;
+}
+
+}  // namespace wormnet::analysis

@@ -1,0 +1,32 @@
+// Degree of adaptiveness (Glass & Ni): the ratio of minimal paths a routing
+// algorithm permits to the total number of minimal paths, averaged over all
+// source-destination pairs.  Paths are counted at virtual-channel resolution
+// (two paths differing only in the VC taken on one hop are distinct), which
+// is what distinguishes "fully adaptive" algorithms with different VC
+// restrictions — the comparison the hypercube experiment (EXP-E) reproduces.
+#pragma once
+
+#include <cstdint>
+
+#include "wormnet/analysis/path_count.hpp"
+
+namespace wormnet::analysis {
+
+struct AdaptivenessOptions {
+  /// Exact averaging when num_pairs <= pair_budget; Monte-Carlo sampling of
+  /// `pair_budget` pairs otherwise (deterministic given `seed`).
+  std::size_t pair_budget = 20000;
+  std::uint64_t seed = 42;
+};
+
+struct AdaptivenessResult {
+  double degree = 0.0;       ///< average permitted/total ratio
+  std::size_t pairs = 0;     ///< pairs evaluated
+  bool sampled = false;      ///< Monte-Carlo fallback used
+};
+
+[[nodiscard]] AdaptivenessResult degree_of_adaptiveness(
+    const Topology& topo, const RoutingFunction& routing,
+    const AdaptivenessOptions& options = {});
+
+}  // namespace wormnet::analysis

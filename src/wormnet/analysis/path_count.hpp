@@ -1,0 +1,29 @@
+// Counting virtual-channel-labelled minimal paths.
+//
+// The count for (s, d) is the number of distinct channel sequences a packet
+// may follow from s to d under the relation, restricted to hops that strictly
+// decrease the remaining distance (so the recursion runs over a DAG and
+// nonminimal relations are measured on their minimal-path subset).  Counts
+// are doubles: the largest exact value needed (12-cube, 12! * 2^12 ~ 2e12)
+// fits comfortably inside a double's 53-bit mantissa.
+#pragma once
+
+#include "wormnet/routing/routing_function.hpp"
+
+namespace wormnet::analysis {
+
+using routing::RoutingFunction;
+using topology::NodeId;
+using topology::Topology;
+
+/// Minimal channel-labelled paths permitted by `routing` from src to dst.
+[[nodiscard]] double count_permitted_paths(const Topology& topo,
+                                           const RoutingFunction& routing,
+                                           NodeId src, NodeId dst);
+
+/// All minimal channel-labelled paths the topology offers (every productive
+/// channel at every hop) — the denominator of the adaptiveness ratio.
+[[nodiscard]] double count_all_minimal_paths(const Topology& topo, NodeId src,
+                                             NodeId dst);
+
+}  // namespace wormnet::analysis

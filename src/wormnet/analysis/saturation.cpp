@@ -1,0 +1,66 @@
+#include "wormnet/analysis/saturation.hpp"
+
+namespace wormnet::analysis {
+namespace {
+
+struct Probe {
+  bool saturated = false;
+  bool deadlocked = false;
+  double latency = 0.0;
+};
+
+Probe probe(const topology::Topology& topo,
+            const routing::RoutingFunction& routing,
+            const SaturationOptions& options, double rate,
+            double zero_load_latency) {
+  sim::SimConfig cfg = options.base;
+  cfg.injection_rate = rate;
+  const sim::SimStats stats = sim::run(topo, routing, cfg);
+  Probe result;
+  result.deadlocked = stats.deadlocked;
+  result.latency = stats.avg_latency;
+  result.saturated =
+      stats.deadlocked || stats.saturated ||
+      stats.accepted_throughput <
+          options.accept_fraction * stats.offered_load ||
+      (zero_load_latency > 0.0 &&
+       stats.avg_latency > options.latency_factor * zero_load_latency);
+  return result;
+}
+
+}  // namespace
+
+SaturationResult find_saturation(const topology::Topology& topo,
+                                 const routing::RoutingFunction& routing,
+                                 const SaturationOptions& options) {
+  SaturationResult result;
+  // Zero-load latency at the low end.
+  {
+    sim::SimConfig cfg = options.base;
+    cfg.injection_rate = options.low;
+    const sim::SimStats stats = sim::run(topo, routing, cfg);
+    result.zero_load_latency = stats.avg_latency;
+    result.deadlocked = stats.deadlocked;
+    if (stats.deadlocked) return result;
+  }
+  double lo = options.low;   // known unsaturated
+  double hi = options.high;  // assumed saturated
+  for (int i = 0; i < options.iterations; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const Probe p =
+        probe(topo, routing, options, mid, result.zero_load_latency);
+    if (p.deadlocked) {
+      result.deadlocked = true;
+      return result;
+    }
+    if (p.saturated) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  result.saturation_rate = lo;
+  return result;
+}
+
+}  // namespace wormnet::analysis

@@ -1,0 +1,35 @@
+// Saturation-point estimation.
+//
+// The standard scalar summary of an interconnect performance curve: the
+// offered load at which the network stops accepting what is offered.  A run
+// counts as saturated when the simulator flags it (measured packets stuck at
+// drain end), when accepted throughput falls below `accept_fraction` of the
+// offered load, or when average latency exceeds `latency_factor` times the
+// zero-load latency.  Binary search over the injection rate.
+#pragma once
+
+#include "wormnet/routing/routing_function.hpp"
+#include "wormnet/sim/simulator.hpp"
+
+namespace wormnet::analysis {
+
+struct SaturationOptions {
+  double low = 0.02;
+  double high = 1.0;
+  int iterations = 6;           ///< binary-search refinement steps
+  double accept_fraction = 0.85;
+  double latency_factor = 6.0;
+  sim::SimConfig base;          ///< pattern/seed/cycles template
+};
+
+struct SaturationResult {
+  double saturation_rate = 0.0;   ///< flits/node/cycle
+  double zero_load_latency = 0.0; ///< cycles, measured at `low`
+  bool deadlocked = false;        ///< any probe deadlocked (disqualifying)
+};
+
+[[nodiscard]] SaturationResult find_saturation(
+    const topology::Topology& topo, const routing::RoutingFunction& routing,
+    const SaturationOptions& options = {});
+
+}  // namespace wormnet::analysis

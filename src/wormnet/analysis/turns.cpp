@@ -1,0 +1,64 @@
+#include "wormnet/analysis/turns.hpp"
+
+#include <stdexcept>
+
+namespace wormnet::analysis {
+namespace {
+
+std::size_t direction_index(const topology::Channel& ch) {
+  return ch.dim * 2 + (ch.dir == topology::Direction::kPos ? 0 : 1);
+}
+
+}  // namespace
+
+const char* direction_name(std::size_t direction) {
+  switch (direction) {
+    case kXPos:
+      return "X+";
+    case kXNeg:
+      return "X-";
+    case kYPos:
+      return "Y+";
+    case kYNeg:
+      return "Y-";
+  }
+  return "?";
+}
+
+TurnCensus turn_census(const cdg::StateGraph& states) {
+  const auto& topo = states.topo();
+  if (!topo.is_cube() || topo.num_dims() != 2) {
+    throw std::invalid_argument("turn census is defined for 2-D meshes");
+  }
+  for (std::size_t d = 0; d < 2; ++d) {
+    if (topo.cube().wraps[d]) {
+      throw std::invalid_argument("turn census is defined for meshes");
+    }
+  }
+
+  TurnCensus census;
+  for (topology::NodeId dest = 0; dest < topo.num_nodes(); ++dest) {
+    for (topology::ChannelId c = 0; c < topo.num_channels(); ++c) {
+      if (!states.reachable(c, dest)) continue;
+      const std::size_t from = direction_index(topo.channel(c));
+      for (topology::ChannelId next : states.successors(c, dest)) {
+        const std::size_t to = direction_index(topo.channel(next));
+        if (topo.channel(c).dim == topo.channel(next).dim) continue;
+        census.permitted[from][to] = true;
+      }
+    }
+  }
+  for (std::size_t from = 0; from < 4; ++from) {
+    for (std::size_t to = 0; to < 4; ++to) {
+      if (from / 2 == to / 2) continue;  // same dimension
+      if (census.permitted[from][to]) {
+        ++census.permitted_count;
+      } else {
+        ++census.prohibited_count;
+      }
+    }
+  }
+  return census;
+}
+
+}  // namespace wormnet::analysis

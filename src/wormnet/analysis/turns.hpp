@@ -1,0 +1,37 @@
+// Turn census for 2-D meshes (Glass & Ni's vocabulary).
+//
+// In two dimensions there are eight 90-degree turns (four cross-dimension
+// from-direction/to-direction pairs in each rotation sense).  The turn model
+// proves that breaking every dependency cycle by prohibition alone requires
+// prohibiting at least two of them (one per rotation sense), and that which
+// ones are prohibited characterizes the classic partially adaptive
+// algorithms.  The census reads the turns straight off the channel
+// dependency graph, so it reflects what the relation actually permits —
+// including relations (like HPL) whose turns are only conditionally allowed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "wormnet/cdg/states.hpp"
+
+namespace wormnet::analysis {
+
+/// Direction index for 2-D turns: X+ = 0, X- = 1, Y+ = 2, Y- = 3.
+enum : std::size_t { kXPos = 0, kXNeg = 1, kYPos = 2, kYNeg = 3 };
+
+[[nodiscard]] const char* direction_name(std::size_t direction);
+
+struct TurnCensus {
+  /// permitted[from][to] for cross-dimension pairs; same-dimension entries
+  /// are always false (0-degree and 180-degree turns are not counted here).
+  std::array<std::array<bool, 4>, 4> permitted{};
+  std::size_t permitted_count = 0;   ///< out of the eight 90-degree turns
+  std::size_t prohibited_count = 0;
+};
+
+/// Computes the census from the reachable dependencies of a 2-D mesh
+/// relation.  Throws for non-2-D or wraparound topologies.
+[[nodiscard]] TurnCensus turn_census(const cdg::StateGraph& states);
+
+}  // namespace wormnet::analysis

@@ -1,0 +1,23 @@
+#include "wormnet/cdg/cdg_builder.hpp"
+
+namespace wormnet::cdg {
+
+graph::Digraph build_cdg(const StateGraph& states) {
+  const Topology& topo = states.topo();
+  graph::Digraph cdg(topo.num_channels());
+  for (NodeId dest = 0; dest < topo.num_nodes(); ++dest) {
+    for (ChannelId c = 0; c < topo.num_channels(); ++c) {
+      if (!states.reachable(c, dest)) continue;
+      for (ChannelId next : states.successors(c, dest)) {
+        cdg.add_edge(c, next);
+      }
+    }
+  }
+  return cdg;
+}
+
+graph::Digraph build_cdg(const Topology& topo, const RoutingFunction& routing) {
+  return build_cdg(StateGraph(topo, routing));
+}
+
+}  // namespace wormnet::cdg

@@ -1,0 +1,25 @@
+// Channel dependency graph (Dally & Seitz).
+//
+// Vertex = channel.  Edge ci -> cj iff some message, on some permitted path,
+// may use cj immediately after ci.  Built by projecting the reachable state
+// graph onto channels, so the CDG is exact for both relation forms.
+//
+// An acyclic CDG is the classical *sufficient* condition for deadlock freedom
+// (and necessary-and-sufficient for deterministic relations); the point of
+// the reproduced paper is that adaptive relations can be deadlock-free with a
+// cyclic CDG — which the extended-CDG machinery (extended_cdg.hpp) certifies.
+#pragma once
+
+#include "wormnet/cdg/states.hpp"
+#include "wormnet/graph/digraph.hpp"
+
+namespace wormnet::cdg {
+
+/// Builds the channel dependency graph from a precomputed state graph.
+[[nodiscard]] graph::Digraph build_cdg(const StateGraph& states);
+
+/// Convenience overload: builds the state graph internally.
+[[nodiscard]] graph::Digraph build_cdg(const Topology& topo,
+                                       const RoutingFunction& routing);
+
+}  // namespace wormnet::cdg

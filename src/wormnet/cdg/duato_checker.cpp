@@ -1,0 +1,146 @@
+#include "wormnet/cdg/duato_checker.hpp"
+
+#include <algorithm>
+
+namespace wormnet::cdg {
+
+DuatoReport check(const Subfunction& sub) {
+  DuatoReport report;
+  report.subfunction_label = sub.label();
+  report.connected = sub.connected();
+  report.escape_everywhere = sub.escape_everywhere();
+  const ExtendedCdg ecdg = build_extended_cdg(sub);
+  report.direct_edges = ecdg.direct_edges;
+  report.indirect_edges = ecdg.indirect_edges;
+  report.cross_edges = ecdg.cross_edges;
+  auto cycle = ecdg.graph.find_cycle();
+  report.acyclic = !cycle.has_value();
+  if (cycle) report.witness_cycle = std::move(*cycle);
+  return report;
+}
+
+namespace {
+
+/// Tries one candidate set; updates `result` on success.
+bool try_candidate(const StateGraph& states, std::vector<bool> c1,
+                   const std::string& label, SearchResult& result) {
+  ++result.candidates_tried;
+  Subfunction sub(states, c1, label);
+  // Cheap gates first: connectivity checks are much faster than the ECDG.
+  if (!sub.connected() || !sub.escape_everywhere()) return false;
+  DuatoReport report = check(sub);
+  if (!report.holds()) return false;
+  result.found = true;
+  result.c1 = std::move(c1);
+  result.report = std::move(report);
+  return true;
+}
+
+/// Greedy cycle breaking: repeatedly drop one channel that participates in a
+/// cycle of the current candidate's extended CDG, as long as connectivity
+/// survives; depth-first with backtracking over which cycle channel to drop.
+bool greedy_search(const StateGraph& states, SearchResult& result,
+                   std::size_t budget) {
+  struct Frame {
+    std::vector<bool> c1;
+    std::vector<graph::Vertex> cycle;
+    std::size_t next_choice = 0;
+  };
+  std::vector<Frame> stack;
+  std::vector<bool> all(states.topo().num_channels(), true);
+  stack.push_back(Frame{std::move(all), {}, 0});
+
+  std::size_t spent = 0;
+  while (!stack.empty() && spent < budget) {
+    Frame& frame = stack.back();
+    if (frame.cycle.empty()) {
+      ++spent;
+      Subfunction sub(states, frame.c1, "greedy");
+      if (sub.connected() && sub.escape_everywhere()) {
+        DuatoReport report = check(sub);
+        if (report.holds()) {
+          result.found = true;
+          result.c1 = frame.c1;
+          result.report = std::move(report);
+          result.report.subfunction_label = "greedy-derived escape set";
+          return true;
+        }
+        frame.cycle = std::move(report.witness_cycle);
+        if (frame.cycle.empty()) {
+          // Cyclic report must carry a cycle; defensive.
+          stack.pop_back();
+          continue;
+        }
+      } else {
+        stack.pop_back();
+        continue;
+      }
+    }
+    if (frame.next_choice >= frame.cycle.size()) {
+      stack.pop_back();
+      continue;
+    }
+    const graph::Vertex drop = frame.cycle[frame.next_choice++];
+    std::vector<bool> next_c1 = frame.c1;
+    next_c1[drop] = false;
+    stack.push_back(Frame{std::move(next_c1), {}, 0});
+  }
+  return false;
+}
+
+}  // namespace
+
+SearchResult search(const StateGraph& states, const SearchOptions& options) {
+  SearchResult result;
+  const Topology& topo = states.topo();
+  const std::size_t channels = topo.num_channels();
+
+  // Stage 1: the full set (classical acyclic-CDG test; with C1 = C the
+  // extended CDG has no excursions, so it equals the plain CDG).
+  if (try_candidate(states, std::vector<bool>(channels, true), "all-channels",
+                    result)) {
+    return result;
+  }
+
+  // Stage 2: caller-seeded candidates (e.g. known escape layers).
+  for (const auto& [c1, label] : options.seeded_candidates) {
+    if (try_candidate(states, c1, label, result)) return result;
+  }
+
+  // Stage 3: virtual-channel-class subsets on cube topologies.
+  if (topo.is_cube() && topo.cube().vcs > 1) {
+    const std::uint8_t vcs = topo.cube().vcs;
+    for (std::uint32_t mask = 1; mask < (1u << vcs); ++mask) {
+      if (mask == (1u << vcs) - 1) continue;  // full set already tried
+      std::vector<bool> c1(channels, false);
+      for (ChannelId c = 0; c < channels; ++c) {
+        if (mask & (1u << topo.channel(c).vc)) c1[c] = true;
+      }
+      std::string label = "vc-classes:";
+      for (std::uint8_t v = 0; v < vcs; ++v) {
+        if (mask & (1u << v)) label += std::to_string(int(v));
+      }
+      if (try_candidate(states, std::move(c1), label, result)) return result;
+    }
+  }
+
+  // Stage 4: greedy cycle breaking.
+  if (greedy_search(states, result, options.greedy_budget)) return result;
+
+  // Stage 5: exhaustive enumeration for tiny networks.
+  if (channels <= options.exhaustive_channel_limit) {
+    for (std::uint64_t mask = 1; mask + 1 < (1ULL << channels); ++mask) {
+      std::vector<bool> c1(channels, false);
+      for (ChannelId c = 0; c < channels; ++c) {
+        if (mask & (1ULL << c)) c1[c] = true;
+      }
+      if (try_candidate(states, std::move(c1), "exhaustive", result)) {
+        return result;
+      }
+    }
+    result.exhaustive_complete = true;
+  }
+  return result;
+}
+
+}  // namespace wormnet::cdg

@@ -1,0 +1,67 @@
+#include "wormnet/cdg/extended_cdg.hpp"
+
+#include <vector>
+
+namespace wormnet::cdg {
+
+ExtendedCdg build_extended_cdg(const Subfunction& sub) {
+  const StateGraph& states = sub.states();
+  const Topology& topo = states.topo();
+  const std::size_t channels = topo.num_channels();
+
+  ExtendedCdg out;
+  out.graph = graph::Digraph(channels);
+  out.direct_only = graph::Digraph(channels);
+
+  std::vector<bool> visited(channels);
+  std::vector<ChannelId> stack;
+
+  for (NodeId dest = 0; dest < topo.num_nodes(); ++dest) {
+    for (ChannelId ci = 0; ci < channels; ++ci) {
+      if (!states.reachable(ci, dest) || !sub.in_c1(ci, dest)) continue;
+
+      // Direct (and direct-cross) edges: escape successors of (ci, dest).
+      for (ChannelId cj : states.successors(ci, dest)) {
+        if (!sub.in_any_c1(cj)) continue;
+        const bool cross = !sub.in_c1(cj, dest);
+        if (out.graph.add_edge(ci, cj)) {
+          ++out.direct_edges;
+          if (cross) ++out.cross_edges;
+        }
+        out.direct_only.add_edge(ci, cj);
+      }
+
+      // Indirect (and indirect-cross) edges: walk through successor states
+      // whose channel is NOT escape for this destination, collecting the
+      // escape channels supplied anywhere along the excursion.
+      std::fill(visited.begin(), visited.end(), false);
+      stack.clear();
+      for (ChannelId mid : states.successors(ci, dest)) {
+        if (!sub.in_c1(mid, dest) && !visited[mid]) {
+          visited[mid] = true;
+          stack.push_back(mid);
+        }
+      }
+      while (!stack.empty()) {
+        const ChannelId mid = stack.back();
+        stack.pop_back();
+        for (ChannelId cj : states.successors(mid, dest)) {
+          if (sub.in_any_c1(cj)) {
+            const bool cross = !sub.in_c1(cj, dest);
+            if (out.graph.add_edge(ci, cj)) {
+              ++out.indirect_edges;
+              if (cross) ++out.cross_edges;
+            }
+          }
+          if (!sub.in_c1(cj, dest) && !visited[cj]) {
+            visited[cj] = true;
+            stack.push_back(cj);
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace wormnet::cdg

@@ -1,0 +1,38 @@
+// The extended channel dependency graph of a routing subfunction — the graph
+// whose acyclicity the paper's necessary-and-sufficient condition tests.
+//
+// For each destination d and each reachable escape state (ci, d) with
+// ci ∈ C1(d), edges are added to every escape channel the message may come to
+// wait for next:
+//
+//   direct          cj ∈ R(head(ci), d) ∩ C1(d)
+//   indirect        cj ∈ R(n', d) ∩ C1(d) after one or more intermediate hops
+//                   on channels supplied by R for d but NOT in C1(d)
+//   direct cross    like direct, but cj ∈ C1(d') for some d' != d only
+//   indirect cross  like indirect, but cj ∈ C1(d') for some d' != d only
+//
+// Cross dependencies only arise for per-destination subfunctions — they are
+// exactly the coupling between different pairs' escape sets that the ICPP'94
+// condition adds over the 1993 sufficient condition.
+#pragma once
+
+#include <cstddef>
+
+#include "wormnet/cdg/subfunction.hpp"
+#include "wormnet/graph/digraph.hpp"
+
+namespace wormnet::cdg {
+
+struct ExtendedCdg {
+  graph::Digraph graph;        ///< all dependency edges
+  graph::Digraph direct_only;  ///< direct (+ direct cross) edges only
+  std::size_t direct_edges = 0;
+  std::size_t indirect_edges = 0;        ///< indirect edges not already direct
+  std::size_t cross_edges = 0;           ///< edges whose target is escape only
+                                         ///< for other destinations
+};
+
+/// Builds the extended CDG of `sub` over its state graph.
+[[nodiscard]] ExtendedCdg build_extended_cdg(const Subfunction& sub);
+
+}  // namespace wormnet::cdg

@@ -1,0 +1,55 @@
+#include "wormnet/cdg/message_flow.hpp"
+
+namespace wormnet::cdg {
+
+MessageFlowReport message_flow_check(const StateGraph& states) {
+  const Topology& topo = states.topo();
+  const std::size_t channels = topo.num_channels();
+
+  // ever_used[c]: c is reachable for some destination.
+  std::vector<bool> ever_used(channels, false);
+  for (NodeId d = 0; d < topo.num_nodes(); ++d) {
+    for (ChannelId c = 0; c < channels; ++c) {
+      if (states.reachable(c, d)) ever_used[c] = true;
+    }
+  }
+
+  std::vector<bool> freed(channels, false);
+  MessageFlowReport report;
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    ++report.rounds;
+    for (ChannelId c = 0; c < channels; ++c) {
+      if (freed[c] || !ever_used[c]) continue;
+      bool ok_for_all_dests = true;
+      for (NodeId d = 0; d < topo.num_nodes() && ok_for_all_dests; ++d) {
+        if (!states.reachable(c, d)) continue;
+        if (topo.channel(c).dst == d) continue;  // consumed at destination
+        bool has_freed_wait = false;
+        for (ChannelId w : states.waiting(c, d)) {
+          if (freed[w]) {
+            has_freed_wait = true;
+            break;
+          }
+        }
+        if (!has_freed_wait) ok_for_all_dests = false;
+      }
+      if (ok_for_all_dests) {
+        freed[c] = true;
+        grew = true;
+      }
+    }
+  }
+
+  report.covered = true;
+  for (ChannelId c = 0; c < channels; ++c) {
+    if (ever_used[c] && !freed[c]) {
+      report.covered = false;
+      report.unresolved.push_back(c);
+    }
+  }
+  return report;
+}
+
+}  // namespace wormnet::cdg

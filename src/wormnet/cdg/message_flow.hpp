@@ -1,0 +1,33 @@
+// The message-flow model (Lin, McKinley & Ni) — the third proof technique
+// the theory papers discuss.
+//
+// A routing relation is deadlock-free if no channel can be held forever.
+// Starting from the sink channels (whose messages are consumed by
+// assumption) and working backward: a channel is *eventually freed* if, for
+// every reachable (channel, destination) state, the message either has
+// arrived or can wait on some channel already known to be eventually freed.
+// If the least fixpoint covers every reachable channel, no deadlock
+// configuration can form.
+//
+// As the target paper points out, this is a SUFFICIENT condition only
+// (despite its original billing as exact): failure to cover all channels
+// proves nothing.  The verifier therefore maps "covered" to deadlock-free
+// and "not covered" to unknown.
+#pragma once
+
+#include <vector>
+
+#include "wormnet/cdg/states.hpp"
+
+namespace wormnet::cdg {
+
+struct MessageFlowReport {
+  bool covered = false;  ///< every reachable channel is eventually freed
+  /// Channels the fixpoint could not resolve (empty iff covered).
+  std::vector<ChannelId> unresolved;
+  std::size_t rounds = 0;  ///< fixpoint iterations
+};
+
+[[nodiscard]] MessageFlowReport message_flow_check(const StateGraph& states);
+
+}  // namespace wormnet::cdg

@@ -1,0 +1,132 @@
+#include "wormnet/cdg/states.hpp"
+
+#include <deque>
+
+namespace wormnet::cdg {
+
+StateGraph::StateGraph(const Topology& topo, const RoutingFunction& routing)
+    : topo_(&topo), routing_(&routing) {
+  const std::size_t channels = topo.num_channels();
+  const NodeId nodes = topo.num_nodes();
+  reachable_.assign(channels * nodes, false);
+  succ_.assign(channels * nodes, {});
+  wait_.assign(channels * nodes, {});
+  inject_.assign(static_cast<std::size_t>(nodes) * nodes, {});
+  inject_wait_.assign(static_cast<std::size_t>(nodes) * nodes, {});
+  closure_.resize(nodes);
+
+  // Forward fixpoint per destination.
+  std::deque<ChannelId> frontier;
+  for (NodeId dest = 0; dest < nodes; ++dest) {
+    frontier.clear();
+    for (NodeId src = 0; src < nodes; ++src) {
+      if (src == dest) continue;
+      ChannelSet first =
+          routing.route(topology::kInvalidChannel, src, dest);
+      for (ChannelId c : first) {
+        if (!reachable_[index(c, dest)]) {
+          reachable_[index(c, dest)] = true;
+          frontier.push_back(c);
+        }
+      }
+      inject_wait_[static_cast<std::size_t>(src) * nodes + dest] =
+          routing.waiting(topology::kInvalidChannel, src, dest);
+      inject_[static_cast<std::size_t>(src) * nodes + dest] = std::move(first);
+    }
+    while (!frontier.empty()) {
+      const ChannelId c = frontier.front();
+      frontier.pop_front();
+      const NodeId head = topo.channel(c).dst;
+      const std::size_t idx = index(c, dest);
+      if (head == dest) continue;  // sink state: consumed
+      succ_[idx] = routing.route(c, head, dest);
+      wait_[idx] = routing.waiting(c, head, dest);
+      for (ChannelId next : succ_[idx]) {
+        if (!reachable_[index(next, dest)]) {
+          reachable_[index(next, dest)] = true;
+          frontier.push_back(next);
+        }
+      }
+    }
+  }
+  for (bool r : reachable_) num_reachable_ += r ? 1 : 0;
+}
+
+void StateGraph::ensure_closure(NodeId dest) const {
+  auto& matrix = closure_[dest];
+  if (!matrix.empty()) return;
+  const std::size_t channels = topo_->num_channels();
+  const std::size_t words = (channels + 63) / 64;
+  matrix.assign(channels * words, 0);
+  // DFS from each reachable channel.  Rows are reused as visited sets.
+  std::vector<ChannelId> stack;
+  for (ChannelId c = 0; c < channels; ++c) {
+    if (!reachable_[index(c, dest)]) continue;
+    std::uint64_t* row = &matrix[c * words];
+    stack.clear();
+    stack.push_back(c);
+    row[c / 64] |= 1ULL << (c % 64);
+    while (!stack.empty()) {
+      const ChannelId u = stack.back();
+      stack.pop_back();
+      for (ChannelId v : succ_[index(u, dest)]) {
+        if (!(row[v / 64] & (1ULL << (v % 64)))) {
+          row[v / 64] |= 1ULL << (v % 64);
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+}
+
+bool StateGraph::reaches(ChannelId from, ChannelId to, NodeId dest) const {
+  if (!reachable_[index(from, dest)]) return false;
+  ensure_closure(dest);
+  const std::size_t channels = topo_->num_channels();
+  const std::size_t words = (channels + 63) / 64;
+  return (closure_[dest][from * words + to / 64] >> (to % 64)) & 1;
+}
+
+bool relation_connected(const StateGraph& states) {
+  const Topology& topo = states.topo();
+  for (NodeId d = 0; d < topo.num_nodes(); ++d) {
+    for (NodeId s = 0; s < topo.num_nodes(); ++s) {
+      if (s != d && states.injection(s, d).empty()) return false;
+    }
+    // Collect sinks, then require every reachable state to reach one.
+    std::vector<ChannelId> sinks;
+    for (ChannelId c = 0; c < topo.num_channels(); ++c) {
+      if (states.reachable(c, d) && topo.channel(c).dst == d) {
+        sinks.push_back(c);
+      }
+    }
+    for (ChannelId c = 0; c < topo.num_channels(); ++c) {
+      if (!states.reachable(c, d)) continue;
+      if (topo.channel(c).dst == d) continue;
+      if (states.successors(c, d).empty()) return false;
+      bool delivers = false;
+      for (ChannelId sink : sinks) {
+        if (states.reaches(c, sink, d)) {
+          delivers = true;
+          break;
+        }
+      }
+      if (!delivers) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::pair<ChannelId, NodeId>> StateGraph::states() const {
+  std::vector<std::pair<ChannelId, NodeId>> out;
+  out.reserve(num_reachable_);
+  const std::size_t channels = topo_->num_channels();
+  for (NodeId dest = 0; dest < topo_->num_nodes(); ++dest) {
+    for (ChannelId c = 0; c < channels; ++c) {
+      if (reachable_[index(c, dest)]) out.emplace_back(c, dest);
+    }
+  }
+  return out;
+}
+
+}  // namespace wormnet::cdg

@@ -1,0 +1,103 @@
+// Reachable channel states.
+//
+// A state is a pair (channel, destination): "some message destined for d can
+// occupy c".  Every dependency graph in the library is built over *reachable*
+// states only, computed as a forward fixpoint from the injection states; this
+// matters for input-dependent relations (R : C x N x N), where naively
+// evaluating the relation on unreachable inputs would create spurious
+// dependencies and false negative verdicts.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "wormnet/routing/routing_function.hpp"
+#include "wormnet/topology/topology.hpp"
+
+namespace wormnet::cdg {
+
+using routing::ChannelSet;
+using routing::RoutingFunction;
+using topology::ChannelId;
+using topology::NodeId;
+using topology::Topology;
+
+class StateGraph {
+ public:
+  StateGraph(const Topology& topo, const RoutingFunction& routing);
+
+  [[nodiscard]] const Topology& topo() const noexcept { return *topo_; }
+  [[nodiscard]] const RoutingFunction& routing() const noexcept {
+    return *routing_;
+  }
+
+  /// True iff some permitted path with destination `dest` uses channel `c`.
+  [[nodiscard]] bool reachable(ChannelId c, NodeId dest) const {
+    return reachable_[index(c, dest)];
+  }
+
+  /// Successor channels of state (c, dest) — the relation evaluated at the
+  /// head of c with input channel c.  Empty if the head is the destination.
+  [[nodiscard]] std::span<const ChannelId> successors(ChannelId c,
+                                                      NodeId dest) const {
+    return succ_[index(c, dest)];
+  }
+
+  /// Waiting channels of state (c, dest) — the subset of successors the
+  /// message may wait for when blocked.
+  [[nodiscard]] std::span<const ChannelId> waiting(ChannelId c,
+                                                   NodeId dest) const {
+    return wait_[index(c, dest)];
+  }
+
+  /// First-hop channels available at source `src` for destination `dest`
+  /// (relation evaluated with the injection input).
+  [[nodiscard]] const ChannelSet& injection(NodeId src, NodeId dest) const {
+    return inject_[src * topo_->num_nodes() + dest];
+  }
+
+  /// Waiting channels for a message still at its source.
+  [[nodiscard]] const ChannelSet& injection_waiting(NodeId src,
+                                                    NodeId dest) const {
+    return inject_wait_[src * topo_->num_nodes() + dest];
+  }
+
+  /// True iff state (from, dest) can reach state (to, dest) along successor
+  /// edges in zero or more steps.  Memoized per destination (the closure is
+  /// computed on first use for that destination).
+  [[nodiscard]] bool reaches(ChannelId from, ChannelId to, NodeId dest) const;
+
+  /// All reachable states, as (channel, dest) pairs (deterministic order).
+  [[nodiscard]] std::vector<std::pair<ChannelId, NodeId>> states() const;
+
+  [[nodiscard]] std::size_t num_reachable_states() const {
+    return num_reachable_;
+  }
+
+ private:
+  [[nodiscard]] std::size_t index(ChannelId c, NodeId dest) const {
+    return static_cast<std::size_t>(dest) * topo_->num_channels() + c;
+  }
+  void ensure_closure(NodeId dest) const;
+
+  const Topology* topo_;
+  const RoutingFunction* routing_;
+  std::vector<bool> reachable_;
+  std::vector<ChannelSet> succ_;
+  std::vector<ChannelSet> wait_;
+  std::vector<ChannelSet> inject_;
+  std::vector<ChannelSet> inject_wait_;
+  std::size_t num_reachable_ = 0;
+
+  // Per-destination transitive closure over channels, built lazily.
+  // closure_[dest] is a C x C bit matrix (row-major, 64-bit words).
+  mutable std::vector<std::vector<std::uint64_t>> closure_;
+};
+
+/// True iff the relation is *connected* (Definition 4's precondition):
+/// every source-destination pair has a first hop, no reachable state is a
+/// dead end, and every reachable state can still reach its destination.
+[[nodiscard]] bool relation_connected(const StateGraph& states);
+
+}  // namespace wormnet::cdg

@@ -1,0 +1,85 @@
+// Routing subfunctions (the R1 of the necessary-and-sufficient condition).
+//
+// R1 restricts the base relation to an *escape* channel set C1:
+//
+//     R1(input, n, d) = R(input, n, d) ∩ C1(d)
+//
+// C1 may be one channel set for all traffic (the common case, matching
+// Duato's 1993 sufficient condition) or vary per destination (the ICPP'94
+// generalization that introduces cross dependencies).
+//
+// For the condition to certify deadlock freedom, R1 must be *connected*:
+// every message, wherever it is, must be able to finish its journey using
+// escape channels alone.  Two facets are checked:
+//   * node connectivity — from every node, every destination is reachable
+//     hopping only on C1(d) channels supplied by R;
+//   * escape-everywhere — every reachable state (c, d) whose head is not d
+//     offers at least one R1 output (so a blocked message always has an
+//     escape to wait on, regardless of how it got where it is).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "wormnet/cdg/states.hpp"
+
+namespace wormnet::cdg {
+
+class Subfunction;
+
+/// Builds a per-destination subfunction from an *escape relation*: C1(d) is
+/// the set of channels the escape relation can use toward destination d
+/// (its reachable channels for d).  This is the ICPP'94 generalization where
+/// each pair gets its own escape set — the situation that makes cross
+/// dependencies necessary.  `escape` must be a sub-relation of the base
+/// relation of `states` (checked per reachable state in debug builds).
+[[nodiscard]] Subfunction per_destination_from_escape(
+    const StateGraph& states, const RoutingFunction& escape,
+    std::string label);
+
+class Subfunction {
+ public:
+  /// Uniform escape set: C1(d) = C1 for every destination.
+  Subfunction(const StateGraph& states, std::vector<bool> c1,
+              std::string label);
+
+  /// Per-destination escape sets: c1_by_dest[d] is the C1 for destination d.
+  /// Introduces cross dependencies in the extended CDG.
+  Subfunction(const StateGraph& states,
+              std::vector<std::vector<bool>> c1_by_dest, std::string label);
+
+  [[nodiscard]] const std::string& label() const noexcept { return label_; }
+  [[nodiscard]] const StateGraph& states() const noexcept { return *states_; }
+  [[nodiscard]] bool per_destination() const noexcept {
+    return !c1_by_dest_.empty();
+  }
+
+  [[nodiscard]] bool in_c1(ChannelId c, NodeId dest) const {
+    return per_destination() ? c1_by_dest_[dest][c] : c1_[c];
+  }
+
+  /// True if c belongs to C1(d) for *some* destination d (cross-dependency
+  /// targets).  O(1) — precomputed union.
+  [[nodiscard]] bool in_any_c1(ChannelId c) const { return c1_union_[c]; }
+
+  /// R1 outputs for state (input channel c at node `current`, destination d).
+  [[nodiscard]] ChannelSet r1(ChannelId input, NodeId current,
+                              NodeId dest) const;
+
+  /// Node connectivity of R1 (see file comment).
+  [[nodiscard]] bool connected() const;
+
+  /// Escape-everywhere over reachable states (see file comment).
+  [[nodiscard]] bool escape_everywhere() const;
+
+  [[nodiscard]] std::size_t channel_count() const;
+
+ private:
+  const StateGraph* states_;
+  std::vector<bool> c1_;                           // uniform form
+  std::vector<std::vector<bool>> c1_by_dest_;      // per-destination form
+  std::vector<bool> c1_union_;
+  std::string label_;
+};
+
+}  // namespace wormnet::cdg

@@ -1,0 +1,39 @@
+// Named routing-algorithm registry: maps algorithm names to factories and
+// knows which algorithms apply to which topology (dimension, wraparound and
+// virtual-channel requirements).  Drives the experiment harnesses and the
+// examples, so every binary spells algorithm names the same way.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "wormnet/routing/routing_function.hpp"
+
+namespace wormnet::core {
+
+using RoutingFactory = std::function<std::unique_ptr<routing::RoutingFunction>(
+    const topology::Topology&)>;
+
+struct AlgorithmEntry {
+  std::string name;
+  std::string description;
+  RoutingFactory make;
+  /// True if the algorithm can be instantiated on this topology.
+  std::function<bool(const topology::Topology&)> applicable;
+};
+
+/// The full registry (stable order).
+[[nodiscard]] const std::vector<AlgorithmEntry>& all_algorithms();
+
+/// Algorithms applicable to `topo`, in registry order.
+[[nodiscard]] std::vector<const AlgorithmEntry*> algorithms_for(
+    const topology::Topology& topo);
+
+/// Instantiates by name; throws std::invalid_argument for unknown names or
+/// inapplicable topologies.
+[[nodiscard]] std::unique_ptr<routing::RoutingFunction> make_algorithm(
+    const std::string& name, const topology::Topology& topo);
+
+}  // namespace wormnet::core

@@ -1,0 +1,30 @@
+#include "wormnet/core/verdict.hpp"
+
+#include <sstream>
+
+namespace wormnet::core {
+
+const char* to_string(Conclusion conclusion) {
+  switch (conclusion) {
+    case Conclusion::kDeadlockFree:
+      return "deadlock-free";
+    case Conclusion::kDeadlockable:
+      return "deadlockable";
+    case Conclusion::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+std::string describe_cycle(const topology::Topology& topo,
+                           const std::vector<topology::ChannelId>& cycle) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < cycle.size(); ++i) {
+    if (i) os << " -> ";
+    os << topo.channel_name(cycle[i]);
+  }
+  if (!cycle.empty()) os << " -> " << topo.channel_name(cycle.front());
+  return os.str();
+}
+
+}  // namespace wormnet::core

@@ -1,0 +1,35 @@
+// Deadlock-freedom verdicts: the result type shared by every verification
+// method (classical acyclic-CDG, Duato's necessary-and-sufficient condition,
+// the channel-waiting-graph conditions, and empirical simulation).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "wormnet/topology/topology.hpp"
+
+namespace wormnet::core {
+
+enum class Conclusion : std::uint8_t {
+  kDeadlockFree,  ///< proven free (or, for simulation, see detail)
+  kDeadlockable,  ///< proven susceptible, usually with a witness
+  kUnknown,       ///< the method could not decide within its budget/scope
+};
+
+[[nodiscard]] const char* to_string(Conclusion conclusion);
+
+struct Verdict {
+  Conclusion conclusion = Conclusion::kUnknown;
+  std::string method;  ///< which checker produced this
+  std::string detail;  ///< human-readable justification
+  /// Witness channels (a dependency/waiting cycle, or the channels of a
+  /// simulated deadlock), when available.
+  std::vector<topology::ChannelId> witness_channels;
+};
+
+/// Renders a witness cycle as "a -> b -> c -> a" using topology labels.
+[[nodiscard]] std::string describe_cycle(
+    const topology::Topology& topo,
+    const std::vector<topology::ChannelId>& cycle);
+
+}  // namespace wormnet::core

@@ -1,0 +1,76 @@
+// The verification façade: one entry point, four methods.
+//
+//   kCdgAcyclic  — classical Dally–Seitz test.  Sufficient for any relation;
+//                  also *necessary* for deterministic relations, so a cyclic
+//                  CDG on a deterministic relation proves deadlockability.
+//   kDuato       — the paper's necessary-and-sufficient condition: search
+//                  for a connected routing subfunction with acyclic extended
+//                  channel dependency graph.  Exact (both directions) for
+//                  input-independent (N x N), coherent, wait-on-any
+//                  relations; sufficient-only outside that scope.
+//   kCwg         — [companion] channel-waiting-graph conditions: for
+//                  wait-specific relations, no True Cycles iff deadlock-free
+//                  (exact); for wait-on-any, search for a True-Cycle-free
+//                  wait-connected CWG'.
+//   kSimulation  — empirical: stress the network in the flit-level simulator
+//                  and watch for wait-for-graph deadlock.  Can only ever
+//                  prove deadlockability.
+#pragma once
+
+#include "wormnet/cdg/duato_checker.hpp"
+#include "wormnet/core/verdict.hpp"
+#include "wormnet/cwg/reduction.hpp"
+#include "wormnet/routing/routing_function.hpp"
+#include "wormnet/sim/simulator.hpp"
+
+namespace wormnet::core {
+
+enum class Method : std::uint8_t {
+  kCdgAcyclic,
+  kDuato,
+  kCwg,
+  kMessageFlow,  ///< Lin-McKinley-Ni backward channel-release fixpoint
+  kSimulation,
+};
+
+[[nodiscard]] const char* to_string(Method method);
+
+/// Default simulation settings for kSimulation: a deadlock-hunting stress
+/// configuration rather than a performance measurement.
+[[nodiscard]] inline sim::SimConfig default_verify_sim() {
+  sim::SimConfig cfg;
+  cfg.injection_rate = 0.45;
+  cfg.packet_length = 16;
+  cfg.warmup_cycles = 0;
+  cfg.measure_cycles = 20000;
+  cfg.drain_cycles = 10000;
+  return cfg;
+}
+
+struct VerifyOptions {
+  Method method = Method::kDuato;
+  cdg::SearchOptions duato;
+  cwg::ReductionOptions cwg;
+  sim::SimConfig sim = default_verify_sim();  ///< used by kSimulation
+};
+
+[[nodiscard]] Verdict verify(const topology::Topology& topo,
+                             const routing::RoutingFunction& routing,
+                             const VerifyOptions& options = {});
+
+/// Runs all four methods and checks they never contradict each other
+/// (a "deadlock-free" proof alongside an observed deadlock is a library bug).
+struct FullReport {
+  Verdict cdg;
+  Verdict duato;
+  Verdict cwg;
+  Verdict message_flow;
+  Verdict simulation;
+  [[nodiscard]] bool consistent() const;
+};
+
+[[nodiscard]] FullReport verify_all(const topology::Topology& topo,
+                                    const routing::RoutingFunction& routing,
+                                    const VerifyOptions& options = {});
+
+}  // namespace wormnet::core

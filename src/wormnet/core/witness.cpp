@@ -1,0 +1,51 @@
+#include "wormnet/core/witness.hpp"
+
+#include <stdexcept>
+
+namespace wormnet::core {
+
+std::vector<sim::ScriptedPacket> build_witness_script(
+    const topology::Topology& topo, const cwg::ClassifiedCycle& cycle,
+    std::uint32_t buffer_depth) {
+  if (cycle.kind != cwg::CycleKind::kTrue || cycle.witness_paths.empty()) {
+    throw std::invalid_argument(
+        "witness construction needs a True Cycle with witness paths");
+  }
+  const std::size_t k = cycle.channels.size();
+  std::vector<sim::ScriptedPacket> script;
+  script.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto& path = cycle.witness_paths[i];
+    sim::ScriptedPacket pkt;
+    pkt.src = topo.channel(path.front()).src;
+    pkt.dst = cycle.witness_dests[i];
+    pkt.inject_cycle = 0;
+    pkt.forced_path = path;
+    // The next hop it will wait for (held by the next message in the cycle).
+    pkt.forced_path.push_back(cycle.channels[(i + 1) % k]);
+    // Long enough to keep every held channel occupied: fill all buffers on
+    // the path plus slack.
+    pkt.length =
+        static_cast<std::uint32_t>((path.size() + 2) * buffer_depth + 4);
+    script.push_back(std::move(pkt));
+  }
+  return script;
+}
+
+sim::SimStats replay_witness(const topology::Topology& topo,
+                             const routing::RoutingFunction& routing,
+                             const cwg::ClassifiedCycle& cycle,
+                             std::uint32_t buffer_depth) {
+  sim::SimConfig config;
+  config.scripted_only = true;
+  config.script = build_witness_script(topo, cycle, buffer_depth);
+  config.buffer_depth = buffer_depth;
+  config.warmup_cycles = 0;
+  config.measure_cycles = 2000;
+  config.drain_cycles = 8000;
+  config.deadlock_check_interval = 16;
+  config.watchdog_cycles = 1000;
+  return sim::run(topo, routing, config);
+}
+
+}  // namespace wormnet::core

@@ -1,0 +1,33 @@
+// Constructive necessity: turn a True Cycle found by the static analysis
+// into a concrete scripted-packet scenario and replay it in the flit-level
+// simulator, reproducing an actual deadlock.
+//
+// This is the executable version of the necessity proofs: each message of
+// the cycle is injected with a forced channel path that makes it occupy its
+// witness channels and then wait for the next message's channel; because the
+// witness paths are pairwise channel-disjoint (the definition of a True
+// Cycle), every message reaches its blocking point, and the wait-for cycle
+// closes.
+#pragma once
+
+#include <vector>
+
+#include "wormnet/cwg/cycle_classify.hpp"
+#include "wormnet/sim/simulator.hpp"
+
+namespace wormnet::core {
+
+/// Builds the scripted packets realizing `cycle` (must be a classified True
+/// Cycle with witness paths).  `buffer_depth` sizes the packets so every
+/// message is long enough to keep all its channels occupied while blocked.
+[[nodiscard]] std::vector<sim::ScriptedPacket> build_witness_script(
+    const topology::Topology& topo, const cwg::ClassifiedCycle& cycle,
+    std::uint32_t buffer_depth);
+
+/// Convenience: builds the script, runs a scripted-only simulation, and
+/// returns its stats (stats.deadlocked is the point).
+[[nodiscard]] sim::SimStats replay_witness(
+    const topology::Topology& topo, const routing::RoutingFunction& routing,
+    const cwg::ClassifiedCycle& cycle, std::uint32_t buffer_depth = 4);
+
+}  // namespace wormnet::core

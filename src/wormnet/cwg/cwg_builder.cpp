@@ -1,0 +1,46 @@
+#include "wormnet/cwg/cwg_builder.hpp"
+
+namespace wormnet::cwg {
+
+Cwg build_cwg(const StateGraph& states) {
+  const auto& topo = states.topo();
+  const std::size_t channels = topo.num_channels();
+  Cwg out;
+  out.graph = graph::Digraph(channels);
+
+  for (NodeId dest = 0; dest < topo.num_nodes(); ++dest) {
+    for (ChannelId held = 0; held < channels; ++held) {
+      if (!states.reachable(held, dest)) continue;
+      // Any state (blocked, dest) the message can reach while still holding
+      // `held` contributes its waiting channels.
+      for (ChannelId blocked = 0; blocked < channels; ++blocked) {
+        if (!states.reachable(blocked, dest)) continue;
+        if (!states.reaches(held, blocked, dest)) continue;
+        for (ChannelId waited : states.waiting(blocked, dest)) {
+          out.graph.add_edge(held, waited);
+          auto& list = out.witnesses[{held, waited}];
+          if (list.empty() || list.back() != dest) list.push_back(dest);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+bool wait_connected(const StateGraph& states) {
+  const auto& topo = states.topo();
+  for (NodeId dest = 0; dest < topo.num_nodes(); ++dest) {
+    for (ChannelId c = 0; c < topo.num_channels(); ++c) {
+      if (!states.reachable(c, dest)) continue;
+      if (topo.channel(c).dst == dest) continue;  // delivered
+      if (states.waiting(c, dest).empty()) return false;
+    }
+    for (NodeId src = 0; src < topo.num_nodes(); ++src) {
+      if (src == dest) continue;
+      if (states.injection_waiting(src, dest).empty()) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace wormnet::cwg

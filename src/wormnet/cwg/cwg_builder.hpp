@@ -1,0 +1,44 @@
+// [companion] The channel waiting graph (CWG).
+//
+// Vertices are channels; there is an edge ci -> cj iff some message, on some
+// permitted path, can occupy ci and later (at the head of any downstream
+// channel it has reached) have cj as a *waiting* channel.  Because arbitrary
+// message lengths are allowed, "later" is any number of hops — the message is
+// simply assumed long enough to still occupy ci.
+//
+// The CWG is a subgraph of the channel dependency graph restricted to the
+// dependencies that can actually participate in a deadlock configuration
+// (messages deadlock on the channels they *wait* for, not on the ones they
+// merely may use), which is why waiting-graph conditions are strictly less
+// restrictive than dependency-graph conditions.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "wormnet/cdg/states.hpp"
+#include "wormnet/graph/digraph.hpp"
+
+namespace wormnet::cwg {
+
+using cdg::StateGraph;
+using topology::ChannelId;
+using topology::NodeId;
+using topology::Topology;
+
+struct Cwg {
+  graph::Digraph graph;
+  /// For each edge, the destinations witnessing it (used by the cycle
+  /// classifier to reconstruct candidate message paths).
+  std::map<std::pair<ChannelId, ChannelId>, std::vector<NodeId>> witnesses;
+};
+
+/// Builds the channel waiting graph over the reachable states.
+[[nodiscard]] Cwg build_cwg(const StateGraph& states);
+
+/// Definition 10: every reachable blocked state (including injection states)
+/// offers at least one waiting channel.  Any deadlock-free algorithm must be
+/// wait-connected.
+[[nodiscard]] bool wait_connected(const StateGraph& states);
+
+}  // namespace wormnet::cwg

@@ -1,0 +1,194 @@
+#include "wormnet/cwg/cycle_classify.hpp"
+
+#include <algorithm>
+
+#include "wormnet/graph/cycles.hpp"
+
+namespace wormnet::cwg {
+namespace {
+
+struct CandidatePath {
+  std::vector<ChannelId> channels;  ///< channels the message occupies
+  NodeId dest = 0;
+};
+
+/// Enumerates held-channel paths for "message occupies `from`, eventually
+/// blocks somewhere with `waited` as a waiting channel, destination `dest`".
+/// Paths are simple in channels (a queue holds one message at a time).
+void enumerate_paths(const StateGraph& states, ChannelId from, ChannelId waited,
+                     NodeId dest, const ClassifyLimits& limits,
+                     std::vector<CandidatePath>& out, bool& truncated) {
+  const std::size_t max_len = limits.max_path_length
+                                  ? limits.max_path_length
+                                  : states.topo().num_channels();
+  std::vector<ChannelId> path{from};
+  std::vector<bool> on_path(states.topo().num_channels(), false);
+  on_path[from] = true;
+
+  // Iterative DFS with explicit child indices.
+  struct Frame {
+    ChannelId channel;
+    std::size_t next = 0;
+  };
+  std::vector<Frame> stack{{from, 0}};
+  while (!stack.empty()) {
+    if (out.size() >= limits.max_paths_per_edge) {
+      truncated = true;
+      return;
+    }
+    Frame& frame = stack.back();
+    if (frame.next == 0) {
+      // First visit: does the message block here waiting for `waited`?
+      const auto waits = states.waiting(frame.channel, dest);
+      if (std::find(waits.begin(), waits.end(), waited) != waits.end()) {
+        CandidatePath cand;
+        cand.channels = path;
+        cand.dest = dest;
+        out.push_back(std::move(cand));
+      }
+    }
+    const auto succs = states.successors(frame.channel, dest);
+    bool descended = false;
+    while (frame.next < succs.size()) {
+      const ChannelId next = succs[frame.next++];
+      if (on_path[next] || path.size() >= max_len) continue;
+      // The message must not already occupy the waited-for channel.
+      if (next == waited) continue;
+      on_path[next] = true;
+      path.push_back(next);
+      stack.push_back(Frame{next, 0});
+      descended = true;
+      break;
+    }
+    if (!descended && frame.next >= succs.size()) {
+      on_path[frame.channel] = false;
+      path.pop_back();
+      stack.pop_back();
+    }
+  }
+}
+
+/// Backtracking search for a pairwise channel-disjoint selection.
+bool select_disjoint(const std::vector<std::vector<CandidatePath>>& options,
+                     const std::vector<std::size_t>& order, std::size_t idx,
+                     std::vector<bool>& used,
+                     std::vector<const CandidatePath*>& chosen,
+                     std::size_t& budget) {
+  if (idx == order.size()) return true;
+  const std::size_t msg = order[idx];
+  for (const CandidatePath& cand : options[msg]) {
+    if (budget == 0) return false;
+    --budget;
+    bool clash = false;
+    for (ChannelId c : cand.channels) {
+      if (used[c]) {
+        clash = true;
+        break;
+      }
+    }
+    if (clash) continue;
+    for (ChannelId c : cand.channels) used[c] = true;
+    chosen[msg] = &cand;
+    if (select_disjoint(options, order, idx + 1, used, chosen, budget)) {
+      return true;
+    }
+    for (ChannelId c : cand.channels) used[c] = false;
+    chosen[msg] = nullptr;
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* to_string(CycleKind kind) {
+  switch (kind) {
+    case CycleKind::kTrue:
+      return "true-cycle";
+    case CycleKind::kFalseResource:
+      return "false-resource";
+    case CycleKind::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+ClassifiedCycle classify_cycle(const StateGraph& states, const Cwg& cwg,
+                               std::span<const graph::Vertex> cycle,
+                               const ClassifyLimits& limits) {
+  ClassifiedCycle result;
+  result.channels.assign(cycle.begin(), cycle.end());
+  const std::size_t k = cycle.size();
+
+  // Candidate paths per message i (holds cycle[i], waits for cycle[i+1]).
+  bool truncated = false;
+  std::vector<std::vector<CandidatePath>> options(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const ChannelId held = cycle[i];
+    const ChannelId waited = cycle[(i + 1) % k];
+    auto witness = cwg.witnesses.find({held, waited});
+    if (witness == cwg.witnesses.end()) {
+      // Not actually a CWG edge; cannot be realized at all.
+      result.kind = CycleKind::kFalseResource;
+      return result;
+    }
+    for (NodeId dest : witness->second) {
+      if (options[i].size() >= limits.max_paths_per_edge) break;
+      enumerate_paths(states, held, waited, dest, limits, options[i],
+                      truncated);
+    }
+    if (options[i].empty()) {
+      // Edge witnessed but no realizable path under the caps.
+      result.kind = truncated ? CycleKind::kUnknown : CycleKind::kFalseResource;
+      return result;
+    }
+  }
+
+  // Fewest-options-first ordering tightens the backtracking.
+  std::vector<std::size_t> order(k);
+  for (std::size_t i = 0; i < k; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return options[a].size() < options[b].size();
+  });
+
+  std::vector<bool> used(states.topo().num_channels(), false);
+  std::vector<const CandidatePath*> chosen(k, nullptr);
+  std::size_t budget = limits.max_assignments;
+  if (select_disjoint(options, order, 0, used, chosen, budget)) {
+    result.kind = CycleKind::kTrue;
+    for (std::size_t i = 0; i < k; ++i) {
+      result.witness_paths.push_back(chosen[i]->channels);
+      result.witness_dests.push_back(chosen[i]->dest);
+    }
+    return result;
+  }
+  result.kind = (truncated || budget == 0) ? CycleKind::kUnknown
+                                           : CycleKind::kFalseResource;
+  return result;
+}
+
+CycleSurvey survey_cycles(const StateGraph& states, const Cwg& cwg,
+                          std::size_t max_cycles,
+                          const ClassifyLimits& limits) {
+  CycleSurvey survey;
+  auto enumeration = graph::enumerate_cycles(cwg.graph, max_cycles);
+  survey.enumeration_truncated = enumeration.truncated;
+  survey.cycles.reserve(enumeration.cycles.size());
+  for (const auto& cycle : enumeration.cycles) {
+    ClassifiedCycle classified = classify_cycle(states, cwg, cycle, limits);
+    switch (classified.kind) {
+      case CycleKind::kTrue:
+        ++survey.true_cycles;
+        break;
+      case CycleKind::kFalseResource:
+        ++survey.false_cycles;
+        break;
+      case CycleKind::kUnknown:
+        ++survey.unknown_cycles;
+        break;
+    }
+    survey.cycles.push_back(std::move(classified));
+  }
+  return survey;
+}
+
+}  // namespace wormnet::cwg

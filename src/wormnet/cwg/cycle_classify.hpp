@@ -1,0 +1,62 @@
+// [companion] True Cycles vs False Resource Cycles (Section 7).
+//
+// A CWG cycle is only deadlock-capable if the messages forming it can occupy
+// pairwise-disjoint channel sets — a *True Cycle*.  If every realization
+// forces two messages to occupy one channel simultaneously, the cycle is a
+// *False Resource Cycle*: the configuration is physically impossible and can
+// be ignored.
+//
+// The classifier implements the paper's channel-disjoint-path matching with
+// backtracking: for each cycle edge vi -> v_{i+1}, enumerate (bounded) the
+// candidate held-channel paths of the message that occupies vi and waits for
+// v_{i+1}; then search for a pairwise channel-disjoint selection.  With
+// untruncated enumeration the answer is exact for suffix-closed relations;
+// truncation or pre-cycle sharing (the case the paper leaves open) yields
+// kUnknown.
+#pragma once
+
+#include <span>
+
+#include "wormnet/cwg/cwg_builder.hpp"
+
+namespace wormnet::cwg {
+
+enum class CycleKind : std::uint8_t { kTrue, kFalseResource, kUnknown };
+
+[[nodiscard]] const char* to_string(CycleKind kind);
+
+struct ClassifyLimits {
+  std::size_t max_paths_per_edge = 64;
+  std::size_t max_path_length = 0;  ///< 0 = number of channels in the network
+  std::size_t max_assignments = 100000;
+};
+
+struct ClassifiedCycle {
+  std::vector<ChannelId> channels;
+  CycleKind kind = CycleKind::kUnknown;
+  /// One realization (per-message held-channel paths) when kind == kTrue.
+  std::vector<std::vector<ChannelId>> witness_paths;
+  /// Destination of each witness message, parallel to witness_paths.
+  std::vector<NodeId> witness_dests;
+};
+
+/// Classifies one cycle (vertex sequence, closing edge implied).
+[[nodiscard]] ClassifiedCycle classify_cycle(
+    const StateGraph& states, const Cwg& cwg,
+    std::span<const graph::Vertex> cycle, const ClassifyLimits& limits = {});
+
+struct CycleSurvey {
+  std::vector<ClassifiedCycle> cycles;
+  std::size_t true_cycles = 0;
+  std::size_t false_cycles = 0;
+  std::size_t unknown_cycles = 0;
+  bool enumeration_truncated = false;
+};
+
+/// Enumerates (capped) and classifies every elementary CWG cycle.
+[[nodiscard]] CycleSurvey survey_cycles(const StateGraph& states,
+                                        const Cwg& cwg,
+                                        std::size_t max_cycles = 10000,
+                                        const ClassifyLimits& limits = {});
+
+}  // namespace wormnet::cwg

@@ -1,0 +1,204 @@
+#include "wormnet/cwg/reduction.hpp"
+
+#include <set>
+
+namespace wormnet::cwg {
+namespace {
+
+using Edge = std::pair<ChannelId, ChannelId>;
+
+/// State-wise wait-connectivity under a set of removed waiting edges.
+///
+/// A blocked state (c, d) is OK iff for EVERY channel set the message could
+/// simultaneously hold when blocked there — i.e. every simple path in the
+/// state graph ending at c — SOME waiting channel w of (c, d) keeps all its
+/// (held, w) edges.  Equivalently, (c, d) fails iff there exists a held-path
+/// all of whose waiting options have been removed for at least one held
+/// channel.  We search for such a "bad" path by walking the state graph
+/// backward from c, tracking the set of still-alive waiting options as a
+/// bitmask, memoizing on (channel, mask).
+class WaitConnectivity {
+ public:
+  WaitConnectivity(const StateGraph& states, const std::set<Edge>& removed)
+      : states_(states), removed_(removed),
+        channels_(states.topo().num_channels()) {}
+
+  [[nodiscard]] bool holds() {
+    const auto& topo = states_.topo();
+    for (NodeId dest = 0; dest < topo.num_nodes(); ++dest) {
+      // Backward adjacency of the state graph for this destination.
+      preds_.assign(channels_, {});
+      for (ChannelId h = 0; h < channels_; ++h) {
+        if (!states_.reachable(h, dest)) continue;
+        for (ChannelId next : states_.successors(h, dest)) {
+          preds_[next].push_back(h);
+        }
+      }
+      for (ChannelId c = 0; c < channels_; ++c) {
+        if (!states_.reachable(c, dest)) continue;
+        if (topo.channel(c).dst == dest) continue;
+        const auto waits = states_.waiting(c, dest);
+        if (waits.empty()) return false;
+        if (waits.size() > 63) continue;  // defensive; never in practice
+        if (bad_path_exists(c, dest, waits)) return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  /// True iff some simple held-path ending at `c` kills every waiting
+  /// option in `waits` for destination `dest`.
+  bool bad_path_exists(ChannelId c, NodeId dest,
+                       std::span<const ChannelId> waits) {
+    const std::uint64_t full = (waits.size() == 64)
+                                   ? ~0ULL
+                                   : ((1ULL << waits.size()) - 1);
+    steps_ = 0;
+    on_path_.assign(channels_, false);
+    return dfs(c, alive_after(full, c, waits), dest, waits);
+  }
+
+  [[nodiscard]] std::uint64_t alive_after(std::uint64_t alive, ChannelId held,
+                                          std::span<const ChannelId> waits) const {
+    for (std::size_t i = 0; i < waits.size(); ++i) {
+      if ((alive >> i) & 1) {
+        if (removed_.count(Edge{held, waits[i]})) alive &= ~(1ULL << i);
+      }
+    }
+    return alive;
+  }
+
+  bool dfs(ChannelId at, std::uint64_t alive, NodeId dest,
+           std::span<const ChannelId> waits) {
+    if (alive == 0) return true;  // bad path found
+    // Conservative cap: if the exhaustive path search becomes too large,
+    // report "bad path" so the caller refuses the removal (sound: the final
+    // CWG' is never incorrectly declared wait-connected).
+    if (++steps_ > kStepBudget) return true;
+    // Prune: if no removed edge can kill any still-alive waiting option via
+    // a channel not already on the path, alive can never reach zero.
+    bool killer_available = false;
+    for (const Edge& e : removed_) {
+      if (on_path_[e.first]) continue;
+      for (std::size_t i = 0; i < waits.size() && !killer_available; ++i) {
+        if (((alive >> i) & 1) && waits[i] == e.second) {
+          killer_available = true;
+        }
+      }
+      if (killer_available) break;
+    }
+    if (!killer_available) return false;
+    on_path_[at] = true;
+    for (ChannelId h : preds_[at]) {
+      if (on_path_[h]) continue;  // simple paths only
+      if (dfs(h, alive_after(alive, h, waits), dest, waits)) {
+        on_path_[at] = false;
+        return true;
+      }
+    }
+    on_path_[at] = false;
+    return false;
+  }
+
+  static constexpr std::size_t kStepBudget = 200000;
+
+  const StateGraph& states_;
+  const std::set<Edge>& removed_;
+  std::size_t channels_;
+  std::vector<std::vector<ChannelId>> preds_;
+  std::size_t steps_ = 0;
+  std::vector<bool> on_path_;
+};
+
+bool wait_connected_under(const StateGraph& states,
+                          const std::set<Edge>& removed) {
+  WaitConnectivity checker(states, removed);
+  return checker.holds();
+}
+
+struct Solver {
+  const StateGraph& states;
+  const std::vector<const ClassifiedCycle*>& cycles;
+  std::set<Edge> removed;
+  std::vector<Edge> removal_log;
+  std::size_t backtracks = 0;
+  std::size_t budget;
+
+  [[nodiscard]] static std::vector<Edge> edges_of(
+      const ClassifiedCycle& cycle) {
+    std::vector<Edge> edges;
+    const auto& ch = cycle.channels;
+    for (std::size_t i = 0; i < ch.size(); ++i) {
+      edges.emplace_back(ch[i], ch[(i + 1) % ch.size()]);
+    }
+    return edges;
+  }
+
+  bool solve(std::size_t idx) {
+    if (idx == cycles.size()) return true;
+    const auto edges = edges_of(*cycles[idx]);
+    // Already broken by an earlier removal?
+    for (const Edge& e : edges) {
+      if (removed.count(e)) return solve(idx + 1);
+    }
+    for (const Edge& e : edges) {
+      if (budget == 0) return false;
+      --budget;
+      removed.insert(e);
+      if (wait_connected_under(states, removed)) {
+        removal_log.push_back(e);
+        if (solve(idx + 1)) return true;
+        removal_log.pop_back();
+      }
+      removed.erase(e);
+      ++backtracks;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+ReductionResult reduce_cwg(const StateGraph& states, const Cwg& cwg,
+                           const ReductionOptions& options) {
+  const CycleSurvey survey =
+      survey_cycles(states, cwg, options.max_cycles, options.classify);
+  return reduce_cwg(states, cwg, survey, options);
+}
+
+ReductionResult reduce_cwg(const StateGraph& states, const Cwg& cwg,
+                           const CycleSurvey& survey,
+                           const ReductionOptions& options) {
+  ReductionResult result;
+  if (survey.enumeration_truncated) {
+    result.budget_exhausted = true;
+    return result;
+  }
+
+  // Unknown cycles must be resolved too — they might be True.
+  std::vector<const ClassifiedCycle*> must_resolve;
+  for (const auto& cycle : survey.cycles) {
+    if (cycle.kind != CycleKind::kFalseResource) {
+      must_resolve.push_back(&cycle);
+    }
+  }
+
+  Solver solver{states, must_resolve, {}, {}, 0, options.backtrack_budget};
+  if (!solver.solve(0)) {
+    result.backtracks = solver.backtracks;
+    result.budget_exhausted = solver.budget == 0;
+    return result;
+  }
+
+  result.success = true;
+  result.removed = std::move(solver.removal_log);
+  result.backtracks = solver.backtracks;
+  result.reduced = cwg.graph;  // copy, then prune
+  for (const auto& [from, to] : result.removed) {
+    result.reduced.remove_edge(from, to);
+  }
+  return result;
+}
+
+}  // namespace wormnet::cwg

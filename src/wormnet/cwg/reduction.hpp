@@ -1,0 +1,54 @@
+// [companion] CWG -> CWG' reduction (Section 8).
+//
+// For algorithms whose blocked messages may wait on ANY candidate channel,
+// an acyclic CWG is sufficient but not necessary: it suffices that some
+// subgraph CWG' exists such that the algorithm is still wait-connected when
+// messages only count the waiting options that survive in CWG', and CWG' has
+// no True Cycles.  The reduction searches for such a subgraph by removing
+// waiting edges one True Cycle at a time, backtracking when a removal would
+// break wait-connectivity.
+//
+// Wait-connectivity under removals is checked state-wise: every reachable
+// blocked state (c, d) must retain a waiting channel w such that the edge
+// (h, w) survives for EVERY channel h the message could still hold (every h
+// with a state-graph path h ->* c for destination d).  This is the
+// edge-granularity reading of the paper's procedure.
+#pragma once
+
+#include <vector>
+
+#include "wormnet/cwg/cycle_classify.hpp"
+
+namespace wormnet::cwg {
+
+struct ReductionResult {
+  bool success = false;
+  /// Removed waiting edges, in removal order (the "E_r" log of the paper).
+  std::vector<std::pair<ChannelId, ChannelId>> removed;
+  /// The surviving subgraph (valid when success).
+  graph::Digraph reduced;
+  std::size_t backtracks = 0;
+  bool budget_exhausted = false;
+};
+
+struct ReductionOptions {
+  std::size_t max_cycles = 10000;
+  std::size_t backtrack_budget = 10000;
+  ClassifyLimits classify;
+};
+
+/// Attempts to reduce the CWG to a True-Cycle-free, wait-connected CWG'.
+/// On success the algorithm is deadlock-free under wait-on-any semantics
+/// (companion Theorem 3); on failure with the search exhausted, it is not.
+[[nodiscard]] ReductionResult reduce_cwg(const StateGraph& states,
+                                         const Cwg& cwg,
+                                         const ReductionOptions& options = {});
+
+/// Variant reusing an already-computed cycle survey (avoids re-enumerating
+/// and re-classifying when the caller surveyed first).
+[[nodiscard]] ReductionResult reduce_cwg(const StateGraph& states,
+                                         const Cwg& cwg,
+                                         const CycleSurvey& survey,
+                                         const ReductionOptions& options);
+
+}  // namespace wormnet::cwg

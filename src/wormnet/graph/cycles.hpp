@@ -1,0 +1,29 @@
+// Enumeration of elementary (simple) directed cycles — Johnson's algorithm.
+//
+// The CWG reduction algorithm (companion module) and the cycle classifier need
+// the explicit list of elementary cycles, not just an acyclicity verdict.
+// Cycle counts can be exponential, so enumeration is capped; callers must
+// check `truncated`.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "wormnet/graph/digraph.hpp"
+
+namespace wormnet::graph {
+
+struct CycleEnumeration {
+  /// Each cycle is a vertex sequence v0 -> v1 -> ... -> v0 (closing edge
+  /// implied), rotated so the smallest vertex id comes first (canonical form).
+  std::vector<std::vector<Vertex>> cycles;
+  /// True if enumeration stopped at `max_cycles` before exhausting the graph.
+  bool truncated = false;
+};
+
+/// Enumerates elementary cycles of `g`, up to `max_cycles` of them.
+/// Complexity O((V + E) * (#cycles + 1)) — Johnson 1975.
+[[nodiscard]] CycleEnumeration enumerate_cycles(const Digraph& g,
+                                                std::size_t max_cycles = 10000);
+
+}  // namespace wormnet::graph

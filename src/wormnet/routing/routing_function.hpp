@@ -1,0 +1,115 @@
+// The routing-relation framework (Definitions 2–4 of the theory).
+//
+// A routing relation maps (input channel, current node, destination) to the
+// set of output channels the message may use next.  Two forms exist in the
+// literature and both are supported:
+//
+//   * R : N x N -> P(C)       (input-independent; Duato's ICPP'94 necessary-
+//                              and-sufficient condition applies to this form)
+//   * R : C x N x N -> P(C)   (input-dependent; the general form)
+//
+// `waiting()` returns the channels the message is allowed to *wait* for when
+// everything in `route()` is busy; by default that is the whole candidate
+// set.  The distinction between channels a message may merely *use* and
+// channels it may *wait on* is what the channel-waiting-graph machinery
+// (companion module) exploits.
+//
+// Candidate sets are returned in *preference order*: simulators that pick the
+// first free channel get the algorithm's intended bias (e.g. adaptive
+// channels before escape channels).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "wormnet/topology/topology.hpp"
+
+namespace wormnet::routing {
+
+using topology::ChannelId;
+using topology::Direction;
+using topology::NodeId;
+using topology::Topology;
+using topology::kInvalidChannel;
+
+/// Small candidate set; networks here have degree <= a few dozen channels.
+using ChannelSet = std::vector<ChannelId>;
+
+enum class RelationForm : std::uint8_t {
+  kNodeDest,         ///< R : N x N -> P(C)
+  kChannelNodeDest,  ///< R : C x N x N -> P(C)
+};
+
+/// How a blocked message waits (Section-6 dichotomy of the theory):
+/// kAnyOf  — the message re-arbitrates over its whole waiting set each cycle;
+/// kSpecific — the message commits to one waiting channel until it frees.
+enum class WaitMode : std::uint8_t { kAnyOf, kSpecific };
+
+class RoutingFunction {
+ public:
+  explicit RoutingFunction(const Topology& topo) : topo_(&topo) {}
+  virtual ~RoutingFunction() = default;
+
+  RoutingFunction(const RoutingFunction&) = delete;
+  RoutingFunction& operator=(const RoutingFunction&) = delete;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual RelationForm form() const {
+    return RelationForm::kNodeDest;
+  }
+  [[nodiscard]] virtual WaitMode wait_mode() const { return WaitMode::kAnyOf; }
+
+  /// Output channels the message may use next.  `input` is kInvalidChannel
+  /// when the message is still at its source.  Callers guarantee
+  /// current != dest.  Must return a non-empty set for every reachable state
+  /// of a well-formed algorithm (checked by the connectivity property test).
+  [[nodiscard]] virtual ChannelSet route(ChannelId input, NodeId current,
+                                         NodeId dest) const = 0;
+
+  /// Channels the message may wait for when all of route() are busy.
+  /// Must be a subset of route().  Default: the whole set (wait-on-any).
+  [[nodiscard]] virtual ChannelSet waiting(ChannelId input, NodeId current,
+                                           NodeId dest) const {
+    return route(input, current, dest);
+  }
+
+  /// True if the relation only ever supplies channels on minimal paths.
+  [[nodiscard]] virtual bool minimal() const { return true; }
+
+  [[nodiscard]] const Topology& topo() const noexcept { return *topo_; }
+
+ protected:
+  const Topology* topo_;
+};
+
+// ---------------------------------------------------------------------------
+// Helpers shared by the cube-family algorithms.
+// ---------------------------------------------------------------------------
+
+/// Directions that bring a message strictly closer to `dest` in `dim`.
+/// Mesh dimensions yield at most one direction; torus dimensions can yield
+/// both when the two ways around the ring tie.  Empty if already aligned.
+[[nodiscard]] std::vector<Direction> productive_dirs(const Topology& topo,
+                                                     NodeId current,
+                                                     NodeId dest,
+                                                     std::size_t dim);
+
+/// The single deterministic productive direction used by dimension-ordered
+/// algorithms: minimal, ties broken toward kPos.
+[[nodiscard]] Direction preferred_dir(const Topology& topo, NodeId current,
+                                      NodeId dest, std::size_t dim);
+
+/// Appends every virtual channel of the (current -> neighbor(dim,dir)) link
+/// whose vc index lies in [vc_lo, vc_hi] to `out`.
+void append_link_vcs(const Topology& topo, NodeId current, std::size_t dim,
+                     Direction dir, std::uint8_t vc_lo, std::uint8_t vc_hi,
+                     ChannelSet& out);
+
+/// All channels on minimal paths toward dest with vc in [vc_lo, vc_hi].
+[[nodiscard]] ChannelSet minimal_channels(const Topology& topo, NodeId current,
+                                          NodeId dest, std::uint8_t vc_lo,
+                                          std::uint8_t vc_hi);
+
+}  // namespace wormnet::routing

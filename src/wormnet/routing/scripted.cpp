@@ -1,0 +1,39 @@
+#include "wormnet/routing/scripted.hpp"
+
+namespace wormnet::routing {
+
+TableRouting::TableRouting(const Topology& topo, std::string label,
+                           std::map<Key, ChannelSet> table, RelationForm form,
+                           WaitMode wait)
+    : RoutingFunction(topo), label_(std::move(label)), table_(std::move(table)),
+      form_(form), wait_(wait) {}
+
+ChannelSet TableRouting::route(ChannelId input, NodeId current,
+                               NodeId dest) const {
+  if (form_ == RelationForm::kChannelNodeDest) {
+    auto exact = table_.find(Key{input, current, dest});
+    if (exact != table_.end()) return exact->second;
+  }
+  auto wildcard = table_.find(Key{kInvalidChannel, current, dest});
+  if (wildcard != table_.end()) return wildcard->second;
+  return {};
+}
+
+void TableRouting::set_waiting(std::map<Key, ChannelSet> waiting_table) {
+  waiting_ = std::move(waiting_table);
+}
+
+ChannelSet TableRouting::waiting(ChannelId input, NodeId current,
+                                 NodeId dest) const {
+  if (!waiting_.empty()) {
+    if (form_ == RelationForm::kChannelNodeDest) {
+      auto exact = waiting_.find(Key{input, current, dest});
+      if (exact != waiting_.end()) return exact->second;
+    }
+    auto wildcard = waiting_.find(Key{kInvalidChannel, current, dest});
+    if (wildcard != waiting_.end()) return wildcard->second;
+  }
+  return route(input, current, dest);
+}
+
+}  // namespace wormnet::routing

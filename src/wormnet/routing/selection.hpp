@@ -1,0 +1,37 @@
+// Selection functions (Definition 3): given the candidate output channels of
+// the routing relation and their availability, pick the one to acquire.
+//
+// Selection never affects deadlock freedom under wait-on-any semantics (any
+// candidate is acceptable); it affects performance and, for wait-specific
+// algorithms, which waiting channel the message commits to.
+#pragma once
+
+#include <cstdint>
+
+#include "wormnet/routing/routing_function.hpp"
+#include "wormnet/util/rng.hpp"
+
+namespace wormnet::routing {
+
+enum class SelectionPolicy : std::uint8_t {
+  /// First free candidate in the relation's preference order (adaptive
+  /// channels before escape channels, productive before misroutes).
+  kInOrder,
+  /// Uniformly random free candidate — decorrelates traffic.
+  kRandom,
+  /// Free candidate whose downstream buffer has the most credits — a
+  /// BookSim-style congestion-aware selection.
+  kMostCredits,
+};
+
+[[nodiscard]] const char* to_string(SelectionPolicy policy);
+
+/// Returns the index into `candidates` of the selected channel, or -1 if none
+/// is free.  `free` and `credits` are parallel to `candidates`.
+[[nodiscard]] int select_channel(SelectionPolicy policy,
+                                 const ChannelSet& candidates,
+                                 const std::vector<bool>& free,
+                                 const std::vector<std::uint32_t>& credits,
+                                 util::Xoshiro256& rng);
+
+}  // namespace wormnet::routing

@@ -1,0 +1,101 @@
+#include "wormnet/routing/turn_model.hpp"
+
+#include <functional>
+#include <stdexcept>
+
+namespace wormnet::routing {
+namespace {
+
+void require_mesh(const Topology& topo, std::size_t dims_exact) {
+  if (!topo.is_cube()) throw std::invalid_argument("turn model needs a mesh");
+  if (dims_exact != 0 && topo.num_dims() != dims_exact) {
+    throw std::invalid_argument("this turn-model variant is 2-D only");
+  }
+  for (std::size_t d = 0; d < topo.num_dims(); ++d) {
+    if (topo.cube().wraps[d]) {
+      throw std::invalid_argument("turn model is defined for meshes, not tori");
+    }
+  }
+}
+
+/// All VCs of every productive channel, with an optional direction filter.
+ChannelSet productive(const Topology& topo, NodeId current, NodeId dest,
+                      const std::function<bool(std::size_t, Direction)>& keep) {
+  ChannelSet out;
+  const std::uint8_t vmax = topo.cube().vcs - 1;
+  for (std::size_t dim = 0; dim < topo.num_dims(); ++dim) {
+    for (Direction dir : productive_dirs(topo, current, dest, dim)) {
+      if (keep(dim, dir)) append_link_vcs(topo, current, dim, dir, 0, vmax, out);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+WestFirst::WestFirst(const Topology& topo) : RoutingFunction(topo) {
+  require_mesh(topo, 2);
+}
+
+ChannelSet WestFirst::route(ChannelId /*input*/, NodeId current,
+                            NodeId dest) const {
+  const bool needs_west = topo_->coord(dest, 0) < topo_->coord(current, 0);
+  if (needs_west) {
+    // West exclusively until dim0 is resolved westward.
+    return productive(*topo_, current, dest, [](std::size_t dim, Direction dir) {
+      return dim == 0 && dir == Direction::kNeg;
+    });
+  }
+  return productive(*topo_, current, dest,
+                    [](std::size_t, Direction) { return true; });
+}
+
+NorthLast::NorthLast(const Topology& topo) : RoutingFunction(topo) {
+  require_mesh(topo, 2);
+}
+
+ChannelSet NorthLast::route(ChannelId /*input*/, NodeId current,
+                            NodeId dest) const {
+  // Adaptive among everything except north; north only when it is the sole
+  // remaining productive direction.
+  ChannelSet out =
+      productive(*topo_, current, dest, [](std::size_t dim, Direction dir) {
+        return !(dim == 1 && dir == Direction::kPos);
+      });
+  if (out.empty()) {
+    out = productive(*topo_, current, dest, [](std::size_t dim, Direction dir) {
+      return dim == 1 && dir == Direction::kPos;
+    });
+  }
+  return out;
+}
+
+NegativeFirst::NegativeFirst(const Topology& topo, bool nonminimal)
+    : RoutingFunction(topo), nonminimal_(nonminimal) {
+  require_mesh(topo, 0);
+}
+
+ChannelSet NegativeFirst::route(ChannelId /*input*/, NodeId current,
+                                NodeId dest) const {
+  ChannelSet out =
+      productive(*topo_, current, dest, [](std::size_t, Direction dir) {
+        return dir == Direction::kNeg;
+      });
+  if (nonminimal_ && !out.empty()) {
+    // Negative phase: any negative channel may be used, needed or not
+    // (productive ones stay first in preference order).
+    const std::uint8_t vmax = topo_->cube().vcs - 1;
+    for (std::size_t dim = 0; dim < topo_->num_dims(); ++dim) {
+      if (topo_->coord(dest, dim) < topo_->coord(current, dim)) continue;
+      append_link_vcs(*topo_, current, dim, Direction::kNeg, 0, vmax, out);
+    }
+  }
+  if (out.empty()) {
+    out = productive(*topo_, current, dest, [](std::size_t, Direction dir) {
+      return dir == Direction::kPos;
+    });
+  }
+  return out;
+}
+
+}  // namespace wormnet::routing

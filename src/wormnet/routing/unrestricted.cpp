@@ -1,0 +1,19 @@
+#include "wormnet/routing/unrestricted.hpp"
+
+#include <stdexcept>
+
+namespace wormnet::routing {
+
+UnrestrictedMinimal::UnrestrictedMinimal(const Topology& topo)
+    : RoutingFunction(topo) {
+  if (!topo.is_cube()) {
+    throw std::invalid_argument("UnrestrictedMinimal needs a cube topology");
+  }
+}
+
+ChannelSet UnrestrictedMinimal::route(ChannelId /*input*/, NodeId current,
+                                      NodeId dest) const {
+  return minimal_channels(*topo_, current, dest, 0, topo_->cube().vcs - 1);
+}
+
+}  // namespace wormnet::routing

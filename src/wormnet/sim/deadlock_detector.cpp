@@ -1,0 +1,84 @@
+#include "wormnet/sim/deadlock_detector.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace wormnet::sim {
+
+std::optional<DeadlockInfo> find_wait_cycle(
+    const std::vector<BlockedPacket>& blocked,
+    const std::function<PacketId(ChannelId)>& owner_of, std::uint64_t cycle) {
+  if (blocked.empty()) return std::nullopt;
+
+  // Greatest-fixpoint knot detection: keep only packets whose EVERY waiting
+  // channel is owned by another kept packet.  Any packet with a free channel
+  // or a channel held by a progressing (non-blocked) packet can eventually
+  // move, so it cannot be part of a deadlock.  A non-empty fixpoint is a
+  // genuine, permanent deadlock under wormhole channel release rules.
+  std::unordered_map<PacketId, const BlockedPacket*> in_set;
+  in_set.reserve(blocked.size());
+  for (const auto& b : blocked) in_set.emplace(b.packet, &b);
+
+  bool changed = true;
+  while (changed && !in_set.empty()) {
+    changed = false;
+    for (auto it = in_set.begin(); it != in_set.end();) {
+      bool all_held_inside = true;
+      for (ChannelId c : it->second->waiting_on) {
+        const PacketId owner = owner_of(c);
+        if (owner == kNoPacket || owner == it->first ||
+            !in_set.count(owner)) {
+          // Waiting on itself counts as resolvable only if... it does not:
+          // a packet waiting on a channel it owns can never proceed, which
+          // is the n = 1 deadlock; keep those in the set.
+          if (owner == it->first) continue;
+          all_held_inside = false;
+          break;
+        }
+      }
+      if (!all_held_inside) {
+        it = in_set.erase(it);
+        changed = true;
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (in_set.empty()) return std::nullopt;
+
+  // Extract one cycle for the report: follow "first waiting channel held by
+  // a set member" edges until a packet repeats.
+  DeadlockInfo info;
+  info.cycle = cycle;
+  std::unordered_map<PacketId, std::size_t> position;
+  PacketId current = in_set.begin()->first;
+  std::vector<std::pair<PacketId, ChannelId>> walk;
+  while (!position.count(current)) {
+    position[current] = walk.size();
+    const BlockedPacket* bp = in_set.at(current);
+    PacketId next = kNoPacket;
+    ChannelId via = kInvalidChannel;
+    for (ChannelId c : bp->waiting_on) {
+      const PacketId owner = owner_of(c);
+      if (owner == current) {  // self-deadlock
+        next = current;
+        via = c;
+        break;
+      }
+      if (owner != kNoPacket && in_set.count(owner)) {
+        next = owner;
+        via = c;
+        break;
+      }
+    }
+    walk.emplace_back(current, via);
+    current = next;
+  }
+  for (std::size_t i = position[current]; i < walk.size(); ++i) {
+    info.packet_cycle.push_back(walk[i].first);
+    info.blocked_channels.push_back(walk[i].second);
+  }
+  return info;
+}
+
+}  // namespace wormnet::sim

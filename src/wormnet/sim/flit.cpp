@@ -1,0 +1,3 @@
+// Intentionally empty: flit.hpp is header-only; this TU pins the header into
+// the build so it is compiled (and its includes checked) on every build.
+#include "wormnet/sim/flit.hpp"

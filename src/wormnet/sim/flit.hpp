@@ -1,0 +1,58 @@
+// Flit and packet bookkeeping for the wormhole simulator.
+//
+// Messages are divided into packets; the header flit carries the routing
+// information and the data flits follow it in pipeline (wormhole switching).
+// Each packet occupies a contiguous chain of virtual channels from the time
+// the header acquires a channel until its tail flit leaves it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "wormnet/topology/topology.hpp"
+
+namespace wormnet::sim {
+
+using topology::ChannelId;
+using topology::NodeId;
+using topology::kInvalidChannel;
+
+using PacketId = std::uint32_t;
+inline constexpr PacketId kNoPacket = static_cast<PacketId>(-1);
+
+struct Flit {
+  PacketId packet = kNoPacket;
+  bool head = false;
+  bool tail = false;
+};
+
+struct Packet {
+  PacketId id = kNoPacket;
+  NodeId src = 0;
+  NodeId dst = 0;
+  std::uint32_t length = 0;  ///< total flits, including head and tail
+
+  std::uint64_t created = 0;         ///< cycle the packet entered the source queue
+  std::uint64_t first_injected = 0;  ///< cycle the head flit entered the network
+  std::uint64_t finished = 0;        ///< cycle the tail flit was consumed
+
+  std::uint32_t flits_injected = 0;
+  std::uint32_t flits_ejected = 0;
+  bool injecting = false;  ///< head has acquired its first channel
+  bool done = false;
+  bool measured = false;  ///< created inside the measurement window
+
+  /// Witness replay: exact channel sequence the packet must take (empty for
+  /// normal routed packets).  forced_next indexes the next channel to claim.
+  std::vector<ChannelId> forced_path;
+  std::size_t forced_next = 0;
+
+  /// Wait-specific semantics: the channel a blocked header committed to.
+  ChannelId committed_wait = kInvalidChannel;
+
+  /// Channels acquired so far, in order (head of the chain last).  Used by
+  /// the deadlock reporter and by tests asserting path legality.
+  std::vector<ChannelId> path;
+};
+
+}  // namespace wormnet::sim

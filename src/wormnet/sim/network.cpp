@@ -1,0 +1,21 @@
+#include "wormnet/sim/network.hpp"
+
+#include <map>
+
+namespace wormnet::sim {
+
+NetworkState::NetworkState(const Topology& topo)
+    : vcs_(topo.num_channels()), link_of_(topo.num_channels(), 0),
+      eject_rr_(topo.num_nodes(), 0) {
+  std::map<std::pair<NodeId, NodeId>, std::size_t> link_ids;
+  for (ChannelId c = 0; c < topo.num_channels(); ++c) {
+    const auto& ch = topo.channel(c);
+    const auto key = std::make_pair(ch.src, ch.dst);
+    auto [it, inserted] = link_ids.try_emplace(key, links_.size());
+    if (inserted) links_.emplace_back();
+    links_[it->second].vcs.push_back(c);
+    link_of_[c] = static_cast<std::uint32_t>(it->second);
+  }
+}
+
+}  // namespace wormnet::sim

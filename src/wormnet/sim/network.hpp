@@ -1,0 +1,58 @@
+// Per-channel simulator state and physical-link arbitration groups.
+//
+// Virtual channels that share a physical link (same src -> dst node pair)
+// compete for its bandwidth: one flit per link per cycle, round-robin.
+// Ejection is one flit per node per cycle, also round-robin.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "wormnet/sim/flit.hpp"
+#include "wormnet/topology/topology.hpp"
+
+namespace wormnet::sim {
+
+using topology::Topology;
+
+/// Dynamic state of one virtual channel (its flit queue sits at the input of
+/// the downstream router).
+struct VcState {
+  std::deque<Flit> queue;
+  PacketId owner = kNoPacket;      ///< packet holding the channel
+  ChannelId out = kInvalidChannel; ///< downstream channel assigned to owner
+  bool out_assigned = false;
+  bool out_eject = false;          ///< owner terminates at this router
+};
+
+/// All virtual channels multiplexed over one physical link.
+struct LinkGroup {
+  std::vector<ChannelId> vcs;
+  std::uint32_t rr = 0;  ///< round-robin pointer (index into candidates)
+};
+
+class NetworkState {
+ public:
+  explicit NetworkState(const Topology& topo);
+
+  [[nodiscard]] VcState& vc(ChannelId c) { return vcs_[c]; }
+  [[nodiscard]] const VcState& vc(ChannelId c) const { return vcs_[c]; }
+
+  [[nodiscard]] std::size_t link_index(ChannelId c) const {
+    return link_of_[c];
+  }
+  [[nodiscard]] std::vector<LinkGroup>& links() { return links_; }
+
+  [[nodiscard]] std::uint32_t& eject_rr(NodeId node) { return eject_rr_[node]; }
+
+  [[nodiscard]] std::size_t num_channels() const { return vcs_.size(); }
+
+ private:
+  std::vector<VcState> vcs_;
+  std::vector<LinkGroup> links_;
+  std::vector<std::uint32_t> link_of_;
+  std::vector<std::uint32_t> eject_rr_;
+};
+
+}  // namespace wormnet::sim

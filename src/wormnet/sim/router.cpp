@@ -1,0 +1,85 @@
+#include "wormnet/sim/router.hpp"
+
+namespace wormnet::sim {
+
+RouteAllocator::RouteAllocator(const Topology& topo,
+                               const RoutingFunction& routing,
+                               SelectionPolicy selection,
+                               WaitOverride wait_override,
+                               std::uint32_t buffer_depth, std::uint64_t seed)
+    : topo_(&topo), routing_(&routing), selection_(selection),
+      wait_override_(wait_override), buffer_depth_(buffer_depth), rng_(seed) {}
+
+WaitMode RouteAllocator::effective_wait_mode() const {
+  switch (wait_override_) {
+    case WaitOverride::kFollowRouting:
+      return routing_->wait_mode();
+    case WaitOverride::kForceAny:
+      return WaitMode::kAnyOf;
+    case WaitOverride::kForceSpecific:
+      return WaitMode::kSpecific;
+  }
+  return WaitMode::kAnyOf;
+}
+
+routing::ChannelSet RouteAllocator::candidates(const Packet& pkt,
+                                               ChannelId input,
+                                               NodeId current) const {
+  if (!pkt.forced_path.empty()) {
+    if (pkt.forced_next < pkt.forced_path.size()) {
+      return {pkt.forced_path[pkt.forced_next]};
+    }
+    return {};
+  }
+  if (pkt.committed_wait != kInvalidChannel) {
+    return {pkt.committed_wait};
+  }
+  return routing_->route(input, current, pkt.dst);
+}
+
+std::optional<ChannelId> RouteAllocator::attempt(Packet& pkt, ChannelId input,
+                                                 NodeId current,
+                                                 NetworkState& net) {
+  const routing::ChannelSet cands = candidates(pkt, input, current);
+  if (cands.empty()) return std::nullopt;
+
+  std::vector<bool> free(cands.size());
+  std::vector<std::uint32_t> credits(cands.size());
+  for (std::size_t i = 0; i < cands.size(); ++i) {
+    const VcState& vc = net.vc(cands[i]);
+    free[i] = vc.owner == kNoPacket;
+    credits[i] = buffer_depth_ -
+                 static_cast<std::uint32_t>(
+                     std::min<std::size_t>(vc.queue.size(), buffer_depth_));
+  }
+  const int pick =
+      routing::select_channel(selection_, cands, free, credits, rng_);
+  if (pick >= 0) {
+    const ChannelId acquired = cands[static_cast<std::size_t>(pick)];
+    net.vc(acquired).owner = pkt.id;
+    pkt.committed_wait = kInvalidChannel;
+    if (!pkt.forced_path.empty()) ++pkt.forced_next;
+    pkt.path.push_back(acquired);
+    return acquired;
+  }
+
+  // Blocked: commit under wait-specific discipline.
+  if (effective_wait_mode() == WaitMode::kSpecific &&
+      pkt.committed_wait == kInvalidChannel && pkt.forced_path.empty()) {
+    const routing::ChannelSet waits =
+        routing_->waiting(input, current, pkt.dst);
+    if (!waits.empty()) {
+      // The relation's preferred waiting channel; deterministic commitment.
+      pkt.committed_wait = waits.front();
+    }
+  }
+  return std::nullopt;
+}
+
+routing::ChannelSet RouteAllocator::blocked_on(const Packet& pkt,
+                                               ChannelId input,
+                                               NodeId current) const {
+  return candidates(pkt, input, current);
+}
+
+}  // namespace wormnet::sim

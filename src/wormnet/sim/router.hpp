@@ -1,0 +1,64 @@
+// Route computation + virtual-channel allocation for blocked packet headers.
+//
+// Implements both waiting disciplines of the theory:
+//   * wait-on-any  — the header re-arbitrates over every candidate each cycle
+//   * wait-specific — on first blocking, the header commits to one waiting
+//     channel (the relation's waiting() choice) and only acquires that one
+// plus forced-path packets (witness replay), which behave as wait-specific on
+// the scripted channel sequence.
+#pragma once
+
+#include <optional>
+
+#include "wormnet/routing/routing_function.hpp"
+#include "wormnet/routing/selection.hpp"
+#include "wormnet/sim/network.hpp"
+#include "wormnet/util/rng.hpp"
+
+namespace wormnet::sim {
+
+using routing::RoutingFunction;
+using routing::SelectionPolicy;
+using routing::WaitMode;
+
+/// Overrides the relation's own wait mode (used by experiments contrasting
+/// the two disciplines on the same algorithm).
+enum class WaitOverride : std::uint8_t { kFollowRouting, kForceAny, kForceSpecific };
+
+class RouteAllocator {
+ public:
+  RouteAllocator(const Topology& topo, const RoutingFunction& routing,
+                 SelectionPolicy selection, WaitOverride wait_override,
+                 std::uint32_t buffer_depth, std::uint64_t seed);
+
+  /// Attempts to allocate the next channel for `pkt`, whose header sits at
+  /// node `current` having arrived on `input` (kInvalidChannel at the
+  /// source).  On success returns the acquired channel and marks its owner;
+  /// on failure updates the packet's wait commitment per the discipline.
+  [[nodiscard]] std::optional<ChannelId> attempt(Packet& pkt, ChannelId input,
+                                                 NodeId current,
+                                                 NetworkState& net);
+
+  /// Candidate channels the blocked packet is currently waiting on — used by
+  /// the deadlock detector.  Empty result means the packet is not blocked on
+  /// channel acquisition.
+  [[nodiscard]] routing::ChannelSet blocked_on(const Packet& pkt,
+                                               ChannelId input,
+                                               NodeId current) const;
+
+  [[nodiscard]] WaitMode effective_wait_mode() const;
+
+ private:
+  [[nodiscard]] routing::ChannelSet candidates(const Packet& pkt,
+                                               ChannelId input,
+                                               NodeId current) const;
+
+  const Topology* topo_;
+  const RoutingFunction* routing_;
+  SelectionPolicy selection_;
+  WaitOverride wait_override_;
+  std::uint32_t buffer_depth_;
+  util::Xoshiro256 rng_;
+};
+
+}  // namespace wormnet::sim

@@ -1,0 +1,420 @@
+#include "wormnet/sim/simulator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace wormnet::sim {
+
+Simulator::Simulator(const Topology& topo,
+                     const routing::RoutingFunction& routing, SimConfig config)
+    : topo_(&topo), routing_(&routing), config_(std::move(config)), net_(topo),
+      allocator_(topo, routing, config_.selection, config_.wait_override,
+                 config_.buffer_depth, config_.seed ^ 0xa5a5a5a5ULL),
+      traffic_(topo, config_.pattern, config_.seed, config_.hotspot_fraction,
+               config_.hotspots),
+      rng_(config_.seed ^ 0x5a5a5a5aULL), sources_(topo.num_nodes()),
+      script_by_node_(topo.num_nodes()),
+      channel_moves_(topo.num_channels(), 0) {
+  for (const ScriptedPacket& sp : config_.script) {
+    script_by_node_[sp.src].push_back(sp);
+  }
+  for (auto& list : script_by_node_) {
+    std::stable_sort(list.begin(), list.end(),
+                     [](const ScriptedPacket& a, const ScriptedPacket& b) {
+                       return a.inject_cycle < b.inject_cycle;
+                     });
+  }
+}
+
+PacketId Simulator::create_packet(NodeId src, NodeId dst, std::uint32_t length,
+                                  std::vector<ChannelId> forced) {
+  if (src == dst) {
+    throw std::invalid_argument(
+        "packet source equals destination (check scripted packets)");
+  }
+  Packet pkt;
+  pkt.id = static_cast<PacketId>(packets_.size());
+  pkt.src = src;
+  pkt.dst = dst;
+  pkt.length = std::max<std::uint32_t>(length, 1);
+  pkt.created = cycle_;
+  pkt.forced_path = std::move(forced);
+  pkt.measured = cycle_ >= config_.warmup_cycles &&
+                 cycle_ < config_.warmup_cycles + config_.measure_cycles;
+  ++stats_.packets_created;
+  if (pkt.measured) ++stats_.measured_created;
+  ++in_flight_;
+  packets_.push_back(std::move(pkt));
+  sources_[src].queue.push_back(packets_.back().id);
+  return packets_.back().id;
+}
+
+void Simulator::generate_traffic() {
+  // Scripted packets on their schedule.
+  for (NodeId node = 0; node < topo_->num_nodes(); ++node) {
+    auto& src = sources_[node];
+    const auto& script = script_by_node_[node];
+    while (src.next_script < script.size() &&
+           script[src.next_script].inject_cycle <= cycle_) {
+      const ScriptedPacket& sp = script[src.next_script++];
+      create_packet(sp.src, sp.dst, sp.length, sp.forced_path);
+    }
+  }
+  if (config_.scripted_only) return;
+  // Stochastic arrivals (stop offering new traffic after the measurement
+  // window so the network can drain).
+  if (cycle_ >= config_.warmup_cycles + config_.measure_cycles) return;
+  for (NodeId node = 0; node < topo_->num_nodes(); ++node) {
+    if (traffic_.arrival(config_.injection_rate, config_.packet_length)) {
+      if (auto dst = traffic_.destination(node)) {
+        create_packet(node, *dst, config_.packet_length, {});
+      }
+    }
+  }
+}
+
+void Simulator::allocate_outputs() {
+  // Rotating start offsets keep allocation order from starving anyone
+  // (Assumption 5 of the system model).
+  const std::size_t channels = net_.num_channels();
+  const std::size_t nodes = topo_->num_nodes();
+
+  // Source (injection) allocation.
+  const std::size_t node_offset = nodes ? cycle_ % nodes : 0;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    const NodeId node = static_cast<NodeId>((i + node_offset) % nodes);
+    auto& src = sources_[node];
+    if (src.queue.empty()) continue;
+    Packet& pkt = packets_[src.queue.front()];
+    if (pkt.injecting) continue;
+    if (allocator_.attempt(pkt, kInvalidChannel, node, net_)) {
+      pkt.injecting = true;
+      pkt.first_injected = cycle_;
+    }
+  }
+
+  // Header VC allocation at router inputs.
+  const std::size_t ch_offset = channels ? cycle_ % channels : 0;
+  for (std::size_t i = 0; i < channels; ++i) {
+    const ChannelId c = static_cast<ChannelId>((i + ch_offset) % channels);
+    VcState& vc = net_.vc(c);
+    if (vc.queue.empty() || !vc.queue.front().head || vc.out_assigned) {
+      continue;
+    }
+    Packet& pkt = packets_[vc.queue.front().packet];
+    const NodeId here = topo_->channel(c).dst;
+    if (here == pkt.dst) {
+      vc.out_assigned = true;
+      vc.out_eject = true;
+      continue;
+    }
+    if (auto acquired = allocator_.attempt(pkt, c, here, net_)) {
+      vc.out = *acquired;
+      vc.out_assigned = true;
+    }
+  }
+}
+
+void Simulator::move_flits() {
+  const std::size_t channels = net_.num_channels();
+  const bool in_window =
+      cycle_ >= config_.warmup_cycles &&
+      cycle_ < config_.warmup_cycles + config_.measure_cycles;
+
+  // Snapshot queue occupancies: all space checks see start-of-cycle state.
+  std::vector<std::uint32_t> size_snapshot(channels);
+  for (ChannelId c = 0; c < channels; ++c) {
+    size_snapshot[c] = static_cast<std::uint32_t>(net_.vc(c).queue.size());
+  }
+
+  struct Move {
+    ChannelId from = kInvalidChannel;  ///< kInvalidChannel = injection
+    NodeId src_node = 0;               ///< valid for injections
+    ChannelId to = kInvalidChannel;
+  };
+  // Candidates grouped by target physical link.
+  std::vector<std::vector<Move>> link_moves(net_.links().size());
+
+  for (ChannelId c = 0; c < channels; ++c) {
+    VcState& vc = net_.vc(c);
+    if (vc.queue.empty() || !vc.out_assigned || vc.out_eject) continue;
+    if (size_snapshot[vc.out] < config_.buffer_depth) {
+      link_moves[net_.link_index(vc.out)].push_back(Move{c, 0, vc.out});
+    }
+  }
+  for (NodeId node = 0; node < topo_->num_nodes(); ++node) {
+    auto& src = sources_[node];
+    if (src.queue.empty()) continue;
+    Packet& pkt = packets_[src.queue.front()];
+    if (!pkt.injecting || pkt.flits_injected >= pkt.length) continue;
+    const ChannelId target = pkt.path.front();
+    if (size_snapshot[target] < config_.buffer_depth) {
+      link_moves[net_.link_index(target)].push_back(
+          Move{kInvalidChannel, node, target});
+    }
+  }
+
+  // One winner per physical link, round-robin.
+  for (std::size_t l = 0; l < link_moves.size(); ++l) {
+    auto& cands = link_moves[l];
+    if (cands.empty()) continue;
+    LinkGroup& link = net_.links()[l];
+    const Move& m = cands[link.rr % cands.size()];
+    ++link.rr;
+    if (m.from == kInvalidChannel) {
+      // Injection: synthesize the next flit of the source-front packet.
+      auto& src = sources_[m.src_node];
+      Packet& pkt = packets_[src.queue.front()];
+      Flit flit;
+      flit.packet = pkt.id;
+      flit.head = pkt.flits_injected == 0;
+      flit.tail = pkt.flits_injected + 1 == pkt.length;
+      net_.vc(m.to).queue.push_back(flit);
+      ++pkt.flits_injected;
+      if (flit.tail) src.queue.pop_front();
+    } else {
+      VcState& from = net_.vc(m.from);
+      const Flit flit = from.queue.front();
+      from.queue.pop_front();
+      net_.vc(m.to).queue.push_back(flit);
+      if (flit.tail) {
+        from.owner = kNoPacket;
+        from.out = kInvalidChannel;
+        from.out_assigned = false;
+        from.out_eject = false;
+      }
+    }
+    if (in_window) ++channel_moves_[m.to];
+    ++flit_moves_;
+    last_progress_ = cycle_;
+  }
+
+  // Ejection: one flit per node per cycle.
+  for (NodeId node = 0; node < topo_->num_nodes(); ++node) {
+    std::vector<ChannelId> ejectors;
+    for (ChannelId c : topo_->in_channels(node)) {
+      const VcState& vc = net_.vc(c);
+      if (!vc.queue.empty() && vc.out_assigned && vc.out_eject) {
+        ejectors.push_back(c);
+      }
+    }
+    if (ejectors.empty()) continue;
+    std::uint32_t& rr = net_.eject_rr(node);
+    const ChannelId c = ejectors[rr % ejectors.size()];
+    ++rr;
+    VcState& vc = net_.vc(c);
+    const Flit flit = vc.queue.front();
+    vc.queue.pop_front();
+    Packet& pkt = packets_[flit.packet];
+    ++pkt.flits_ejected;
+    if (in_window) ++stats_.flits_ejected_in_window;
+    if (flit.tail) {
+      vc.owner = kNoPacket;
+      vc.out = kInvalidChannel;
+      vc.out_assigned = false;
+      vc.out_eject = false;
+      finish_packet(pkt);
+    }
+    ++flit_moves_;
+    last_progress_ = cycle_;
+  }
+}
+
+void Simulator::finish_packet(Packet& pkt) {
+  assert(!pkt.done);
+  pkt.done = true;
+  pkt.finished = cycle_;
+  --in_flight_;
+  ++stats_.packets_delivered;
+  if (pkt.measured) {
+    ++stats_.measured_delivered;
+    latency_.add(static_cast<double>(pkt.finished - pkt.created),
+                 static_cast<double>(pkt.finished - pkt.first_injected));
+  }
+}
+
+void Simulator::check_deadlock() {
+  if (deadlock_) return;
+
+  std::vector<BlockedPacket> blocked;
+  for (ChannelId c = 0; c < net_.num_channels(); ++c) {
+    const VcState& vc = net_.vc(c);
+    if (vc.queue.empty() || !vc.queue.front().head || vc.out_assigned) {
+      continue;
+    }
+    const Packet& pkt = packets_[vc.queue.front().packet];
+    const NodeId here = topo_->channel(c).dst;
+    // A header that just arrived at its destination is not blocked — it gets
+    // its ejection assignment in the next allocation phase.
+    if (here == pkt.dst) continue;
+    BlockedPacket bp;
+    bp.packet = pkt.id;
+    bp.waiting_on = allocator_.blocked_on(pkt, c, here);
+    if (!bp.waiting_on.empty()) blocked.push_back(std::move(bp));
+  }
+  for (NodeId node = 0; node < topo_->num_nodes(); ++node) {
+    const auto& src = sources_[node];
+    if (src.queue.empty()) continue;
+    const Packet& pkt = packets_[src.queue.front()];
+    if (pkt.injecting) continue;
+    BlockedPacket bp;
+    bp.packet = pkt.id;
+    bp.waiting_on = allocator_.blocked_on(pkt, kInvalidChannel, node);
+    if (!bp.waiting_on.empty()) blocked.push_back(std::move(bp));
+  }
+
+  auto owner_of = [this](ChannelId c) { return net_.vc(c).owner; };
+  if (auto info = find_wait_cycle(blocked, owner_of, cycle_)) {
+    deadlock_ = std::move(info);
+    return;
+  }
+  if (in_flight_ > 0 && cycle_ - last_progress_ > config_.watchdog_cycles) {
+    DeadlockInfo info;
+    info.cycle = cycle_;
+    info.from_watchdog = true;
+    deadlock_ = std::move(info);
+  }
+}
+
+void Simulator::step() {
+  generate_traffic();
+  allocate_outputs();
+  move_flits();
+  if (config_.deadlock_check_interval != 0 &&
+      cycle_ % config_.deadlock_check_interval == 0) {
+    check_deadlock();
+  }
+  ++cycle_;
+}
+
+SimStats Simulator::run() {
+  const std::uint64_t horizon = config_.warmup_cycles +
+                                config_.measure_cycles + config_.drain_cycles;
+  bool script_pending = !config_.script.empty();
+  while (cycle_ < horizon) {
+    step();
+    if (deadlock_) break;
+    if (script_pending) {
+      script_pending = false;
+      for (const auto& list : script_by_node_) {
+        for (const auto& sp : list) {
+          if (sp.inject_cycle >= cycle_) {
+            script_pending = true;
+            break;
+          }
+        }
+      }
+    }
+    if (cycle_ > config_.warmup_cycles + config_.measure_cycles &&
+        !script_pending && in_flight_ == 0) {
+      break;  // fully drained
+    }
+    if (cycle_ > config_.warmup_cycles + config_.measure_cycles &&
+        stats_.measured_delivered == stats_.measured_created &&
+        config_.scripted_only == false && !script_pending &&
+        stats_.measured_created > 0 && in_flight_ == 0) {
+      break;
+    }
+  }
+
+  stats_.cycles_run = cycle_;
+  if (deadlock_) {
+    stats_.deadlocked = true;
+    stats_.deadlock = *deadlock_;
+  }
+  const double window =
+      static_cast<double>(std::min(cycle_, config_.warmup_cycles +
+                                               config_.measure_cycles) -
+                          std::min(cycle_, config_.warmup_cycles));
+  if (window > 0) {
+    // Actual offered load: patterns with self-mapping nodes (transpose
+    // diagonal, palindromic bit-reverse ids, ...) generate no traffic at
+    // those sources, so the realized offer can sit below the nominal rate.
+    stats_.offered_load =
+        static_cast<double>(stats_.measured_created) * config_.packet_length /
+        (static_cast<double>(topo_->num_nodes()) * window);
+    stats_.accepted_throughput =
+        static_cast<double>(stats_.flits_ejected_in_window) /
+        (static_cast<double>(topo_->num_nodes()) * window);
+  }
+  if (window > 0 && !channel_moves_.empty()) {
+    double total = 0.0;
+    for (std::uint64_t moves : channel_moves_) {
+      const double u = static_cast<double>(moves) / window;
+      total += u;
+      stats_.max_channel_utilization =
+          std::max(stats_.max_channel_utilization, u);
+    }
+    stats_.avg_channel_utilization =
+        total / static_cast<double>(channel_moves_.size());
+  }
+  for (const Packet& pkt : packets_) {
+    if (pkt.measured && pkt.done) {
+      stats_.max_hops = std::max(
+          stats_.max_hops, static_cast<std::uint32_t>(pkt.path.size()));
+    }
+  }
+  stats_.saturated = !stats_.deadlocked &&
+                     stats_.measured_delivered < stats_.measured_created;
+  latency_.finalize(stats_);
+  return stats_;
+}
+
+void Simulator::validate_invariants() const {
+  auto fail = [](const std::string& what) {
+    throw std::logic_error("simulator invariant violated: " + what);
+  };
+  for (ChannelId c = 0; c < net_.num_channels(); ++c) {
+    const VcState& vc = net_.vc(c);
+    if (vc.queue.size() > config_.buffer_depth) {
+      fail("queue deeper than buffer_depth");
+    }
+    if (!vc.queue.empty()) {
+      // Assumption 4: one message per channel queue at a time.
+      const PacketId pkt = vc.queue.front().packet;
+      for (const Flit& flit : vc.queue) {
+        if (flit.packet != pkt) fail("two packets share a channel queue");
+      }
+      if (vc.owner != pkt) fail("queue contents disagree with owner");
+    }
+    if (vc.owner != kNoPacket) {
+      const Packet& pkt = packets_[vc.owner];
+      if (pkt.done) fail("finished packet still owns a channel");
+      // The owner must have this channel on its acquired path.
+      bool on_path = false;
+      for (ChannelId held : pkt.path) {
+        if (held == c) {
+          on_path = true;
+          break;
+        }
+      }
+      if (!on_path) fail("owner never acquired this channel");
+    }
+  }
+  for (const Packet& pkt : packets_) {
+    if (pkt.flits_injected > pkt.length || pkt.flits_ejected > pkt.length) {
+      fail("flit counters exceed packet length");
+    }
+    if (pkt.flits_ejected > pkt.flits_injected) {
+      fail("more flits ejected than injected");
+    }
+    // Path contiguity: consecutive acquired channels chain head to tail.
+    for (std::size_t i = 0; i + 1 < pkt.path.size(); ++i) {
+      if (topo_->channel(pkt.path[i]).dst != topo_->channel(pkt.path[i + 1]).src) {
+        fail("acquired path is not contiguous");
+      }
+    }
+    if (!pkt.path.empty() && topo_->channel(pkt.path.front()).src != pkt.src) {
+      fail("path does not start at the source");
+    }
+  }
+}
+
+SimStats run(const Topology& topo, const routing::RoutingFunction& routing,
+             const SimConfig& config) {
+  Simulator sim(topo, routing, config);
+  return sim.run();
+}
+
+}  // namespace wormnet::sim

@@ -1,0 +1,144 @@
+// Cycle-driven flit-level wormhole network simulator.
+//
+// Model (BookSim-flavoured, one-stage routers):
+//   * each virtual channel has a fixed-depth flit FIFO at the downstream
+//     router's input;
+//   * a packet header arriving at a FIFO front performs route computation
+//     (the routing relation + a selection function) and VC allocation: it may
+//     acquire any candidate VC with no current owner;
+//   * one flit per physical link per cycle (round-robin over its VCs), one
+//     flit ejected per node per cycle, one flit injected per node per cycle;
+//   * a channel is owned from header acceptance until the tail flit leaves —
+//     the wormhole invariant that makes deadlock possible;
+//   * blocked headers wait per the relation's discipline (wait-on-any or
+//     wait-specific), overridable per run.
+//
+// Determinism: a single seed drives traffic and selection; identical configs
+// produce identical cycle-by-cycle behaviour.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "wormnet/routing/routing_function.hpp"
+#include "wormnet/sim/deadlock_detector.hpp"
+#include "wormnet/sim/network.hpp"
+#include "wormnet/sim/router.hpp"
+#include "wormnet/sim/stats.hpp"
+#include "wormnet/sim/traffic.hpp"
+
+namespace wormnet::sim {
+
+/// A packet injected at a fixed time, optionally pinned to an exact channel
+/// path (deadlock-witness replay).
+struct ScriptedPacket {
+  NodeId src = 0;
+  NodeId dst = 0;
+  std::uint32_t length = 8;
+  std::uint64_t inject_cycle = 0;
+  std::vector<ChannelId> forced_path;  ///< empty = route normally
+};
+
+struct SimConfig {
+  // Workload.
+  double injection_rate = 0.1;     ///< flits/node/cycle offered
+  std::uint32_t packet_length = 8; ///< flits per packet
+  Pattern pattern = Pattern::kUniform;
+  double hotspot_fraction = 0.2;
+  std::vector<NodeId> hotspots;
+  std::vector<ScriptedPacket> script;  ///< extra packets injected on schedule
+  bool scripted_only = false;          ///< suppress stochastic traffic
+
+  // Router parameters.
+  std::uint32_t buffer_depth = 4;  ///< flits per VC FIFO
+  routing::SelectionPolicy selection = routing::SelectionPolicy::kInOrder;
+  WaitOverride wait_override = WaitOverride::kFollowRouting;
+
+  // Methodology.
+  std::uint64_t warmup_cycles = 1000;
+  std::uint64_t measure_cycles = 5000;
+  std::uint64_t drain_cycles = 30000;
+  std::uint64_t deadlock_check_interval = 128;
+  std::uint64_t watchdog_cycles = 4000;  ///< no-progress threshold
+  std::uint64_t seed = 1;
+};
+
+class Simulator {
+ public:
+  Simulator(const Topology& topo, const routing::RoutingFunction& routing,
+            SimConfig config);
+
+  /// Advances one cycle.
+  void step();
+
+  /// Runs the full warmup/measure/drain schedule; returns the statistics.
+  [[nodiscard]] SimStats run();
+
+  // --- inspection (tests, witness validation) ---------------------------
+  [[nodiscard]] std::uint64_t now() const noexcept { return cycle_; }
+  [[nodiscard]] const Packet& packet(PacketId id) const {
+    return packets_[id];
+  }
+  [[nodiscard]] std::size_t packets_in_flight() const noexcept {
+    return in_flight_;
+  }
+  [[nodiscard]] const NetworkState& network() const noexcept { return net_; }
+  [[nodiscard]] bool deadlock_detected() const noexcept {
+    return deadlock_.has_value();
+  }
+  [[nodiscard]] const std::optional<DeadlockInfo>& deadlock() const noexcept {
+    return deadlock_;
+  }
+  [[nodiscard]] std::uint64_t total_flit_moves() const noexcept {
+    return flit_moves_;
+  }
+
+  /// Checks internal invariants (queue bounds, one packet per queue,
+  /// ownership consistency, path contiguity); throws std::logic_error on
+  /// violation.  Used by tests that step the simulator manually.
+  void validate_invariants() const;
+
+ private:
+  struct SourceState {
+    std::deque<PacketId> queue;  ///< packets awaiting injection
+    std::size_t next_script = 0; ///< per-node scripted packets are pre-sorted
+  };
+
+  void generate_traffic();
+  void allocate_outputs();
+  void move_flits();
+  void check_deadlock();
+  PacketId create_packet(NodeId src, NodeId dst, std::uint32_t length,
+                         std::vector<ChannelId> forced);
+  void finish_packet(Packet& pkt);
+
+  const Topology* topo_;
+  const routing::RoutingFunction* routing_;
+  SimConfig config_;
+  NetworkState net_;
+  RouteAllocator allocator_;
+  TrafficGenerator traffic_;
+  util::Xoshiro256 rng_;
+
+  std::vector<Packet> packets_;
+  std::vector<SourceState> sources_;
+  std::vector<std::vector<ScriptedPacket>> script_by_node_;
+
+  std::uint64_t cycle_ = 0;
+  std::size_t in_flight_ = 0;  ///< created but not finished
+  std::uint64_t flit_moves_ = 0;
+  std::vector<std::uint64_t> channel_moves_;  ///< per-channel, in-window
+  std::uint64_t last_progress_ = 0;
+  std::optional<DeadlockInfo> deadlock_;
+
+  // Measurement.
+  LatencyAccumulator latency_;
+  SimStats stats_;
+};
+
+/// One-call convenience wrapper.
+[[nodiscard]] SimStats run(const Topology& topo,
+                           const routing::RoutingFunction& routing,
+                           const SimConfig& config);
+
+}  // namespace wormnet::sim

@@ -1,0 +1,45 @@
+#include "wormnet/sim/stats.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace wormnet::sim {
+
+void LatencyAccumulator::add(double total, double network) {
+  total_.push_back(total);
+  network_sum_ += network;
+}
+
+void LatencyAccumulator::finalize(SimStats& stats) {
+  if (total_.empty()) return;
+  std::sort(total_.begin(), total_.end());
+  stats.avg_latency =
+      std::accumulate(total_.begin(), total_.end(), 0.0) / total_.size();
+  auto percentile = [&](double p) {
+    const std::size_t idx = static_cast<std::size_t>(
+        p * static_cast<double>(total_.size() - 1) + 0.5);
+    return total_[std::min(idx, total_.size() - 1)];
+  };
+  stats.p50_latency = percentile(0.50);
+  stats.p99_latency = percentile(0.99);
+  stats.avg_network_latency = network_sum_ / static_cast<double>(total_.size());
+}
+
+std::string SimStats::summary() const {
+  std::ostringstream os;
+  if (deadlocked) {
+    os << "DEADLOCK at cycle " << deadlock.cycle
+       << (deadlock.from_watchdog ? " (watchdog)" : " (wait-for cycle)")
+       << ", " << deadlock.packet_cycle.size() << " packets in cycle";
+    return os.str();
+  }
+  os << "delivered " << measured_delivered << "/" << measured_created
+     << " measured packets, avg latency " << avg_latency << " cyc, p99 "
+     << p99_latency << " cyc, accepted " << accepted_throughput
+     << " flits/node/cyc (offered " << offered_load << ")";
+  if (saturated) os << " [saturated]";
+  return os.str();
+}
+
+}  // namespace wormnet::sim

@@ -1,0 +1,73 @@
+// Simulation statistics: latency distribution, accepted throughput,
+// deadlock reports.  Standard interconnect-simulation methodology: warmup,
+// measurement window, drain; only packets created inside the measurement
+// window contribute to latency, while accepted throughput counts every flit
+// consumed during the window.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "wormnet/sim/flit.hpp"
+
+namespace wormnet::sim {
+
+struct DeadlockInfo {
+  std::uint64_t cycle = 0;
+  /// Packets forming the wait-for cycle (empty for watchdog detections).
+  std::vector<PacketId> packet_cycle;
+  /// Channels each cycle packet is blocked on, parallel to packet_cycle.
+  std::vector<ChannelId> blocked_channels;
+  bool from_watchdog = false;
+};
+
+struct SimStats {
+  // Outcome.
+  bool deadlocked = false;
+  DeadlockInfo deadlock;
+  bool saturated = false;  ///< drain exhausted with measured packets in flight
+
+  // Traffic accounting.
+  std::uint64_t packets_created = 0;
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t measured_created = 0;
+  std::uint64_t measured_delivered = 0;
+  std::uint64_t flits_ejected_in_window = 0;
+
+  // Latency over measured, delivered packets (cycles, creation -> tail eject).
+  double avg_latency = 0.0;
+  double p50_latency = 0.0;
+  double p99_latency = 0.0;
+  double avg_network_latency = 0.0;  ///< first flit injected -> tail eject
+
+  // Rates in flits/node/cycle over the measurement window.
+  double offered_load = 0.0;
+  double accepted_throughput = 0.0;
+
+  // Channel-utilization summary over the measurement window (fraction of
+  // cycles each network channel carried a flit), and the longest path any
+  // measured packet took — the livelock observable for nonminimal routing.
+  double avg_channel_utilization = 0.0;
+  double max_channel_utilization = 0.0;
+  std::uint32_t max_hops = 0;
+
+  std::uint64_t cycles_run = 0;
+
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Latency collection helper.
+class LatencyAccumulator {
+ public:
+  void add(double total, double network);
+  [[nodiscard]] std::size_t count() const noexcept { return total_.size(); }
+  /// Computes avg/percentiles into `stats` (sorts internally).
+  void finalize(SimStats& stats);
+
+ private:
+  std::vector<double> total_;
+  double network_sum_ = 0.0;
+};
+
+}  // namespace wormnet::sim

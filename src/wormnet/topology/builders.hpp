@@ -1,0 +1,52 @@
+// Factory functions for the standard topology family.
+//
+// All cube-family builders create `vcs` virtual channels per physical link.
+// Channel ids are assigned deterministically: links are emitted node-major,
+// then dimension, then direction (+ before -), then vc — tests rely on the
+// determinism, not on the specific order.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "wormnet/topology/topology.hpp"
+
+namespace wormnet::topology {
+
+/// n-dimensional mesh with the given per-dimension radices (no wraparound).
+[[nodiscard]] Topology make_mesh(std::span<const std::uint32_t> radices,
+                                 std::uint8_t vcs = 1);
+[[nodiscard]] Topology make_mesh(std::initializer_list<std::uint32_t> radices,
+                                 std::uint8_t vcs = 1);
+
+/// n-dimensional bidirectional torus (wraparound in every dimension).
+[[nodiscard]] Topology make_torus(std::span<const std::uint32_t> radices,
+                                  std::uint8_t vcs = 1);
+[[nodiscard]] Topology make_torus(std::initializer_list<std::uint32_t> radices,
+                                  std::uint8_t vcs = 1);
+
+/// n-dimensional binary hypercube (2-ary n-cube; one bidirectional link per
+/// dimension pair, no wraps — radix 2 makes wraps redundant).
+[[nodiscard]] Topology make_hypercube(std::size_t dimensions,
+                                      std::uint8_t vcs = 1);
+
+/// Mixed mesh/torus ("cylinder") topology: wraparound only in the
+/// dimensions whose `wraps` flag is set.  A 2-D cylinder (mesh in X, ring
+/// in Y) is the classic intermediate case: dateline routing needs its VC
+/// split only in the wrapped dimension.
+[[nodiscard]] Topology make_cylinder(std::span<const std::uint32_t> radices,
+                                     const std::vector<bool>& wraps,
+                                     std::uint8_t vcs = 1);
+[[nodiscard]] Topology make_cylinder(
+    std::initializer_list<std::uint32_t> radices,
+    std::initializer_list<bool> wraps, std::uint8_t vcs = 1);
+
+/// Unidirectional ring of `nodes` nodes (the classic Dally–Seitz example
+/// network): channels only in the + direction, the last one wrapping.
+[[nodiscard]] Topology make_unidirectional_ring(std::uint32_t nodes,
+                                                std::uint8_t vcs = 1);
+
+/// Bidirectional ring (1-D torus).
+[[nodiscard]] Topology make_ring(std::uint32_t nodes, std::uint8_t vcs = 1);
+
+}  // namespace wormnet::topology

@@ -1,0 +1,51 @@
+// Deterministic pseudo-random number generation for simulations and tests.
+//
+// We deliberately avoid std::mt19937 in the hot injection path: xoshiro256**
+// is ~4x faster, has a tiny state, and gives us explicit, documented
+// reproducibility across standard-library implementations.  Every stochastic
+// component of the simulator takes a seed so whole experiments are replayable
+// bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace wormnet::util {
+
+/// SplitMix64 step; used to expand a single 64-bit seed into xoshiro state.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** 1.0 (Blackman & Vigna).  Satisfies UniformRandomBitGenerator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from a single 64-bit seed via SplitMix64.
+  explicit Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+  [[nodiscard]] static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept;
+
+  /// Uniform double in [0, 1).  53 bits of randomness.
+  [[nodiscard]] double uniform() noexcept;
+
+  /// Uniform integer in [0, bound).  bound must be > 0.
+  /// Uses Lemire's multiply-shift rejection method (no modulo bias).
+  [[nodiscard]] std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Bernoulli trial with success probability p.
+  [[nodiscard]] bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Jump function: advances the state by 2^128 steps.  Used to derive
+  /// independent per-thread / per-node streams from a common seed.
+  void jump() noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace wormnet::util

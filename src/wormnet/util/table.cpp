@@ -1,0 +1,50 @@
+#include "wormnet/util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace wormnet::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      os << cell << std::string(widths[c] - cell.size(), ' ');
+      if (c + 1 < widths.size()) os << " | ";
+    }
+    os << '\n';
+  };
+
+  print_row(headers_);
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    os << std::string(widths[c], '-');
+    if (c + 1 < widths.size()) os << "-+-";
+  }
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string fmt_double(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+std::string fmt_bool(bool value) { return value ? "yes" : "no"; }
+
+}  // namespace wormnet::util

@@ -1,0 +1,38 @@
+// Fixed-width ASCII table printer used by the benchmark harnesses so that
+// every experiment prints its rows in a uniform, diffable format.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace wormnet::util {
+
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; missing trailing cells render empty, extra cells are kept
+  /// (the column widens).
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with a header rule, e.g.
+  ///   alg        | cdg acyclic | verdict
+  ///   -----------+-------------+--------
+  ///   xy         | yes         | free
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style float formatting helpers for table cells.
+[[nodiscard]] std::string fmt_double(double value, int precision = 3);
+[[nodiscard]] std::string fmt_bool(bool value);
+
+}  // namespace wormnet::util

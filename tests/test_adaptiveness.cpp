@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace wormnet::analysis {
+namespace {
+
+using topology::make_hypercube;
+using topology::make_mesh;
+
+TEST(PathCount, AllMinimalMatchesMultinomial) {
+  // 4x4 mesh, (0,0) -> (2,2), 1 VC: C(4,2) = 6 minimal paths.
+  const Topology topo = make_mesh({4, 4});
+  const NodeId s = topo.node_at(std::vector<std::uint32_t>{0, 0});
+  const NodeId d = topo.node_at(std::vector<std::uint32_t>{2, 2});
+  EXPECT_DOUBLE_EQ(count_all_minimal_paths(topo, s, d), 6.0);
+}
+
+TEST(PathCount, VcLabellingMultipliesPaths) {
+  // Same pair with 2 VCs: each of the 4 hops picks one of 2 VCs.
+  const Topology topo = make_mesh({4, 4}, 2);
+  const NodeId s = topo.node_at(std::vector<std::uint32_t>{0, 0});
+  const NodeId d = topo.node_at(std::vector<std::uint32_t>{2, 2});
+  EXPECT_DOUBLE_EQ(count_all_minimal_paths(topo, s, d), 6.0 * 16.0);
+}
+
+TEST(PathCount, EcubePermitsSinglePhysicalPath) {
+  const Topology topo = make_mesh({4, 4});
+  const routing::DimensionOrder routing(topo);
+  const NodeId s = topo.node_at(std::vector<std::uint32_t>{0, 0});
+  const NodeId d = topo.node_at(std::vector<std::uint32_t>{2, 2});
+  EXPECT_DOUBLE_EQ(count_permitted_paths(topo, routing, s, d), 1.0);
+}
+
+TEST(PathCount, HypercubeTotals) {
+  // k differing dims, v VCs: k! * v^k minimal VC-labelled paths.
+  const Topology topo = make_hypercube(4, 2);
+  EXPECT_DOUBLE_EQ(count_all_minimal_paths(topo, 0b0000, 0b0111),
+                   6.0 * 8.0);  // 3! * 2^3
+  EXPECT_DOUBLE_EQ(count_all_minimal_paths(topo, 0b0000, 0b1111),
+                   24.0 * 16.0);  // 4! * 2^4
+}
+
+TEST(PathCount, UnrestrictedPermitsEverything) {
+  const Topology topo = make_hypercube(3, 2);
+  const routing::UnrestrictedMinimal routing(topo);
+  for (NodeId d = 1; d < topo.num_nodes(); ++d) {
+    EXPECT_DOUBLE_EQ(count_permitted_paths(topo, routing, 0, d),
+                     count_all_minimal_paths(topo, 0, d));
+  }
+}
+
+TEST(Adaptiveness, EcubeDistanceTwoIsHalf) {
+  // The paper's observation: nonadaptive routing is not zero — at distance
+  // 2 on a 1-VC hypercube it permits 1 of 2 paths.
+  const Topology topo = make_hypercube(2);
+  const routing::DimensionOrder routing(topo);
+  const double ratio =
+      count_permitted_paths(topo, routing, 0b00, 0b11) /
+      count_all_minimal_paths(topo, 0b00, 0b11);
+  EXPECT_DOUBLE_EQ(ratio, 0.5);
+}
+
+TEST(Adaptiveness, OrderingEnhancedDuatoEcube) {
+  // EXP-E shape: enhanced > duato > e-cube on every hypercube dimension.
+  for (std::size_t dims : {3u, 4u, 5u}) {
+    const Topology topo = make_hypercube(dims, 2);
+    const routing::DimensionOrder ecube(topo);
+    const auto duato = routing::make_duato_hypercube(topo);
+    const routing::EnhancedFullyAdaptive enhanced(topo);
+    const double a = degree_of_adaptiveness(topo, ecube).degree;
+    const double b = degree_of_adaptiveness(topo, *duato).degree;
+    const double c = degree_of_adaptiveness(topo, enhanced).degree;
+    EXPECT_GT(b, a) << dims << "-cube";
+    EXPECT_GT(c, b) << dims << "-cube";
+    EXPECT_LE(c, 1.0 + 1e-12);
+    EXPECT_GT(a, 0.0);
+  }
+}
+
+TEST(Adaptiveness, DecreasesWithDimension) {
+  double prev = 2.0;
+  for (std::size_t dims : {2u, 3u, 4u, 5u}) {
+    const Topology topo = make_hypercube(dims, 2);
+    const auto duato = routing::make_duato_hypercube(topo);
+    const double degree = degree_of_adaptiveness(topo, *duato).degree;
+    EXPECT_LT(degree, prev) << dims;
+    prev = degree;
+  }
+}
+
+TEST(Adaptiveness, UnrestrictedIsExactlyOne) {
+  const Topology topo = make_hypercube(3);
+  const routing::UnrestrictedMinimal routing(topo);
+  EXPECT_NEAR(degree_of_adaptiveness(topo, routing).degree, 1.0, 1e-12);
+}
+
+TEST(Adaptiveness, SamplingKicksInForLargeNetworks) {
+  const Topology topo = make_hypercube(8, 2);
+  const routing::DimensionOrder routing(topo);
+  AdaptivenessOptions options;
+  options.pair_budget = 500;
+  const AdaptivenessResult result =
+      degree_of_adaptiveness(topo, routing, options);
+  EXPECT_TRUE(result.sampled);
+  EXPECT_EQ(result.pairs, 500u);
+  EXPECT_GT(result.degree, 0.0);
+  EXPECT_LT(result.degree, 0.5);
+}
+
+TEST(Adaptiveness, SamplingIsDeterministic) {
+  const Topology topo = make_hypercube(7, 2);
+  const auto duato = routing::make_duato_hypercube(topo);
+  AdaptivenessOptions options;
+  options.pair_budget = 300;
+  const double a = degree_of_adaptiveness(topo, *duato, options).degree;
+  const double b = degree_of_adaptiveness(topo, *duato, options).degree;
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace wormnet::analysis

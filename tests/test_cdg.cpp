@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace wormnet::cdg {
+namespace {
+
+using topology::make_hypercube;
+using topology::make_mesh;
+using topology::make_ring;
+using topology::make_torus;
+using topology::make_unidirectional_ring;
+
+TEST(Cdg, EcubeMeshIsAcyclic) {
+  const Topology topo = make_mesh({4, 4});
+  const routing::DimensionOrder routing(topo);
+  const auto cdg = build_cdg(topo, routing);
+  EXPECT_FALSE(cdg.has_cycle());
+  EXPECT_GT(cdg.num_edges(), 0u);
+}
+
+TEST(Cdg, UnidirectionalRingOneVcIsCyclic) {
+  // The canonical Dally-Seitz motivating example: a 1-VC ring's CDG is the
+  // ring itself — one big cycle.
+  const Topology topo = make_unidirectional_ring(4, 1);
+  const routing::UnrestrictedMinimal routing(topo);
+  const auto cdg = build_cdg(topo, routing);
+  auto cycle = cdg.find_cycle();
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_EQ(cycle->size(), 4u);
+}
+
+TEST(Cdg, DatelineRingIsAcyclic) {
+  const Topology topo = make_unidirectional_ring(4, 2);
+  const routing::DatelineRouting routing(topo);
+  const auto cdg = build_cdg(topo, routing);
+  EXPECT_FALSE(cdg.has_cycle());
+}
+
+TEST(Cdg, DatelineBidirectionalTorusIsAcyclic) {
+  for (const auto& topo : {make_ring(5, 2), make_ring(6, 2),
+                           make_torus({4, 4}, 2), make_torus({3, 5}, 2)}) {
+    const routing::DatelineRouting routing(topo);
+    const auto cdg = build_cdg(topo, routing);
+    EXPECT_FALSE(cdg.has_cycle()) << topo.name();
+  }
+}
+
+TEST(Cdg, TurnModelsAreAcyclic) {
+  const Topology topo = make_mesh({4, 4});
+  EXPECT_FALSE(build_cdg(topo, routing::WestFirst(topo)).has_cycle());
+  EXPECT_FALSE(build_cdg(topo, routing::NorthLast(topo)).has_cycle());
+  EXPECT_FALSE(build_cdg(topo, routing::NegativeFirst(topo)).has_cycle());
+}
+
+TEST(Cdg, UnrestrictedMeshIsCyclic) {
+  const Topology topo = make_mesh({3, 3});
+  const routing::UnrestrictedMinimal routing(topo);
+  EXPECT_TRUE(build_cdg(topo, routing).has_cycle());
+}
+
+TEST(Cdg, UnrestrictedHypercubeIsCyclic) {
+  const Topology topo = make_hypercube(3);
+  const routing::UnrestrictedMinimal routing(topo);
+  EXPECT_TRUE(build_cdg(topo, routing).has_cycle());
+}
+
+TEST(Cdg, DuatoAdaptiveHasCyclicCdgButIsStillInteresting) {
+  // The headline situation of the paper: the full CDG is cyclic...
+  const Topology topo = make_mesh({4, 4}, 2);
+  const auto routing = routing::make_duato_mesh(topo);
+  EXPECT_TRUE(build_cdg(topo, *routing).has_cycle());
+  // ...yet the escape layer alone is acyclic.
+  EXPECT_FALSE(build_cdg(topo, routing->escape()).has_cycle());
+}
+
+TEST(Cdg, HplMinimal3DMeshIsCyclic) {
+  // The companion claim: HPL has a cyclic channel dependency graph (the
+  // waiting graph, tested elsewhere, is what stays acyclic).
+  const Topology topo = make_mesh({3, 3, 3});
+  const routing::HighestPositiveLast routing(topo, /*nonminimal=*/false);
+  EXPECT_TRUE(build_cdg(topo, routing).has_cycle());
+}
+
+TEST(Cdg, EnhancedHypercubeIsCyclic) {
+  const Topology topo = make_hypercube(3, 2);
+  const routing::EnhancedFullyAdaptive routing(topo);
+  EXPECT_TRUE(build_cdg(topo, routing).has_cycle());
+}
+
+TEST(Cdg, EdgesOnlyBetweenAdjacentChannels) {
+  const Topology topo = make_mesh({4, 4}, 2);
+  const auto routing = routing::make_duato_mesh(topo);
+  const auto cdg = build_cdg(topo, *routing);
+  for (graph::Vertex u = 0; u < cdg.num_vertices(); ++u) {
+    for (graph::Vertex v : cdg.out(u)) {
+      EXPECT_EQ(topo.channel(u).dst, topo.channel(v).src)
+          << "dependency between non-consecutive channels";
+    }
+  }
+}
+
+// Parameterized: e-cube stays acyclic across mesh shapes and VC counts.
+class EcubeAcyclic
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(EcubeAcyclic, Holds) {
+  const auto [w, h, vcs] = GetParam();
+  const Topology topo = make_mesh({static_cast<std::uint32_t>(w),
+                                   static_cast<std::uint32_t>(h)},
+                                  static_cast<std::uint8_t>(vcs));
+  const routing::DimensionOrder routing(topo);
+  EXPECT_FALSE(build_cdg(topo, routing).has_cycle());
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, EcubeAcyclic,
+                         ::testing::Combine(::testing::Values(2, 3, 5),
+                                            ::testing::Values(2, 4),
+                                            ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace wormnet::cdg

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace wormnet::cwg {
+namespace {
+
+using topology::make_hypercube;
+using topology::make_mesh;
+using topology::make_unidirectional_ring;
+
+TEST(Cwg, SubgraphOfCdg) {
+  // Every CWG edge is also a CDG edge's transitive consequence; more useful
+  // here: the CWG has no MORE vertices and, for wait-on-any relations where
+  // waiting == route, at least the direct dependencies appear.
+  const Topology topo = make_mesh({3, 3});
+  const routing::UnrestrictedMinimal routing(topo);
+  const cdg::StateGraph states(topo, routing);
+  const Cwg cwg = build_cwg(states);
+  EXPECT_EQ(cwg.graph.num_vertices(), topo.num_channels());
+  EXPECT_GT(cwg.graph.num_edges(), 0u);
+}
+
+TEST(Cwg, WaitConnectedForStandardAlgorithms) {
+  {
+    const Topology topo = make_mesh({4, 4});
+    const routing::DimensionOrder routing(topo);
+    EXPECT_TRUE(wait_connected(cdg::StateGraph(topo, routing)));
+  }
+  {
+    const Topology topo = make_mesh({3, 3, 3});
+    const routing::HighestPositiveLast routing(topo, false);
+    EXPECT_TRUE(wait_connected(cdg::StateGraph(topo, routing)));
+  }
+  {
+    const Topology topo = make_hypercube(3, 2);
+    const routing::EnhancedFullyAdaptive routing(topo);
+    EXPECT_TRUE(wait_connected(cdg::StateGraph(topo, routing)));
+  }
+}
+
+TEST(Cwg, EcubeWaitingGraphAcyclic) {
+  const Topology topo = make_mesh({4, 4});
+  const routing::DimensionOrder routing(topo);
+  const cdg::StateGraph states(topo, routing);
+  EXPECT_FALSE(build_cwg(states).graph.has_cycle());
+}
+
+TEST(Cwg, HplMinimalCdgCyclicButCwgAcyclic) {
+  // The companion's Theorem-4 situation: cyclic channel dependency graph,
+  // acyclic channel waiting graph — no virtual channels needed.
+  const Topology topo = make_mesh({3, 3, 3});
+  const routing::HighestPositiveLast routing(topo, /*nonminimal=*/false);
+  const cdg::StateGraph states(topo, routing);
+  EXPECT_TRUE(cdg::build_cdg(states).has_cycle());
+  EXPECT_FALSE(build_cwg(states).graph.has_cycle());
+}
+
+TEST(Cwg, Hpl2DMeshCwgAcyclic) {
+  const Topology topo = make_mesh({4, 4});
+  const routing::HighestPositiveLast routing(topo, /*nonminimal=*/true);
+  const cdg::StateGraph states(topo, routing);
+  EXPECT_FALSE(build_cwg(states).graph.has_cycle());
+}
+
+TEST(Cwg, HplNonminimal3DTheorem4) {
+  // The full Theorem-4 situation: the complete nonminimal HPL algorithm on
+  // a 3-D mesh — misrouting below the highest negative dimension, input-
+  // dependent 180-degree turn rules, no virtual channels — keeps an acyclic
+  // channel waiting graph despite its (far larger) cyclic CDG.
+  const Topology topo = make_mesh({3, 3, 3});
+  const routing::HighestPositiveLast routing(topo, /*nonminimal=*/true);
+  const cdg::StateGraph states(topo, routing);
+  EXPECT_TRUE(wait_connected(states));
+  EXPECT_TRUE(cdg::build_cdg(states).has_cycle());
+  const Cwg cwg = build_cwg(states);
+  EXPECT_GT(cwg.graph.num_edges(), 1000u);  // dense relation, sparse waits
+  EXPECT_FALSE(cwg.graph.has_cycle());
+}
+
+TEST(Cwg, EnhancedHypercubeCwgAcyclic) {
+  // Theorem-5 situation: waiting confined to vc0 of the lowest needed
+  // dimension keeps the waiting graph acyclic even though the CDG cycles.
+  const Topology topo = make_hypercube(3, 2);
+  const routing::EnhancedFullyAdaptive routing(topo);
+  const cdg::StateGraph states(topo, routing);
+  EXPECT_TRUE(cdg::build_cdg(states).has_cycle());
+  EXPECT_FALSE(build_cwg(states).graph.has_cycle());
+}
+
+TEST(Cwg, EnhancedRelaxedHasTrueCycle) {
+  // Theorem-6 situation: the relaxation creates a True Cycle.
+  const Topology topo = make_hypercube(3, 2);
+  const routing::EnhancedFullyAdaptive routing(topo, /*relaxed=*/true);
+  const cdg::StateGraph states(topo, routing);
+  const Cwg cwg = build_cwg(states);
+  EXPECT_TRUE(cwg.graph.has_cycle());
+  const CycleSurvey survey = survey_cycles(states, cwg, 2000);
+  EXPECT_GT(survey.true_cycles, 0u);
+}
+
+TEST(Cwg, OneVcRingTrueCycle) {
+  const Topology topo = make_unidirectional_ring(4, 1);
+  const routing::UnrestrictedMinimal routing(topo);
+  const cdg::StateGraph states(topo, routing);
+  const Cwg cwg = build_cwg(states);
+  const CycleSurvey survey = survey_cycles(states, cwg, 100);
+  ASSERT_GT(survey.true_cycles, 0u);
+  // The canonical 4-message configuration: each message holds one channel
+  // and waits for the next; witness paths must be pairwise disjoint.
+  for (const auto& cycle : survey.cycles) {
+    if (cycle.kind != CycleKind::kTrue) continue;
+    std::vector<bool> seen(topo.num_channels(), false);
+    for (const auto& path : cycle.witness_paths) {
+      for (ChannelId c : path) {
+        EXPECT_FALSE(seen[c]) << "witness paths share a channel";
+        seen[c] = true;
+      }
+    }
+  }
+}
+
+TEST(Cwg, EdgeWitnessesRecorded) {
+  const Topology topo = make_unidirectional_ring(4, 1);
+  const routing::UnrestrictedMinimal routing(topo);
+  const cdg::StateGraph states(topo, routing);
+  const Cwg cwg = build_cwg(states);
+  for (graph::Vertex u = 0; u < cwg.graph.num_vertices(); ++u) {
+    for (graph::Vertex v : cwg.graph.out(u)) {
+      auto it = cwg.witnesses.find({u, v});
+      ASSERT_NE(it, cwg.witnesses.end());
+      EXPECT_FALSE(it->second.empty());
+    }
+  }
+}
+
+TEST(Cwg, WaitingRestrictionShrinksGraph) {
+  // HPL waits on a single channel; the CWG must be a strict subgraph of the
+  // CWG of the same relation with waiting == route.
+  const Topology topo = make_mesh({3, 3, 3});
+  const routing::HighestPositiveLast hpl(topo, false);
+  const routing::UnrestrictedMinimal all(topo);
+  const cdg::StateGraph hpl_states(topo, hpl);
+  const cdg::StateGraph all_states(topo, all);
+  const auto hpl_cwg = build_cwg(hpl_states);
+  const auto all_cwg = build_cwg(all_states);
+  EXPECT_LT(hpl_cwg.graph.num_edges(), all_cwg.graph.num_edges());
+}
+
+}  // namespace
+}  // namespace wormnet::cwg

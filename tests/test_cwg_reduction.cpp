@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace wormnet::cwg {
+namespace {
+
+using topology::make_hypercube;
+using topology::make_mesh;
+using topology::make_unidirectional_ring;
+
+TEST(Reduction, NoCyclesNothingToRemove) {
+  const Topology topo = make_mesh({4, 4});
+  const routing::DimensionOrder routing(topo);
+  const cdg::StateGraph states(topo, routing);
+  const Cwg cwg = build_cwg(states);
+  const ReductionResult result = reduce_cwg(states, cwg);
+  EXPECT_TRUE(result.success);
+  EXPECT_TRUE(result.removed.empty());
+  EXPECT_EQ(result.reduced.num_edges(), cwg.graph.num_edges());
+}
+
+TEST(Reduction, OneVcRingCannotBeReduced) {
+  // Every waiting edge of the 1-VC ring cycle is load-bearing: removing any
+  // of them leaves some state with no usable waiting channel, so no CWG'
+  // exists — matching the fact that the relation deadlocks.
+  const Topology topo = make_unidirectional_ring(4, 1);
+  const routing::UnrestrictedMinimal routing(topo);
+  const cdg::StateGraph states(topo, routing);
+  const Cwg cwg = build_cwg(states);
+  const ReductionResult result = reduce_cwg(states, cwg);
+  EXPECT_FALSE(result.success);
+  EXPECT_FALSE(result.budget_exhausted)
+      << "the search space is tiny; failure must be a proof, not a timeout";
+}
+
+TEST(Reduction, RemovedEdgesAreRealCwgEdges) {
+  const Topology topo = routing::make_incoherent_net();
+  const routing::IncoherentRouting routing(topo);
+  const cdg::StateGraph states(topo, routing);
+  const Cwg cwg = build_cwg(states);
+  const ReductionResult result = reduce_cwg(states, cwg);
+  ASSERT_TRUE(result.success);
+  for (const auto& [from, to] : result.removed) {
+    EXPECT_TRUE(cwg.graph.has_edge(from, to));
+    EXPECT_FALSE(result.reduced.has_edge(from, to));
+  }
+  EXPECT_EQ(result.reduced.num_edges(),
+            cwg.graph.num_edges() - result.removed.size());
+}
+
+TEST(Reduction, EnhancedRelaxedHasNoCwgPrime) {
+  // Theorem 6: the relaxed Enhanced algorithm is genuinely deadlockable, so
+  // no True-Cycle-free wait-connected CWG' may exist.  (Waiting sets are
+  // singletons here, so there is nothing to fall back on.)
+  const Topology topo = make_hypercube(3, 2);
+  const routing::EnhancedFullyAdaptive routing(topo, /*relaxed=*/true);
+  const cdg::StateGraph states(topo, routing);
+  const Cwg cwg = build_cwg(states);
+  ReductionOptions options;
+  options.backtrack_budget = 200;  // keep the test fast; failure is failure
+  const ReductionResult result = reduce_cwg(states, cwg, options);
+  EXPECT_FALSE(result.success);
+}
+
+}  // namespace
+}  // namespace wormnet::cwg

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace wormnet::topology {
+namespace {
+
+TEST(Cylinder, MixedWrapStructure) {
+  // Mesh in X (radix 4), ring in Y (radix 5).
+  const Topology topo = make_cylinder({4, 5}, {false, true}, 2);
+  EXPECT_TRUE(topo.is_cube());
+  EXPECT_FALSE(topo.cube().wraps[0]);
+  EXPECT_TRUE(topo.cube().wraps[1]);
+  EXPECT_TRUE(topo.strongly_connected());
+  // X boundary exists, Y boundary does not.
+  const NodeId corner = topo.node_at(std::vector<std::uint32_t>{0, 0});
+  EXPECT_FALSE(topo.neighbor(corner, 0, Direction::kNeg).has_value());
+  EXPECT_TRUE(topo.neighbor(corner, 1, Direction::kNeg).has_value());
+}
+
+TEST(Cylinder, DistanceMixesMetrics) {
+  const Topology topo = make_cylinder({4, 6}, {false, true});
+  const NodeId a = topo.node_at(std::vector<std::uint32_t>{0, 0});
+  const NodeId b = topo.node_at(std::vector<std::uint32_t>{3, 5});
+  // X: 3 hops (no wrap); Y: 1 hop (wraps the short way).
+  EXPECT_EQ(topo.distance(a, b), 4u);
+}
+
+TEST(Cylinder, DatelineRoutingIsDeadlockFree) {
+  // Dateline splits VCs only where the wrap exists; the checker certifies
+  // the mixed topology end to end.
+  const Topology topo = make_cylinder({4, 4}, {false, true}, 2);
+  const routing::DatelineRouting routing(topo);
+  test::expect_connected(topo, routing);
+  const auto cdg = cdg::build_cdg(topo, routing);
+  EXPECT_FALSE(cdg.has_cycle());
+  const core::Verdict verdict =
+      core::verify(topo, routing, {.method = core::Method::kDuato});
+  EXPECT_EQ(verdict.conclusion, core::Conclusion::kDeadlockFree);
+}
+
+TEST(Cylinder, DuatoTorusConstructionWorks) {
+  const Topology topo = make_cylinder({4, 4}, {false, true}, 3);
+  const auto routing = routing::make_duato_torus(topo);
+  test::expect_connected(topo, *routing);
+  const core::Verdict verdict =
+      core::verify(topo, *routing, {.method = core::Method::kDuato});
+  EXPECT_EQ(verdict.conclusion, core::Conclusion::kDeadlockFree)
+      << verdict.detail;
+  sim::SimConfig cfg;
+  cfg.injection_rate = 0.3;
+  cfg.warmup_cycles = 300;
+  cfg.measure_cycles = 2000;
+  cfg.drain_cycles = 8000;
+  cfg.seed = 14;
+  const sim::SimStats stats = sim::run(topo, *routing, cfg);
+  EXPECT_FALSE(stats.deadlocked);
+  EXPECT_EQ(stats.measured_delivered, stats.measured_created);
+}
+
+TEST(Cylinder, UnrestrictedOnWrappedDimensionDeadlocks) {
+  // The ring dimension alone is enough to wedge unrestricted routing.
+  const Topology topo = make_cylinder({3, 4}, {false, true});
+  const routing::UnrestrictedMinimal routing(topo);
+  bool deadlocked = false;
+  for (std::uint64_t seed = 1; seed <= 4 && !deadlocked; ++seed) {
+    sim::SimConfig cfg = test::stress_config(seed);
+    cfg.injection_rate = 0.9;
+    cfg.packet_length = 20;
+    cfg.buffer_depth = 1;
+    deadlocked = sim::run(topo, routing, cfg).deadlocked;
+  }
+  EXPECT_TRUE(deadlocked);
+}
+
+TEST(Cylinder, NameEncodesWrapPattern) {
+  const Topology topo = make_cylinder({4, 5}, {false, true}, 2);
+  EXPECT_EQ(topo.name(), "cylinder(4-x5o)v2");
+}
+
+}  // namespace
+}  // namespace wormnet::topology

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace wormnet::cdg {
+namespace {
+
+using topology::make_hypercube;
+using topology::make_mesh;
+using topology::make_torus;
+using topology::make_unidirectional_ring;
+
+TEST(DuatoChecker, AcceptsEcubeViaFullSet) {
+  const Topology topo = make_mesh({4, 4});
+  const routing::DimensionOrder routing(topo);
+  const StateGraph states(topo, routing);
+  const SearchResult result = search(states);
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(result.report.subfunction_label, "all-channels");
+  EXPECT_TRUE(result.report.holds());
+}
+
+TEST(DuatoChecker, AcceptsDuatoMeshViaVcClass) {
+  const Topology topo = make_mesh({4, 4}, 2);
+  const auto routing = routing::make_duato_mesh(topo);
+  const StateGraph states(topo, *routing);
+  const SearchResult result = search(states);
+  ASSERT_TRUE(result.found);
+  // The full set fails (cyclic CDG), the vc0 class succeeds.
+  EXPECT_EQ(result.report.subfunction_label, "vc-classes:0");
+  EXPECT_GT(result.report.indirect_edges, 0u);
+}
+
+TEST(DuatoChecker, AcceptsDuatoTorusViaDatelineClasses) {
+  const Topology topo = make_torus({4, 4}, 3);
+  const auto routing = routing::make_duato_torus(topo);
+  const StateGraph states(topo, *routing);
+  const SearchResult result = search(states);
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(result.report.subfunction_label, "vc-classes:01");
+}
+
+TEST(DuatoChecker, AcceptsDuatoHypercube) {
+  const Topology topo = make_hypercube(3, 2);
+  const auto routing = routing::make_duato_hypercube(topo);
+  const StateGraph states(topo, *routing);
+  EXPECT_TRUE(search(states).found);
+}
+
+TEST(DuatoChecker, RejectsOneVcRingExhaustively) {
+  // 4 channels: the exhaustive stage covers all 2^4 - 2 proper subsets, so
+  // the failure is a *proof* of deadlock-susceptibility.
+  const Topology topo = make_unidirectional_ring(4, 1);
+  const routing::UnrestrictedMinimal routing(topo);
+  const StateGraph states(topo, routing);
+  const SearchResult result = search(states);
+  EXPECT_FALSE(result.found);
+  EXPECT_TRUE(result.exhaustive_complete);
+}
+
+TEST(DuatoChecker, AcceptsDatelineRing) {
+  const Topology topo = make_unidirectional_ring(4, 2);
+  const routing::DatelineRouting routing(topo);
+  const StateGraph states(topo, routing);
+  const SearchResult result = search(states);
+  ASSERT_TRUE(result.found);
+  EXPECT_TRUE(result.report.holds());
+}
+
+TEST(DuatoChecker, SeededCandidateTriedFirst) {
+  const Topology topo = make_mesh({4, 4}, 2);
+  const auto routing = routing::make_duato_mesh(topo);
+  const StateGraph states(topo, *routing);
+  SearchOptions options;
+  std::vector<bool> c1(topo.num_channels(), false);
+  for (ChannelId c = 0; c < topo.num_channels(); ++c) {
+    if (topo.channel(c).vc == 0) c1[c] = true;
+  }
+  options.seeded_candidates.emplace_back(c1, "known-escape");
+  const SearchResult result = search(states, options);
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(result.report.subfunction_label, "known-escape");
+  EXPECT_EQ(result.candidates_tried, 2u);  // all-channels, then the seed
+}
+
+TEST(DuatoChecker, GreedyFindsEscapeWithoutClassHints) {
+  // A 1-VC situation where classes don't exist but a valid escape subset
+  // does: west-first restricted relation already passes via the full set,
+  // so instead check greedy on a 2-node custom net with a redundant channel.
+  using topology::Channel;
+  using topology::Direction;
+  std::vector<Channel> channels;
+  channels.push_back({0, 1, 0, Direction::kPos, 0, false, "f0"});
+  channels.push_back({0, 1, 0, Direction::kPos, 1, false, "f1"});
+  channels.push_back({1, 0, 0, Direction::kNeg, 0, false, "b0"});
+  channels.push_back({1, 0, 0, Direction::kNeg, 1, false, "b1"});
+  const Topology topo("two-node", 2, std::move(channels));
+  std::map<routing::TableRouting::Key, routing::ChannelSet> table;
+  table[{topology::kInvalidChannel, 0, 1}] = {0, 1};
+  table[{topology::kInvalidChannel, 1, 0}] = {2, 3};
+  const routing::TableRouting routing(topo, "redundant", std::move(table));
+  const StateGraph states(topo, routing);
+  const SearchResult result = search(states);
+  EXPECT_TRUE(result.found);  // no cycles at all: full set works
+}
+
+TEST(DuatoChecker, CheckReportsEdgeCounts) {
+  const Topology topo = make_mesh({4, 4}, 2);
+  const auto routing = routing::make_duato_mesh(topo);
+  const StateGraph states(topo, *routing);
+  std::vector<bool> c1(topo.num_channels(), false);
+  for (ChannelId c = 0; c < topo.num_channels(); ++c) {
+    if (topo.channel(c).vc == 0) c1[c] = true;
+  }
+  const Subfunction sub(states, c1, "vc0");
+  const DuatoReport report = check(sub);
+  EXPECT_TRUE(report.holds());
+  EXPECT_GT(report.direct_edges, 0u);
+  EXPECT_GT(report.indirect_edges, 0u);
+  EXPECT_EQ(report.cross_edges, 0u);
+  EXPECT_TRUE(report.witness_cycle.empty());
+}
+
+TEST(DuatoChecker, WitnessCycleReportedOnFailure) {
+  const Topology topo = make_unidirectional_ring(4, 1);
+  const routing::UnrestrictedMinimal routing(topo);
+  const StateGraph states(topo, routing);
+  const Subfunction sub(states, std::vector<bool>(topo.num_channels(), true),
+                        "all");
+  const DuatoReport report = check(sub);
+  EXPECT_FALSE(report.acyclic);
+  EXPECT_FALSE(report.witness_cycle.empty());
+}
+
+}  // namespace
+}  // namespace wormnet::cdg

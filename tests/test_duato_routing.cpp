@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace wormnet::routing {
+namespace {
+
+using test::expect_connected;
+using topology::make_hypercube;
+using topology::make_mesh;
+using topology::make_torus;
+
+TEST(DuatoMesh, OffersAdaptivePlusEscape) {
+  const Topology topo = make_mesh({4, 4}, 2);
+  const auto routing = make_duato_mesh(topo);
+  const NodeId src = topo.node_at(std::vector<std::uint32_t>{0, 0});
+  const NodeId dst = topo.node_at(std::vector<std::uint32_t>{2, 2});
+  const auto out = routing->route(topology::kInvalidChannel, src, dst);
+  // 2 adaptive (vc1, two productive dims) + 1 escape (vc0, lowest dim).
+  ASSERT_EQ(out.size(), 3u);
+  // Preference order: adaptive first, escape last.
+  EXPECT_EQ(topo.channel(out.back()).vc, 0);
+  EXPECT_EQ(topo.channel(out[0]).vc, 1);
+  int escapes = 0;
+  for (ChannelId c : out) {
+    if (topo.channel(c).vc == 0) ++escapes;
+  }
+  EXPECT_EQ(escapes, 1);
+}
+
+TEST(DuatoMesh, EscapeLayerIsDimensionOrder) {
+  const Topology topo = make_mesh({4, 4}, 2);
+  const auto routing = make_duato_mesh(topo);
+  const auto& escape = routing->escape();
+  const NodeId src = topo.node_at(std::vector<std::uint32_t>{1, 1});
+  const NodeId dst = topo.node_at(std::vector<std::uint32_t>{3, 3});
+  const auto out = escape.route(topology::kInvalidChannel, src, dst);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(topo.channel(out[0]).dim, 0);
+  EXPECT_EQ(topo.channel(out[0]).vc, 0);
+}
+
+TEST(DuatoMesh, RequiresTwoVcs) {
+  const Topology topo = make_mesh({4, 4}, 1);
+  EXPECT_THROW(make_duato_mesh(topo), std::invalid_argument);
+}
+
+TEST(DuatoTorus, RequiresThreeVcs) {
+  EXPECT_THROW(make_duato_torus(make_torus({4, 4}, 2)),
+               std::invalid_argument);
+  EXPECT_NO_THROW(make_duato_torus(make_torus({4, 4}, 3)));
+}
+
+TEST(DuatoTorus, AdaptiveUsesUpperVcs) {
+  const Topology topo = make_torus({4, 4}, 3);
+  const auto routing = make_duato_torus(topo);
+  const auto out = routing->route(topology::kInvalidChannel, 0, 5);
+  for (ChannelId c : out) {
+    // vc2 adaptive or vc0/vc1 escape; nothing else exists here.
+    EXPECT_LE(topo.channel(c).vc, 2);
+  }
+  // At least one adaptive candidate per productive dimension.
+  int adaptive = 0;
+  for (ChannelId c : out) {
+    if (topo.channel(c).vc == 2) ++adaptive;
+  }
+  EXPECT_EQ(adaptive, 2);
+}
+
+TEST(DuatoHypercube, EscapeIsEcube) {
+  const Topology topo = make_hypercube(3, 2);
+  const auto routing = make_duato_hypercube(topo);
+  const auto out = routing->route(topology::kInvalidChannel, 0b000, 0b110);
+  // adaptive: dims 1 and 2 on vc1; escape: dim 1 on vc0.
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(topo.channel(out.back()).vc, 0);
+  EXPECT_EQ(topo.channel(out.back()).dim, 1);
+}
+
+class DuatoConnectivity : public ::testing::TestWithParam<int> {};
+
+TEST_P(DuatoConnectivity, MeshTorusHypercube) {
+  const auto k = static_cast<std::uint32_t>(GetParam());
+  {
+    const Topology topo = make_mesh({k, k}, 2);
+    const auto routing = make_duato_mesh(topo);
+    expect_connected(topo, *routing);
+  }
+  {
+    const Topology topo = make_torus({k, k}, 3);
+    const auto routing = make_duato_torus(topo);
+    expect_connected(topo, *routing);
+  }
+  {
+    const Topology topo = make_hypercube(3, 2);
+    const auto routing = make_duato_hypercube(topo);
+    expect_connected(topo, *routing);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DuatoConnectivity, ::testing::Values(3, 4, 5));
+
+}  // namespace
+}  // namespace wormnet::routing

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace wormnet::routing {
+namespace {
+
+using test::expect_connected;
+using test::expect_waiting_subset;
+using topology::Direction;
+using topology::make_hypercube;
+using topology::make_mesh;
+
+TEST(Enhanced, SecondVcAlwaysFullyAdaptive) {
+  const Topology topo = make_hypercube(4, 2);
+  const EnhancedFullyAdaptive routing(topo);
+  // 0000 -> 1011: needs +dim0, +dim1, +dim3 (l = 0, positive).
+  const auto out = routing.route(topology::kInvalidChannel, 0b0000, 0b1011);
+  int vc1_count = 0;
+  for (ChannelId c : out) {
+    if (topo.channel(c).vc == 1) ++vc1_count;
+  }
+  EXPECT_EQ(vc1_count, 3);
+}
+
+TEST(Enhanced, PositiveLowestRestrictsFirstVcToDimL) {
+  const Topology topo = make_hypercube(4, 2);
+  const EnhancedFullyAdaptive routing(topo);
+  const auto out = routing.route(topology::kInvalidChannel, 0b0000, 0b1011);
+  for (ChannelId c : out) {
+    const auto& ch = topo.channel(c);
+    if (ch.vc == 0) {
+      EXPECT_EQ(ch.dim, 0);  // only the lowest needed dimension on vc0
+      EXPECT_EQ(ch.dir, Direction::kPos);
+    }
+  }
+}
+
+TEST(Enhanced, NegativeLowestUnlocksFirstVcEverywhere) {
+  const Topology topo = make_hypercube(4, 2);
+  const EnhancedFullyAdaptive routing(topo);
+  // 0001 -> 1010: needs -dim0 (l = 0 negative), +dim1, +dim3.
+  const auto out = routing.route(topology::kInvalidChannel, 0b0001, 0b1010);
+  int vc0_count = 0;
+  for (ChannelId c : out) {
+    if (topo.channel(c).vc == 0) ++vc0_count;
+  }
+  EXPECT_EQ(vc0_count, 3);  // vc0 usable on every minimal hop
+}
+
+TEST(Enhanced, WaitsForFirstVcOfLowestDim) {
+  const Topology topo = make_hypercube(4, 2);
+  const EnhancedFullyAdaptive routing(topo);
+  const auto waits =
+      routing.waiting(topology::kInvalidChannel, 0b0000, 0b1010);
+  ASSERT_EQ(waits.size(), 1u);
+  EXPECT_EQ(topo.channel(waits[0]).vc, 0);
+  EXPECT_EQ(topo.channel(waits[0]).dim, 1);  // lowest differing dimension
+  EXPECT_EQ(routing.wait_mode(), WaitMode::kSpecific);
+}
+
+TEST(Enhanced, RelaxedVariantOffersMore) {
+  const Topology topo = make_hypercube(4, 2);
+  const EnhancedFullyAdaptive strict(topo, false);
+  const EnhancedFullyAdaptive relaxed(topo, true);
+  const auto s = strict.route(topology::kInvalidChannel, 0b0000, 0b1011);
+  const auto r = relaxed.route(topology::kInvalidChannel, 0b0000, 0b1011);
+  EXPECT_GT(r.size(), s.size());
+}
+
+TEST(Enhanced, RejectsNonHypercube) {
+  const Topology mesh = make_mesh({4, 4}, 2);
+  EXPECT_THROW(EnhancedFullyAdaptive{mesh}, std::invalid_argument);
+}
+
+TEST(Enhanced, RejectsSingleVc) {
+  const Topology topo = make_hypercube(3, 1);
+  EXPECT_THROW(EnhancedFullyAdaptive{topo}, std::invalid_argument);
+}
+
+class EnhancedConnectivity : public ::testing::TestWithParam<int> {};
+
+TEST_P(EnhancedConnectivity, BothVariantsConnected) {
+  const Topology topo = make_hypercube(GetParam(), 2);
+  const EnhancedFullyAdaptive strict(topo, false);
+  expect_connected(topo, strict);
+  expect_waiting_subset(topo, strict);
+  const EnhancedFullyAdaptive relaxed(topo, true);
+  expect_connected(topo, relaxed);
+  expect_waiting_subset(topo, relaxed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, EnhancedConnectivity, ::testing::Values(2, 3, 4));
+
+}  // namespace
+}  // namespace wormnet::routing

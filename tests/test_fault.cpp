@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace wormnet::routing {
+namespace {
+
+using topology::make_mesh;
+using topology::make_torus;
+
+TEST(Fault, FilterRemovesFaultyChannels) {
+  const Topology topo = make_mesh({4, 4}, 2);
+  std::vector<bool> faulty(topo.num_channels(), false);
+  mark_link_faulty(topo, 0, 1, faulty);
+  FaultAwareRouting routing(topo, std::make_unique<UnrestrictedMinimal>(topo),
+                            faulty);
+  EXPECT_EQ(routing.fault_count(), 2u);  // both VCs of the link
+  const auto out = routing.route(topology::kInvalidChannel, 0, 1);
+  for (ChannelId c : out) {
+    EXPECT_FALSE(routing.is_faulty(c));
+    EXPECT_NE(topo.channel(c).dst, 1u);  // must detour... wait: minimal only
+  }
+  // Minimal relation with the only direct link dead: no candidates remain
+  // toward an adjacent destination.
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Fault, DeterministicRelationLosesConnectivity) {
+  const Topology topo = make_mesh({4, 4});
+  std::vector<bool> faulty(topo.num_channels(), false);
+  // Fault the first X-hop of e-cube's unique path from (0,0) eastward.
+  mark_link_faulty(topo, 0, 1, faulty);
+  FaultAwareRouting routing(topo, std::make_unique<DimensionOrder>(topo),
+                            faulty);
+  const cdg::StateGraph states(topo, routing);
+  EXPECT_FALSE(cdg::relation_connected(states));
+}
+
+TEST(Fault, AdaptiveLayerFaultIsTolerated) {
+  // Kill one *adaptive* (vc1) channel of Duato's mesh construction: the
+  // relation stays connected, the condition still holds, and the simulator
+  // still delivers everything.
+  const Topology topo = make_mesh({4, 4}, 2);
+  std::vector<bool> faulty(topo.num_channels(), false);
+  const ChannelId victim = topo.find_channel(5, 6, 1);
+  ASSERT_NE(victim, topology::kInvalidChannel);
+  faulty[victim] = true;
+  FaultAwareRouting routing(topo, make_duato_mesh(topo), faulty);
+
+  const cdg::StateGraph states(topo, routing);
+  EXPECT_TRUE(cdg::relation_connected(states));
+  const cdg::SearchResult search = cdg::search(states);
+  EXPECT_TRUE(search.found);
+
+  sim::SimConfig cfg;
+  cfg.injection_rate = 0.2;
+  cfg.warmup_cycles = 200;
+  cfg.measure_cycles = 2000;
+  cfg.drain_cycles = 6000;
+  cfg.seed = 4;
+  const sim::SimStats stats = sim::run(topo, routing, cfg);
+  EXPECT_FALSE(stats.deadlocked);
+  EXPECT_EQ(stats.measured_delivered, stats.measured_created);
+}
+
+TEST(Fault, EscapeLayerFaultBreaksTheProof) {
+  // Kill an *escape* (vc0) channel instead: escape-everywhere fails for the
+  // canonical subfunction, and the checker no longer certifies via vc0.
+  const Topology topo = make_mesh({4, 4}, 2);
+  std::vector<bool> faulty(topo.num_channels(), false);
+  const ChannelId victim = topo.find_channel(5, 6, 0);
+  ASSERT_NE(victim, topology::kInvalidChannel);
+  faulty[victim] = true;
+  FaultAwareRouting routing(topo, make_duato_mesh(topo), faulty);
+
+  const cdg::StateGraph states(topo, routing);
+  std::vector<bool> c1(topo.num_channels(), false);
+  for (ChannelId c = 0; c < topo.num_channels(); ++c) {
+    if (topo.channel(c).vc == 0 && !faulty[c]) c1[c] = true;
+  }
+  const cdg::Subfunction sub(states, c1, "vc0-degraded");
+  EXPECT_FALSE(sub.connected());
+}
+
+TEST(Fault, RandomFaultsAreDeterministic) {
+  const Topology topo = make_torus({4, 4}, 2);
+  const auto a = random_link_faults(topo, 3, 99);
+  const auto b = random_link_faults(topo, 3, 99);
+  EXPECT_EQ(a, b);
+  const auto c = random_link_faults(topo, 3, 100);
+  EXPECT_NE(a, c);
+  std::size_t count = 0;
+  for (bool f : a) count += f ? 1 : 0;
+  EXPECT_EQ(count, 3u * 2u);  // 3 links x 2 VCs
+}
+
+TEST(Fault, MaskSizeMismatchThrows) {
+  const Topology topo = make_mesh({3, 3});
+  EXPECT_THROW(FaultAwareRouting(topo,
+                                 std::make_unique<UnrestrictedMinimal>(topo),
+                                 std::vector<bool>(3, false)),
+               std::invalid_argument);
+}
+
+TEST(Fault, NonminimalHplRoutesAroundFaults) {
+  // HPL's nonminimal freedom below dimension p lets it pass a dead link
+  // that would strand a minimal algorithm, for the pairs whose highest
+  // negative dimension lies above the fault.
+  const Topology topo = make_mesh({4, 4});
+  std::vector<bool> faulty(topo.num_channels(), false);
+  // Kill the eastward link in row 3 between (1,3) and (2,3).
+  const NodeId a = topo.node_at(std::vector<std::uint32_t>{1, 3});
+  const NodeId b = topo.node_at(std::vector<std::uint32_t>{2, 3});
+  mark_link_faulty(topo, a, b, faulty);
+  FaultAwareRouting hpl(topo, std::make_unique<HighestPositiveLast>(topo, true),
+                        faulty);
+  // A message from (0,3) to (3,0): needs +x, -y; p=1, so it may drop south
+  // first and cross in another row — candidates must remain nonempty at the
+  // fault site.
+  const auto out = hpl.route(topology::kInvalidChannel, a,
+                             topo.node_at(std::vector<std::uint32_t>{3, 0}));
+  EXPECT_FALSE(out.empty());
+}
+
+}  // namespace
+}  // namespace wormnet::routing

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace wormnet::routing {
+namespace {
+
+using test::expect_connected;
+using test::expect_waiting_subset;
+using topology::Direction;
+using topology::make_mesh;
+
+NodeId at(const Topology& topo, std::initializer_list<std::uint32_t> xs) {
+  return topo.node_at(std::vector<std::uint32_t>(xs));
+}
+
+TEST(Hpl, PositiveOnlyUsesIncreasingDimensionOrder) {
+  const Topology topo = make_mesh({4, 4, 4});
+  const HighestPositiveLast routing(topo);
+  const auto out = routing.route(topology::kInvalidChannel,
+                                 at(topo, {0, 0, 0}), at(topo, {2, 2, 0}));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(topo.channel(out[0]).dim, 0);
+  EXPECT_EQ(topo.channel(out[0]).dir, Direction::kPos);
+}
+
+TEST(Hpl, NegativeNeedUnlocksLowerDimensions) {
+  const Topology topo = make_mesh({4, 4, 4});
+  const HighestPositiveLast routing(topo);
+  // Needs +dim0 and -dim2: p = 2, so both the dim2 negative channel and the
+  // positive dim0 channel are usable, plus nonminimal channels in dims < 2.
+  const auto out = routing.route(topology::kInvalidChannel,
+                                 at(topo, {0, 1, 3}), at(topo, {2, 1, 1}));
+  bool has_neg2 = false, has_pos0 = false;
+  for (ChannelId c : out) {
+    const auto& ch = topo.channel(c);
+    if (ch.dim == 2 && ch.dir == Direction::kNeg) has_neg2 = true;
+    if (ch.dim == 0 && ch.dir == Direction::kPos) has_pos0 = true;
+    EXPECT_FALSE(ch.dim == 2 && ch.dir == Direction::kPos);
+  }
+  EXPECT_TRUE(has_neg2);
+  EXPECT_TRUE(has_pos0);
+}
+
+TEST(Hpl, WaitsForNegativeOfHighestDimension) {
+  const Topology topo = make_mesh({4, 4, 4});
+  const HighestPositiveLast routing(topo);
+  const auto waits = routing.waiting(topology::kInvalidChannel,
+                                     at(topo, {0, 3, 3}), at(topo, {2, 1, 1}));
+  ASSERT_EQ(waits.size(), 1u);
+  EXPECT_EQ(topo.channel(waits[0]).dim, 2);
+  EXPECT_EQ(topo.channel(waits[0]).dir, Direction::kNeg);
+  EXPECT_EQ(routing.wait_mode(), WaitMode::kSpecific);
+}
+
+TEST(Hpl, PositiveOnlyWaitsForLowestNeeded) {
+  const Topology topo = make_mesh({4, 4, 4});
+  const HighestPositiveLast routing(topo);
+  const auto waits = routing.waiting(topology::kInvalidChannel,
+                                     at(topo, {1, 0, 1}), at(topo, {1, 2, 3}));
+  ASSERT_EQ(waits.size(), 1u);
+  EXPECT_EQ(topo.channel(waits[0]).dim, 1);
+  EXPECT_EQ(topo.channel(waits[0]).dir, Direction::kPos);
+}
+
+TEST(Hpl, NonminimalOffersMisroutesBelowP) {
+  const Topology topo = make_mesh({4, 4});
+  const HighestPositiveLast routing(topo, /*nonminimal=*/true);
+  // Needs only -dim1 (p = 1): any channel in dim0 is usable too.
+  const auto out = routing.route(topology::kInvalidChannel, at(topo, {1, 3}),
+                                 at(topo, {1, 0}));
+  bool has_pos0 = false, has_neg0 = false, has_neg1 = false;
+  for (ChannelId c : out) {
+    const auto& ch = topo.channel(c);
+    if (ch.dim == 0 && ch.dir == Direction::kPos) has_pos0 = true;
+    if (ch.dim == 0 && ch.dir == Direction::kNeg) has_neg0 = true;
+    if (ch.dim == 1 && ch.dir == Direction::kNeg) has_neg1 = true;
+  }
+  EXPECT_TRUE(has_pos0);
+  EXPECT_TRUE(has_neg0);
+  EXPECT_TRUE(has_neg1);
+}
+
+TEST(Hpl, MinimalVariantOffersNoMisroutes) {
+  const Topology topo = make_mesh({4, 4});
+  const HighestPositiveLast routing(topo, /*nonminimal=*/false);
+  const auto out = routing.route(topology::kInvalidChannel, at(topo, {1, 3}),
+                                 at(topo, {1, 0}));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(topo.channel(out[0]).dim, 1);
+  EXPECT_EQ(topo.channel(out[0]).dir, Direction::kNeg);
+}
+
+TEST(Hpl, OneEightyTurnRestriction) {
+  const Topology topo = make_mesh({4, 4});
+  const HighestPositiveLast routing(topo, /*nonminimal=*/true);
+  // The paper's example: a message needing only north (dim1 +), due south of
+  // its destination, may misroute south if it arrived from the west (dim0 +
+  // input) but NOT if it arrived from the north (dim1 + input).
+  const NodeId here = at(topo, {1, 1});
+  const NodeId dst = at(topo, {1, 3});  // needs +dim1 twice
+  // Hmm: for a positive-only message, misrouting happens in dims < p and p
+  // requires a negative need.  Exercise the 180-degree rule directly on the
+  // negative-need case instead: needs -dim1 and -dim0 (p = 1).
+  const NodeId dst2 = at(topo, {0, 0});
+  const ChannelId in_pos1 = topo.find_channel(at(topo, {1, 0}), here, 0);
+  ASSERT_NE(in_pos1, topology::kInvalidChannel);
+  // Arrived going north (dim1 +) while needing -dim1: the + -> - turn in
+  // dim1 needs a still-higher negative need, which doesn't exist (p = 1 is
+  // the highest dim).  The route set must not contain the dim1 - channel.
+  const auto out = routing.route(in_pos1, here, dst2);
+  for (ChannelId c : out) {
+    const auto& ch = topo.channel(c);
+    EXPECT_FALSE(ch.dim == 1 && ch.dir == Direction::kNeg)
+        << "forbidden 180-degree turn offered";
+  }
+  (void)dst;
+}
+
+TEST(Hpl, ConnectedAndWaitingConsistent) {
+  for (const auto& topo : {make_mesh({3, 3}), make_mesh({4, 4}),
+                           make_mesh({3, 3, 3})}) {
+    const HighestPositiveLast minimal(topo, /*nonminimal=*/false);
+    expect_connected(topo, minimal);
+    expect_waiting_subset(topo, minimal);
+    const HighestPositiveLast full(topo, /*nonminimal=*/true);
+    expect_connected(topo, full);
+    expect_waiting_subset(topo, full);
+  }
+}
+
+TEST(Hpl, RejectsTori) {
+  const auto torus = topology::make_torus({4, 4});
+  EXPECT_THROW(HighestPositiveLast{torus}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wormnet::routing

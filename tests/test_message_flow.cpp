@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace wormnet::cdg {
+namespace {
+
+using topology::make_hypercube;
+using topology::make_mesh;
+using topology::make_torus;
+using topology::make_unidirectional_ring;
+
+TEST(MessageFlow, CoversDeterministicBaselines) {
+  {
+    const Topology topo = make_mesh({4, 4});
+    const routing::DimensionOrder routing(topo);
+    const MessageFlowReport report =
+        message_flow_check(StateGraph(topo, routing));
+    EXPECT_TRUE(report.covered);
+    EXPECT_TRUE(report.unresolved.empty());
+  }
+  {
+    const Topology topo = make_unidirectional_ring(5, 2);
+    const routing::DatelineRouting routing(topo);
+    EXPECT_TRUE(message_flow_check(StateGraph(topo, routing)).covered);
+  }
+}
+
+TEST(MessageFlow, CoversAdaptiveConstructions) {
+  {
+    const Topology topo = make_mesh({4, 4}, 2);
+    const auto routing = routing::make_duato_mesh(topo);
+    EXPECT_TRUE(message_flow_check(StateGraph(topo, *routing)).covered);
+  }
+  {
+    const Topology topo = make_torus({4, 4}, 3);
+    const auto routing = routing::make_duato_torus(topo);
+    EXPECT_TRUE(message_flow_check(StateGraph(topo, *routing)).covered);
+  }
+}
+
+TEST(MessageFlow, CoversWaitingRestrictedAlgorithms) {
+  // The waiting-channel-based algorithms are where this backward analysis
+  // shines: waits chain toward the destination.
+  {
+    const Topology topo = make_mesh({3, 3, 3});
+    const routing::HighestPositiveLast routing(topo, false);
+    EXPECT_TRUE(message_flow_check(StateGraph(topo, routing)).covered);
+  }
+  {
+    const Topology topo = make_hypercube(3, 2);
+    const routing::EnhancedFullyAdaptive routing(topo);
+    EXPECT_TRUE(message_flow_check(StateGraph(topo, routing)).covered);
+  }
+}
+
+TEST(MessageFlow, CannotCoverDeadlockableRing) {
+  const Topology topo = make_unidirectional_ring(4, 1);
+  const routing::UnrestrictedMinimal routing(topo);
+  const MessageFlowReport report =
+      message_flow_check(StateGraph(topo, routing));
+  EXPECT_FALSE(report.covered);
+  EXPECT_EQ(report.unresolved.size(), 4u);  // every ring channel unresolved
+}
+
+TEST(MessageFlow, IncoherentWaitDisciplinesSplit) {
+  // Wait-on-any: every channel's waiting set contains a minimal channel
+  // whose release chains to a sink, so the fixpoint covers the network —
+  // consistent with Theorem-3 deadlock freedom.
+  const Topology topo = routing::make_incoherent_net();
+  {
+    const routing::IncoherentRouting routing(topo, /*wait_specific=*/false);
+    EXPECT_TRUE(message_flow_check(StateGraph(topo, routing)).covered);
+  }
+  // Wait-specific: blocked messages commit to the detour channels, whose
+  // release constraints are mutually circular — not covered, and indeed
+  // genuinely deadlockable.  Crucially the verdict maps to UNKNOWN, never
+  // to "deadlockable": the condition is sufficient only.
+  {
+    const routing::IncoherentRouting routing(topo, /*wait_specific=*/true);
+    const MessageFlowReport report =
+        message_flow_check(StateGraph(topo, routing));
+    EXPECT_FALSE(report.covered);
+    const core::Verdict verdict =
+        core::verify(topo, routing, {.method = core::Method::kMessageFlow});
+    EXPECT_EQ(verdict.conclusion, core::Conclusion::kUnknown)
+        << "failure of a sufficient condition must map to unknown";
+  }
+}
+
+TEST(MessageFlow, VerifierIntegration) {
+  const Topology topo = make_mesh({4, 4}, 2);
+  const auto routing = routing::make_duato_mesh(topo);
+  const core::Verdict verdict =
+      core::verify(topo, *routing, {.method = core::Method::kMessageFlow});
+  EXPECT_EQ(verdict.conclusion, core::Conclusion::kDeadlockFree);
+  EXPECT_EQ(verdict.method, "message-flow");
+}
+
+}  // namespace
+}  // namespace wormnet::cdg

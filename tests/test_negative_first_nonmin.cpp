@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace wormnet::routing {
+namespace {
+
+using test::expect_connected;
+using topology::Direction;
+using topology::make_mesh;
+
+TEST(NegativeFirstNonmin, OffersUnneededNegativeChannels) {
+  const Topology topo = make_mesh({4, 4});
+  const NegativeFirst routing(topo, /*nonminimal=*/true);
+  // Needs -x and +y from (2,1) to (0,3): negative phase active, so the
+  // unneeded -y channel is also offered.
+  const NodeId src = topo.node_at(std::vector<std::uint32_t>{2, 1});
+  const NodeId dst = topo.node_at(std::vector<std::uint32_t>{0, 3});
+  const auto out = routing.route(topology::kInvalidChannel, src, dst);
+  bool has_needed_negx = false, has_misroute_negy = false;
+  for (ChannelId c : out) {
+    const auto& ch = topo.channel(c);
+    EXPECT_EQ(ch.dir, Direction::kNeg) << "positive channel during neg phase";
+    if (ch.dim == 0) has_needed_negx = true;
+    if (ch.dim == 1) has_misroute_negy = true;
+  }
+  EXPECT_TRUE(has_needed_negx);
+  EXPECT_TRUE(has_misroute_negy);
+}
+
+TEST(NegativeFirstNonmin, PositivePhaseIsMinimal) {
+  const Topology topo = make_mesh({4, 4});
+  const NegativeFirst routing(topo, /*nonminimal=*/true);
+  const NodeId src = topo.node_at(std::vector<std::uint32_t>{0, 0});
+  const NodeId dst = topo.node_at(std::vector<std::uint32_t>{2, 2});
+  const auto out = routing.route(topology::kInvalidChannel, src, dst);
+  EXPECT_EQ(out.size(), 2u);  // +x, +y only — no misrouting once positive
+  for (ChannelId c : out) {
+    EXPECT_EQ(topo.channel(c).dir, Direction::kPos);
+  }
+}
+
+TEST(NegativeFirstNonmin, CdgStaysAcyclic) {
+  // Every negative hop strictly decreases the coordinate sum and no
+  // positive -> negative edge exists, so even the nonminimal variant keeps
+  // an acyclic CDG.
+  for (const auto& topo : {make_mesh({3, 3}), make_mesh({4, 4}),
+                           make_mesh({3, 3, 3})}) {
+    const NegativeFirst routing(topo, /*nonminimal=*/true);
+    EXPECT_FALSE(cdg::build_cdg(topo, routing).has_cycle()) << topo.name();
+  }
+}
+
+TEST(NegativeFirstNonmin, ConnectedAndDelivers) {
+  const Topology topo = make_mesh({4, 4});
+  const NegativeFirst routing(topo, /*nonminimal=*/true);
+  expect_connected(topo, routing);
+  sim::SimConfig cfg;
+  cfg.injection_rate = 0.25;
+  cfg.warmup_cycles = 300;
+  cfg.measure_cycles = 2000;
+  cfg.drain_cycles = 8000;
+  cfg.seed = 8;
+  const sim::SimStats stats = sim::run(topo, routing, cfg);
+  EXPECT_FALSE(stats.deadlocked);
+  EXPECT_EQ(stats.measured_delivered, stats.measured_created);
+}
+
+TEST(NegativeFirstNonmin, RegistryEntryWorks) {
+  const Topology topo = make_mesh({4, 4});
+  const auto routing = core::make_algorithm("negative-first-nonmin", topo);
+  EXPECT_EQ(routing->name(), "negative-first-nonmin");
+  EXPECT_FALSE(routing->minimal());
+}
+
+}  // namespace
+}  // namespace wormnet::routing

@@ -1,0 +1,103 @@
+// Cross dependencies in action: per-destination escape sets.
+//
+// The ICPP'94 condition lets the escape set C1 differ per pair, at the price
+// of tracking cross dependencies between different pairs' escape channels.
+// These tests show the machinery is *load-bearing*: a per-destination escape
+// that looks fine pair-by-pair (connected, per-destination-acyclic) is
+// correctly rejected because cross dependencies close a cycle — matching the
+// fact that the underlying relation really deadlocks.
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace wormnet::cdg {
+namespace {
+
+using topology::make_mesh;
+using topology::make_unidirectional_ring;
+
+TEST(PerDestEscape, DatelinePerDestOnUnrestrictedRingIsRejected) {
+  // Unrestricted routing on a 2-VC unidirectional ring deadlocks (nothing
+  // stops every message from camping on vc0).  Choosing C1(d) = "the
+  // channels dateline routing would use toward d" gives a per-destination
+  // escape that is connected and whose per-destination direct structure is
+  // the acyclic dateline order — yet it must NOT certify the relation.
+  const Topology topo = make_unidirectional_ring(4, 2);
+  const routing::UnrestrictedMinimal routing(topo);
+  const routing::DatelineRouting dateline(topo);
+  const StateGraph states(topo, routing);
+  const Subfunction sub =
+      per_destination_from_escape(states, dateline, "dateline-per-dest");
+  EXPECT_TRUE(sub.per_destination());
+  EXPECT_TRUE(sub.connected());
+  EXPECT_TRUE(sub.escape_everywhere());
+
+  const ExtendedCdg ecdg = build_extended_cdg(sub);
+  EXPECT_GT(ecdg.cross_edges, 0u)
+      << "per-destination escape sets must create cross dependencies here";
+  EXPECT_TRUE(ecdg.graph.has_cycle())
+      << "cross dependencies must close the cycle — omitting them would "
+         "wrongly certify a deadlocking relation";
+}
+
+TEST(PerDestEscape, IgnoringCrossEdgesWouldWronglyCertify) {
+  // The same setup, but checking only the per-destination (non-cross)
+  // structure: build a same-destination-only dependency graph by hand and
+  // confirm it is acyclic.  This is exactly the unsound shortcut the cross-
+  // dependency definitions exist to forbid.
+  const Topology topo = make_unidirectional_ring(4, 2);
+  const routing::UnrestrictedMinimal routing(topo);
+  const routing::DatelineRouting dateline(topo);
+  const StateGraph states(topo, routing);
+  const StateGraph escape_states(topo, dateline);
+
+  graph::Digraph same_dest_only(topo.num_channels());
+  for (NodeId d = 0; d < topo.num_nodes(); ++d) {
+    for (ChannelId c = 0; c < topo.num_channels(); ++c) {
+      if (!escape_states.reachable(c, d)) continue;
+      for (ChannelId next : escape_states.successors(c, d)) {
+        same_dest_only.add_edge(c, next);
+      }
+    }
+  }
+  EXPECT_FALSE(same_dest_only.has_cycle())
+      << "pair-by-pair the escape looks perfectly ordered";
+}
+
+TEST(PerDestEscape, UniformEscapeMatchesPerDestWhenSetsCoincide) {
+  // Sanity: when the escape relation uses the same channels for every
+  // destination, the per-destination builder reduces to the uniform case.
+  const Topology topo = make_mesh({3, 3}, 2);
+  const auto routing = routing::make_duato_mesh(topo);
+  const StateGraph states(topo, *routing);
+  const Subfunction per_dest =
+      per_destination_from_escape(states, routing->escape(), "per-dest-vc0");
+  // Escape channels are always vc0, so in_any_c1 == "is a vc0 channel that
+  // e-cube can ever use".
+  for (ChannelId c = 0; c < topo.num_channels(); ++c) {
+    if (per_dest.in_any_c1(c)) {
+      EXPECT_EQ(topo.channel(c).vc, 0);
+    }
+  }
+  const ExtendedCdg ecdg = build_extended_cdg(per_dest);
+  // The union over destinations of e-cube escape structure still follows the
+  // global dimension order, so the graph stays acyclic.
+  EXPECT_FALSE(ecdg.graph.has_cycle());
+}
+
+TEST(PerDestEscape, VerifiedFreeRelationStaysFree) {
+  // For an actually deadlock-free relation, the stricter per-destination
+  // analysis should not manufacture a spurious rejection when the escape is
+  // the dateline itself evaluated under dateline routing.
+  const Topology topo = make_unidirectional_ring(6, 2);
+  const routing::DatelineRouting dateline(topo);
+  const StateGraph states(topo, dateline);
+  const Subfunction sub =
+      per_destination_from_escape(states, dateline, "self-escape");
+  EXPECT_TRUE(sub.connected());
+  const ExtendedCdg ecdg = build_extended_cdg(sub);
+  EXPECT_FALSE(ecdg.graph.has_cycle());
+}
+
+}  // namespace
+}  // namespace wormnet::cdg

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace wormnet::routing {
+namespace {
+
+using test::expect_connected;
+using test::expect_waiting_subset;
+using topology::make_hypercube;
+using topology::make_mesh;
+using topology::make_ring;
+using topology::make_torus;
+using topology::make_unidirectional_ring;
+
+TEST(ProductiveDirs, MeshSingleDirection) {
+  const Topology topo = make_mesh({5, 5});
+  const NodeId a = topo.node_at(std::vector<std::uint32_t>{1, 1});
+  const NodeId b = topo.node_at(std::vector<std::uint32_t>{3, 0});
+  auto d0 = productive_dirs(topo, a, b, 0);
+  ASSERT_EQ(d0.size(), 1u);
+  EXPECT_EQ(d0[0], Direction::kPos);
+  auto d1 = productive_dirs(topo, a, b, 1);
+  ASSERT_EQ(d1.size(), 1u);
+  EXPECT_EQ(d1[0], Direction::kNeg);
+  EXPECT_TRUE(productive_dirs(topo, a, a, 0).empty());
+}
+
+TEST(ProductiveDirs, TorusTieYieldsBoth) {
+  const Topology topo = make_torus({6});
+  auto dirs = productive_dirs(topo, 0, 3, 0);  // 3 hops either way
+  EXPECT_EQ(dirs.size(), 2u);
+  EXPECT_EQ(preferred_dir(topo, 0, 3, 0), Direction::kPos);
+}
+
+TEST(ProductiveDirs, TorusShorterWay) {
+  const Topology topo = make_torus({8});
+  auto dirs = productive_dirs(topo, 0, 6, 0);  // 2 hops negative, 6 positive
+  ASSERT_EQ(dirs.size(), 1u);
+  EXPECT_EQ(dirs[0], Direction::kNeg);
+}
+
+TEST(DimensionOrder, RoutesLowestDimensionFirst) {
+  const Topology topo = make_mesh({4, 4});
+  const DimensionOrder routing(topo);
+  const NodeId src = topo.node_at(std::vector<std::uint32_t>{0, 0});
+  const NodeId dst = topo.node_at(std::vector<std::uint32_t>{2, 3});
+  const auto out = routing.route(topology::kInvalidChannel, src, dst);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(topo.channel(out[0]).dim, 0);
+  EXPECT_EQ(topo.channel(out[0]).dir, Direction::kPos);
+}
+
+TEST(DimensionOrder, SwitchesDimensionWhenAligned) {
+  const Topology topo = make_mesh({4, 4});
+  const DimensionOrder routing(topo);
+  const NodeId src = topo.node_at(std::vector<std::uint32_t>{2, 0});
+  const NodeId dst = topo.node_at(std::vector<std::uint32_t>{2, 3});
+  const auto out = routing.route(topology::kInvalidChannel, src, dst);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(topo.channel(out[0]).dim, 1);
+}
+
+TEST(DimensionOrder, AllVcsOffered) {
+  const Topology topo = make_mesh({4, 4}, 3);
+  const DimensionOrder routing(topo);
+  const auto out = routing.route(topology::kInvalidChannel, 0, 1);
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(DimensionOrder, VcRangeRestriction) {
+  const Topology topo = make_mesh({4, 4}, 3);
+  const DimensionOrder routing(topo, 1, 1);
+  const auto out = routing.route(topology::kInvalidChannel, 0, 1);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(topo.channel(out[0]).vc, 1);
+}
+
+TEST(DimensionOrder, RejectsTorus) {
+  const Topology topo = make_torus({4, 4});
+  EXPECT_THROW(DimensionOrder{topo}, std::invalid_argument);
+}
+
+TEST(DimensionOrder, ConnectedOnMeshesAndHypercubes) {
+  for (const auto& topo :
+       {make_mesh({4, 4}), make_mesh({3, 3, 3}), make_hypercube(4)}) {
+    const DimensionOrder routing(topo);
+    expect_connected(topo, routing);
+    expect_waiting_subset(topo, routing);
+  }
+}
+
+TEST(Dateline, UsesClassBWhenWrapAhead) {
+  const Topology topo = make_unidirectional_ring(4, 2);
+  const DatelineRouting routing(topo);
+  // 3 -> 1 must wrap: class B (vc1) before the dateline.
+  auto out = routing.route(topology::kInvalidChannel, 3, 1);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(topo.channel(out[0]).vc, 1);
+  // After wrapping (now at 0), no wrap remains: class A (vc0).
+  out = routing.route(out[0], 0, 1);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(topo.channel(out[0]).vc, 0);
+}
+
+TEST(Dateline, NoWrapUsesClassA) {
+  const Topology topo = make_unidirectional_ring(4, 2);
+  const DatelineRouting routing(topo);
+  const auto out = routing.route(topology::kInvalidChannel, 0, 2);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(topo.channel(out[0]).vc, 0);
+}
+
+TEST(Dateline, ConnectedOnRingsAndTori) {
+  for (const auto& topo : {make_unidirectional_ring(5, 2), make_ring(6, 2),
+                           make_torus({4, 4}, 2)}) {
+    const DatelineRouting routing(topo);
+    expect_connected(topo, routing);
+    expect_waiting_subset(topo, routing);
+  }
+}
+
+TEST(Dateline, RequiresTwoVcs) {
+  const Topology topo = make_unidirectional_ring(4, 1);
+  EXPECT_THROW(DatelineRouting{topo}, std::invalid_argument);
+}
+
+TEST(Unrestricted, OffersEveryProductiveChannel) {
+  const Topology topo = make_mesh({4, 4}, 2);
+  const UnrestrictedMinimal routing(topo);
+  const NodeId src = topo.node_at(std::vector<std::uint32_t>{0, 0});
+  const NodeId dst = topo.node_at(std::vector<std::uint32_t>{2, 2});
+  const auto out = routing.route(topology::kInvalidChannel, src, dst);
+  EXPECT_EQ(out.size(), 4u);  // 2 productive dirs x 2 VCs
+}
+
+TEST(Unrestricted, ConnectedEverywhere) {
+  for (const auto& topo : {make_mesh({4, 4}), make_torus({4, 4}),
+                           make_hypercube(3), make_unidirectional_ring(5)}) {
+    const UnrestrictedMinimal routing(topo);
+    expect_connected(topo, routing);
+  }
+}
+
+// Property sweep: deterministic algorithms produce exactly one candidate at
+// every reachable state, and the path length equals the topology distance.
+class DeterministicMinimal
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(DeterministicMinimal, PathLengthEqualsDistance) {
+  const auto [width, height] = GetParam();
+  const Topology topo =
+      make_mesh({static_cast<std::uint32_t>(width),
+                 static_cast<std::uint32_t>(height)});
+  const DimensionOrder routing(topo);
+  for (NodeId s = 0; s < topo.num_nodes(); ++s) {
+    for (NodeId d = 0; d < topo.num_nodes(); ++d) {
+      if (s == d) continue;
+      NodeId at = s;
+      ChannelId in = topology::kInvalidChannel;
+      std::uint32_t hops = 0;
+      while (at != d) {
+        const auto out = routing.route(in, at, d);
+        ASSERT_EQ(out.size(), 1u);
+        in = out[0];
+        at = topo.channel(in).dst;
+        ASSERT_LE(++hops, topo.distance(s, d));
+      }
+      EXPECT_EQ(hops, topo.distance(s, d));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MeshSizes, DeterministicMinimal,
+                         ::testing::Combine(::testing::Values(2, 3, 5),
+                                            ::testing::Values(2, 4)));
+
+}  // namespace
+}  // namespace wormnet::routing

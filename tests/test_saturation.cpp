@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace wormnet::analysis {
+namespace {
+
+using topology::make_mesh;
+
+SaturationOptions quick_options(sim::Pattern pattern) {
+  SaturationOptions options;
+  options.iterations = 4;
+  options.base.pattern = pattern;
+  options.base.packet_length = 8;
+  options.base.warmup_cycles = 400;
+  options.base.measure_cycles = 1500;
+  options.base.drain_cycles = 6000;
+  options.base.seed = 12;
+  return options;
+}
+
+TEST(Saturation, ProducesSensibleRange) {
+  const Topology topo = make_mesh({4, 4}, 2);
+  const auto routing = routing::make_duato_mesh(topo);
+  const SaturationResult result = find_saturation(
+      topo, *routing, quick_options(sim::Pattern::kUniform));
+  EXPECT_FALSE(result.deadlocked);
+  EXPECT_GT(result.saturation_rate, 0.05);
+  EXPECT_LT(result.saturation_rate, 1.0);
+  EXPECT_GT(result.zero_load_latency, 0.0);
+}
+
+TEST(Saturation, AdaptiveBeatsDeterministicUnderTranspose) {
+  // The EXP-F crossover, condensed to one scalar per algorithm.
+  const Topology topo = make_mesh({4, 4}, 2);
+  const routing::DimensionOrder ecube(topo);
+  const auto duato = routing::make_duato_mesh(topo);
+  const auto options = quick_options(sim::Pattern::kTranspose);
+  const SaturationResult det = find_saturation(topo, ecube, options);
+  const SaturationResult ada = find_saturation(topo, *duato, options);
+  EXPECT_FALSE(det.deadlocked);
+  EXPECT_FALSE(ada.deadlocked);
+  EXPECT_GT(ada.saturation_rate, det.saturation_rate)
+      << "adaptive must sustain more transpose traffic";
+}
+
+TEST(Saturation, DeadlockingRelationIsFlagged) {
+  const Topology topo = topology::make_unidirectional_ring(4, 1);
+  const routing::UnrestrictedMinimal routing(topo);
+  SaturationOptions options = quick_options(sim::Pattern::kUniform);
+  options.base.packet_length = 16;
+  options.base.buffer_depth = 1;
+  const SaturationResult result = find_saturation(topo, routing, options);
+  EXPECT_TRUE(result.deadlocked);
+}
+
+}  // namespace
+}  // namespace wormnet::analysis

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace wormnet::sim {
+namespace {
+
+using topology::make_mesh;
+
+TEST(SimStatsExtra, UtilizationWithinBoundsAndTracksLoad) {
+  const topology::Topology topo = make_mesh({4, 4}, 2);
+  const auto routing = routing::make_duato_mesh(topo);
+  SimConfig low;
+  low.injection_rate = 0.05;
+  low.warmup_cycles = 300;
+  low.measure_cycles = 2000;
+  low.drain_cycles = 5000;
+  low.seed = 9;
+  SimConfig high = low;
+  high.injection_rate = 0.30;
+  const SimStats a = run(topo, *routing, low);
+  const SimStats b = run(topo, *routing, high);
+  for (const SimStats* s : {&a, &b}) {
+    EXPECT_GE(s->avg_channel_utilization, 0.0);
+    EXPECT_LE(s->max_channel_utilization, 1.0 + 1e-9);
+    EXPECT_LE(s->avg_channel_utilization, s->max_channel_utilization);
+  }
+  EXPECT_GT(b.avg_channel_utilization, a.avg_channel_utilization);
+}
+
+TEST(SimStatsExtra, MinimalRoutingHopsNeverExceedDiameter) {
+  const topology::Topology topo = make_mesh({4, 4}, 2);
+  const auto routing = routing::make_duato_mesh(topo);
+  SimConfig cfg;
+  cfg.injection_rate = 0.2;
+  cfg.warmup_cycles = 300;
+  cfg.measure_cycles = 2000;
+  cfg.drain_cycles = 6000;
+  cfg.seed = 10;
+  const SimStats stats = run(topo, *routing, cfg);
+  ASSERT_GT(stats.measured_delivered, 0u);
+  EXPECT_LE(stats.max_hops, 6u);  // 4x4 mesh diameter
+  EXPECT_GE(stats.max_hops, 1u);
+}
+
+TEST(SimStatsExtra, NonminimalRoutingCanExceedDiameterButStaysBounded) {
+  // The livelock observable (paper Section 4): nonminimal HPL may misroute,
+  // so hops can exceed the diameter; with in-order (productive-first)
+  // selection the detours stay modest and everything still arrives.
+  const topology::Topology topo = make_mesh({4, 4});
+  const routing::HighestPositiveLast routing(topo, /*nonminimal=*/true);
+  SimConfig cfg;
+  cfg.injection_rate = 0.25;
+  cfg.warmup_cycles = 300;
+  cfg.measure_cycles = 2500;
+  cfg.drain_cycles = 10000;
+  cfg.seed = 20;
+  const SimStats stats = run(topo, routing, cfg);
+  EXPECT_FALSE(stats.deadlocked);
+  EXPECT_EQ(stats.measured_delivered, stats.measured_created);
+  EXPECT_LE(stats.max_hops, 40u) << "runaway misrouting (livelock symptom)";
+}
+
+TEST(SimStatsExtra, SummaryStringMentionsOutcome) {
+  const topology::Topology topo = make_mesh({3, 3});
+  const routing::DimensionOrder routing(topo);
+  SimConfig cfg;
+  cfg.injection_rate = 0.1;
+  cfg.warmup_cycles = 100;
+  cfg.measure_cycles = 500;
+  cfg.drain_cycles = 2000;
+  const SimStats stats = run(topo, routing, cfg);
+  const std::string text = stats.summary();
+  EXPECT_NE(text.find("delivered"), std::string::npos);
+  EXPECT_NE(text.find("latency"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wormnet::sim

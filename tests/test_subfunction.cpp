@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace wormnet::cdg {
+namespace {
+
+using topology::make_mesh;
+using topology::make_torus;
+
+std::vector<bool> vc_class(const Topology& topo, std::uint8_t vc_max) {
+  std::vector<bool> c1(topo.num_channels(), false);
+  for (ChannelId c = 0; c < topo.num_channels(); ++c) {
+    if (topo.channel(c).vc <= vc_max) c1[c] = true;
+  }
+  return c1;
+}
+
+TEST(Subfunction, EscapeClassIsConnected) {
+  const Topology topo = make_mesh({4, 4}, 2);
+  const auto routing = routing::make_duato_mesh(topo);
+  const StateGraph states(topo, *routing);
+  const Subfunction sub(states, vc_class(topo, 0), "vc0");
+  EXPECT_TRUE(sub.connected());
+  EXPECT_TRUE(sub.escape_everywhere());
+  EXPECT_EQ(sub.channel_count(), topo.num_channels() / 2);
+}
+
+TEST(Subfunction, AdaptiveOnlyClassIsConnectedToo) {
+  // vc1 alone also supplies every pair on a mesh (minimal adaptive), so
+  // connectivity alone cannot distinguish it; the extended CDG can.
+  const Topology topo = make_mesh({4, 4}, 2);
+  const auto routing = routing::make_duato_mesh(topo);
+  const StateGraph states(topo, *routing);
+  std::vector<bool> c1(topo.num_channels(), false);
+  for (ChannelId c = 0; c < topo.num_channels(); ++c) {
+    if (topo.channel(c).vc == 1) c1[c] = true;
+  }
+  const Subfunction sub(states, c1, "vc1");
+  EXPECT_TRUE(sub.connected());
+}
+
+TEST(Subfunction, EmptySetIsNotConnected) {
+  const Topology topo = make_mesh({3, 3});
+  const routing::UnrestrictedMinimal routing(topo);
+  const StateGraph states(topo, routing);
+  const Subfunction sub(states, std::vector<bool>(topo.num_channels(), false),
+                        "empty");
+  EXPECT_FALSE(sub.connected());
+  EXPECT_FALSE(sub.escape_everywhere());
+}
+
+TEST(Subfunction, DisconnectedWhenKeyChannelMissing) {
+  // Drop every channel leaving node 0: nothing can escape node 0.
+  const Topology topo = make_mesh({3, 3});
+  const routing::UnrestrictedMinimal routing(topo);
+  const StateGraph states(topo, routing);
+  std::vector<bool> c1(topo.num_channels(), true);
+  for (ChannelId c : topo.out_channels(0)) c1[c] = false;
+  const Subfunction sub(states, c1, "no-exit-from-0");
+  EXPECT_FALSE(sub.connected());
+}
+
+TEST(Subfunction, R1IntersectsRelationWithC1) {
+  const Topology topo = make_mesh({4, 4}, 2);
+  const auto routing = routing::make_duato_mesh(topo);
+  const StateGraph states(topo, *routing);
+  const Subfunction sub(states, vc_class(topo, 0), "vc0");
+  const auto r1 = sub.r1(topology::kInvalidChannel, 0, 5);
+  ASSERT_FALSE(r1.empty());
+  for (ChannelId c : r1) {
+    EXPECT_EQ(topo.channel(c).vc, 0);
+  }
+}
+
+TEST(Subfunction, PerDestinationSets) {
+  const Topology topo = make_mesh({3, 3});
+  const routing::UnrestrictedMinimal routing(topo);
+  const StateGraph states(topo, routing);
+  // Give every destination the full channel set except dest 0, which gets
+  // nothing: connectivity must fail, and in_any_c1 must still be true.
+  std::vector<std::vector<bool>> by_dest(
+      topo.num_nodes(), std::vector<bool>(topo.num_channels(), true));
+  by_dest[0].assign(topo.num_channels(), false);
+  const Subfunction sub(states, by_dest, "per-dest");
+  EXPECT_TRUE(sub.per_destination());
+  EXPECT_FALSE(sub.connected());
+  EXPECT_TRUE(sub.in_any_c1(0));
+  EXPECT_FALSE(sub.in_c1(0, 0));
+  EXPECT_TRUE(sub.in_c1(0, 1));
+}
+
+TEST(Subfunction, EscapeEverywhereFailsWithoutEscapeAtSomeState) {
+  // Escape = vc0 e-cube on a torus-capable net... use mesh: remove vc0 of
+  // one specific link that e-cube needs: some state loses its escape.
+  const Topology topo = make_mesh({4, 4}, 2);
+  const auto routing = routing::make_duato_mesh(topo);
+  const StateGraph states(topo, *routing);
+  auto c1 = vc_class(topo, 0);
+  // Remove the escape channel (0,0)->(1,0).v0, needed by (0,0) for dest
+  // (3,0) among others.
+  const ChannelId victim = topo.find_channel(
+      topo.node_at(std::vector<std::uint32_t>{0, 0}),
+      topo.node_at(std::vector<std::uint32_t>{1, 0}), 0);
+  ASSERT_NE(victim, topology::kInvalidChannel);
+  c1[victim] = false;
+  const Subfunction sub(states, c1, "vc0-minus-one");
+  EXPECT_FALSE(sub.escape_everywhere());
+}
+
+TEST(Subfunction, SizeMismatchThrows) {
+  const Topology topo = make_mesh({3, 3});
+  const routing::UnrestrictedMinimal routing(topo);
+  const StateGraph states(topo, routing);
+  EXPECT_THROW(Subfunction(states, std::vector<bool>(3, true), "bad"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wormnet::cdg

@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "wormnet/util/table.hpp"
+
+namespace wormnet::util {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table table({"alg", "verdict"});
+  table.add_row({"xy", "free"});
+  table.add_row({"unrestricted", "deadlockable"});
+  std::ostringstream os;
+  table.print(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("alg"), std::string::npos);
+  EXPECT_NE(text.find("unrestricted"), std::string::npos);
+  EXPECT_NE(text.find("deadlockable"), std::string::npos);
+  EXPECT_NE(text.find("-+-"), std::string::npos);
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(Table, ColumnsAlign) {
+  Table table({"a", "b"});
+  table.add_row({"long-cell-content", "x"});
+  std::ostringstream os;
+  table.print(os);
+  std::istringstream lines(os.str());
+  std::string header, rule, row;
+  std::getline(lines, header);
+  std::getline(lines, rule);
+  std::getline(lines, row);
+  EXPECT_EQ(header.size(), row.size());
+  EXPECT_EQ(header.find(" | "), row.find(" | "));
+}
+
+TEST(Table, ShortRowsPadWithEmptyCells) {
+  Table table({"a", "b", "c"});
+  table.add_row({"only-one"});
+  std::ostringstream os;
+  table.print(os);
+  EXPECT_NE(os.str().find("only-one"), std::string::npos);
+}
+
+TEST(FmtHelpers, Doubles) {
+  EXPECT_EQ(fmt_double(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt_double(3.14159, 4), "3.1416");
+  EXPECT_EQ(fmt_double(2.0, 3), "2.000");
+}
+
+TEST(FmtHelpers, Bools) {
+  EXPECT_EQ(fmt_bool(true), "yes");
+  EXPECT_EQ(fmt_bool(false), "no");
+}
+
+}  // namespace
+}  // namespace wormnet::util

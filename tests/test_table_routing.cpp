@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace wormnet::routing {
+namespace {
+
+using topology::Channel;
+using topology::Direction;
+using topology::Topology;
+
+Topology make_line3() {
+  std::vector<Channel> channels;
+  channels.push_back({0, 1, 0, Direction::kPos, 0, false, "f01"});
+  channels.push_back({1, 2, 0, Direction::kPos, 0, false, "f12"});
+  channels.push_back({2, 1, 0, Direction::kNeg, 0, false, "b21"});
+  channels.push_back({1, 0, 0, Direction::kNeg, 0, false, "b10"});
+  return Topology("line3", 3, std::move(channels));
+}
+
+TEST(TableRouting, WildcardEntries) {
+  const Topology topo = make_line3();
+  std::map<TableRouting::Key, ChannelSet> table;
+  table[{topology::kInvalidChannel, 0, 1}] = {0};
+  table[{topology::kInvalidChannel, 0, 2}] = {0};
+  table[{topology::kInvalidChannel, 1, 2}] = {1};
+  table[{topology::kInvalidChannel, 1, 0}] = {3};
+  table[{topology::kInvalidChannel, 2, 0}] = {2};
+  table[{topology::kInvalidChannel, 2, 1}] = {2};
+  const TableRouting routing(topo, "line", std::move(table));
+  EXPECT_EQ(routing.route(topology::kInvalidChannel, 0, 2), (ChannelSet{0}));
+  EXPECT_EQ(routing.route(0, 1, 2), (ChannelSet{1}));  // wildcard lookup
+  EXPECT_TRUE(routing.route(topology::kInvalidChannel, 0, 0).empty());
+  test::expect_connected(topo, routing);
+}
+
+TEST(TableRouting, InputDependentEntriesTakePrecedence) {
+  const Topology topo = make_line3();
+  std::map<TableRouting::Key, ChannelSet> table;
+  table[{topology::kInvalidChannel, 1, 2}] = {1};
+  table[{0, 1, 2}] = {1};  // exact input 0
+  std::map<TableRouting::Key, ChannelSet> table2 = table;
+  table2[{0, 1, 2}] = {};  // exact entry yields nothing
+  const TableRouting wildcard_only(topo, "w", std::move(table),
+                                   RelationForm::kNodeDest);
+  const TableRouting exact(topo, "e", std::move(table2),
+                           RelationForm::kChannelNodeDest);
+  EXPECT_EQ(wildcard_only.route(0, 1, 2), (ChannelSet{1}));
+  EXPECT_TRUE(exact.route(0, 1, 2).empty());
+  EXPECT_EQ(exact.route(2, 1, 2), (ChannelSet{1}));  // falls to wildcard
+}
+
+TEST(TableRouting, SeparateWaitingTable) {
+  const Topology topo = make_line3();
+  std::map<TableRouting::Key, ChannelSet> table;
+  table[{topology::kInvalidChannel, 1, 2}] = {1, 3};
+  TableRouting routing(topo, "waits", std::move(table));
+  EXPECT_EQ(routing.waiting(topology::kInvalidChannel, 1, 2).size(), 2u);
+  std::map<TableRouting::Key, ChannelSet> waits;
+  waits[{topology::kInvalidChannel, 1, 2}] = {1};
+  routing.set_waiting(std::move(waits));
+  EXPECT_EQ(routing.waiting(topology::kInvalidChannel, 1, 2),
+            (ChannelSet{1}));
+}
+
+TEST(TableRouting, MissingEntryIsEmpty) {
+  const Topology topo = make_line3();
+  const TableRouting routing(topo, "empty", {});
+  EXPECT_TRUE(routing.route(topology::kInvalidChannel, 0, 2).empty());
+}
+
+}  // namespace
+}  // namespace wormnet::routing

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "wormnet/util/thread_pool.hpp"
+
+namespace wormnet::util {
+namespace {
+
+TEST(ThreadPool, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, TasksCanSubmitResults) {
+  ThreadPool pool(3);
+  std::vector<int> results(50, 0);
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&results, i] { results[i] = i * i; });
+  }
+  pool.wait_idle();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(results[i], i * i);
+  }
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(1000, [&hits](std::size_t i) { hits[i].fetch_add(1); }, 4);
+  for (auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelFor, SingleThreadRunsInOrder) {
+  std::vector<std::size_t> order;
+  parallel_for(10, [&order](std::size_t i) { order.push_back(i); }, 1);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(ParallelFor, ZeroCountIsNoop) {
+  bool called = false;
+  parallel_for(0, [&called](std::size_t) { called = true; }, 4);
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, MoreThreadsThanWork) {
+  std::atomic<int> counter{0};
+  parallel_for(3, [&counter](std::size_t) { counter.fetch_add(1); }, 16);
+  EXPECT_EQ(counter.load(), 3);
+}
+
+}  // namespace
+}  // namespace wormnet::util

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace wormnet::sim {
+namespace {
+
+using topology::make_hypercube;
+using topology::make_mesh;
+using topology::make_torus;
+
+TEST(Traffic, UniformNeverSelfAndCoversAll) {
+  const topology::Topology topo = make_mesh({4, 4});
+  TrafficGenerator gen(topo, Pattern::kUniform, 1);
+  std::vector<int> hits(topo.num_nodes(), 0);
+  for (int i = 0; i < 8000; ++i) {
+    const auto dst = gen.destination(5);
+    ASSERT_TRUE(dst.has_value());
+    ASSERT_NE(*dst, 5u);
+    ++hits[*dst];
+  }
+  for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+    if (n == 5) {
+      EXPECT_EQ(hits[n], 0);
+    } else {
+      EXPECT_GT(hits[n], 0) << "node " << n << " never targeted";
+    }
+  }
+}
+
+TEST(Traffic, TransposeIsDeterministicSwap) {
+  const topology::Topology topo = make_mesh({4, 4});
+  TrafficGenerator gen(topo, Pattern::kTranspose, 1);
+  const NodeId src = topo.node_at(std::vector<std::uint32_t>{1, 3});
+  const auto dst = gen.destination(src);
+  ASSERT_TRUE(dst.has_value());
+  EXPECT_EQ(*dst, topo.node_at(std::vector<std::uint32_t>{3, 1}));
+  // Diagonal nodes map to themselves -> no packet.
+  const NodeId diag = topo.node_at(std::vector<std::uint32_t>{2, 2});
+  EXPECT_FALSE(gen.destination(diag).has_value());
+}
+
+TEST(Traffic, BitComplement) {
+  const topology::Topology topo = make_hypercube(4);
+  TrafficGenerator gen(topo, Pattern::kBitComplement, 1);
+  EXPECT_EQ(*gen.destination(0b0000), 0b1111u);
+  EXPECT_EQ(*gen.destination(0b1010), 0b0101u);
+}
+
+TEST(Traffic, BitReverse) {
+  const topology::Topology topo = make_hypercube(4);
+  TrafficGenerator gen(topo, Pattern::kBitReverse, 1);
+  EXPECT_EQ(*gen.destination(0b0001), 0b1000u);
+  EXPECT_FALSE(gen.destination(0b1001).has_value());  // palindrome
+}
+
+TEST(Traffic, Shuffle) {
+  const topology::Topology topo = make_hypercube(4);
+  TrafficGenerator gen(topo, Pattern::kShuffle, 1);
+  EXPECT_EQ(*gen.destination(0b0011), 0b0110u);
+  EXPECT_EQ(*gen.destination(0b1000), 0b0001u);
+}
+
+TEST(Traffic, TornadoOnTorus) {
+  const topology::Topology topo = make_torus({8});
+  TrafficGenerator gen(topo, Pattern::kTornado, 1);
+  EXPECT_EQ(*gen.destination(0), 4u);
+  EXPECT_EQ(*gen.destination(6), 2u);
+}
+
+TEST(Traffic, HotspotSkewsTowardHotNode) {
+  const topology::Topology topo = make_mesh({4, 4});
+  TrafficGenerator gen(topo, Pattern::kHotspot, 1, 0.5, {3});
+  int hot = 0, total = 0;
+  for (int i = 0; i < 4000; ++i) {
+    if (const auto dst = gen.destination(9)) {
+      ++total;
+      if (*dst == 3) ++hot;
+    }
+  }
+  // ~50% direct hotspot traffic plus the uniform share.
+  EXPECT_GT(static_cast<double>(hot) / total, 0.4);
+}
+
+TEST(Traffic, ArrivalRateMatchesExpectation) {
+  const topology::Topology topo = make_mesh({4, 4});
+  TrafficGenerator gen(topo, Pattern::kUniform, 2);
+  const double rate = 0.2;
+  const std::uint32_t length = 4;
+  int arrivals = 0;
+  constexpr int kCycles = 40000;
+  for (int i = 0; i < kCycles; ++i) {
+    if (gen.arrival(rate, length)) ++arrivals;
+  }
+  EXPECT_NEAR(arrivals, kCycles * rate / length, kCycles * 0.01);
+}
+
+TEST(Traffic, PatternNames) {
+  EXPECT_STREQ(to_string(Pattern::kUniform), "uniform");
+  EXPECT_STREQ(to_string(Pattern::kTornado), "tornado");
+  EXPECT_STREQ(to_string(Pattern::kHotspot), "hotspot");
+}
+
+}  // namespace
+}  // namespace wormnet::sim

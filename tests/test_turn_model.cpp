@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace wormnet::routing {
+namespace {
+
+using test::expect_connected;
+using topology::make_mesh;
+using topology::make_torus;
+
+TEST(WestFirst, WestExclusivelyWhenNeeded) {
+  const Topology topo = make_mesh({5, 5});
+  const WestFirst routing(topo);
+  const NodeId src = topo.node_at(std::vector<std::uint32_t>{3, 1});
+  const NodeId dst = topo.node_at(std::vector<std::uint32_t>{1, 4});
+  const auto out = routing.route(topology::kInvalidChannel, src, dst);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(topo.channel(out[0]).dim, 0);
+  EXPECT_EQ(topo.channel(out[0]).dir, topology::Direction::kNeg);
+}
+
+TEST(WestFirst, AdaptiveWhenNoWestNeeded) {
+  const Topology topo = make_mesh({5, 5});
+  const WestFirst routing(topo);
+  const NodeId src = topo.node_at(std::vector<std::uint32_t>{1, 1});
+  const NodeId dst = topo.node_at(std::vector<std::uint32_t>{3, 4});
+  const auto out = routing.route(topology::kInvalidChannel, src, dst);
+  EXPECT_EQ(out.size(), 2u);  // east and north both offered
+}
+
+TEST(NorthLast, NorthOnlyWhenSoleRemaining) {
+  const Topology topo = make_mesh({5, 5});
+  const NorthLast routing(topo);
+  const NodeId src = topo.node_at(std::vector<std::uint32_t>{1, 1});
+  // Needs east + north: only east offered (north withheld).
+  NodeId dst = topo.node_at(std::vector<std::uint32_t>{3, 3});
+  auto out = routing.route(topology::kInvalidChannel, src, dst);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(topo.channel(out[0]).dim, 0);
+  // Due north: north permitted.
+  dst = topo.node_at(std::vector<std::uint32_t>{1, 4});
+  out = routing.route(topology::kInvalidChannel, src, dst);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(topo.channel(out[0]).dim, 1);
+  EXPECT_EQ(topo.channel(out[0]).dir, topology::Direction::kPos);
+}
+
+TEST(NorthLast, SouthboundIsFullyAdaptive) {
+  const Topology topo = make_mesh({5, 5});
+  const NorthLast routing(topo);
+  const NodeId src = topo.node_at(std::vector<std::uint32_t>{1, 4});
+  const NodeId dst = topo.node_at(std::vector<std::uint32_t>{3, 1});
+  const auto out = routing.route(topology::kInvalidChannel, src, dst);
+  EXPECT_EQ(out.size(), 2u);  // east + south
+}
+
+TEST(NegativeFirst, NegativePhaseBeforePositive) {
+  const Topology topo = make_mesh({4, 4, 4});
+  const NegativeFirst routing(topo);
+  const NodeId src = topo.node_at(std::vector<std::uint32_t>{2, 0, 3});
+  const NodeId dst = topo.node_at(std::vector<std::uint32_t>{0, 2, 1});
+  const auto out = routing.route(topology::kInvalidChannel, src, dst);
+  // Needs: dim0 negative, dim1 positive, dim2 negative -> only negatives.
+  EXPECT_EQ(out.size(), 2u);
+  for (ChannelId c : out) {
+    EXPECT_EQ(topo.channel(c).dir, topology::Direction::kNeg);
+  }
+}
+
+TEST(NegativeFirst, PositivePhaseAdaptive) {
+  const Topology topo = make_mesh({4, 4, 4});
+  const NegativeFirst routing(topo);
+  const NodeId src = topo.node_at(std::vector<std::uint32_t>{0, 0, 0});
+  const NodeId dst = topo.node_at(std::vector<std::uint32_t>{2, 2, 2});
+  const auto out = routing.route(topology::kInvalidChannel, src, dst);
+  EXPECT_EQ(out.size(), 3u);
+  for (ChannelId c : out) {
+    EXPECT_EQ(topo.channel(c).dir, topology::Direction::kPos);
+  }
+}
+
+TEST(TurnModel, RejectsTorus) {
+  const Topology topo = make_torus({4, 4});
+  EXPECT_THROW(WestFirst{topo}, std::invalid_argument);
+  EXPECT_THROW(NorthLast{topo}, std::invalid_argument);
+  EXPECT_THROW(NegativeFirst{topo}, std::invalid_argument);
+}
+
+TEST(TurnModel, WestFirstNorthLast2DOnly) {
+  const Topology topo = make_mesh({3, 3, 3});
+  EXPECT_THROW(WestFirst{topo}, std::invalid_argument);
+  EXPECT_THROW(NorthLast{topo}, std::invalid_argument);
+  EXPECT_NO_THROW(NegativeFirst{topo});
+}
+
+// All three turn-model algorithms deliver every pair and only use minimal
+// hops, across a parameter sweep of mesh sizes.
+class TurnModelConnectivity : public ::testing::TestWithParam<int> {};
+
+TEST_P(TurnModelConnectivity, AllVariantsConnected) {
+  const auto k = static_cast<std::uint32_t>(GetParam());
+  const Topology topo = make_mesh({k, k});
+  const WestFirst wf(topo);
+  const NorthLast nl(topo);
+  const NegativeFirst nf(topo);
+  test::expect_connected(topo, wf);
+  test::expect_connected(topo, nl);
+  test::expect_connected(topo, nf);
+}
+
+TEST_P(TurnModelConnectivity, OnlyMinimalHops) {
+  const auto k = static_cast<std::uint32_t>(GetParam());
+  const Topology topo = make_mesh({k, k});
+  for (const RoutingFunction* routing :
+       std::initializer_list<const RoutingFunction*>{
+           new WestFirst(topo), new NorthLast(topo), new NegativeFirst(topo)}) {
+    const cdg::StateGraph states(topo, *routing);
+    for (NodeId d = 0; d < topo.num_nodes(); ++d) {
+      for (ChannelId c = 0; c < topo.num_channels(); ++c) {
+        if (!states.reachable(c, d)) continue;
+        const auto& ch = topo.channel(c);
+        if (ch.dst == d) continue;
+        for (ChannelId next : states.successors(c, d)) {
+          EXPECT_EQ(topo.distance(topo.channel(next).dst, d) + 1,
+                    topo.distance(ch.dst, d))
+              << routing->name() << " took a nonminimal hop";
+        }
+      }
+    }
+    delete routing;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MeshSizes, TurnModelConnectivity,
+                         ::testing::Values(2, 3, 4, 5));
+
+}  // namespace
+}  // namespace wormnet::routing

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace wormnet::analysis {
+namespace {
+
+using topology::make_mesh;
+using topology::make_torus;
+
+TurnCensus census_of(const Topology& topo,
+                     const routing::RoutingFunction& routing) {
+  return turn_census(cdg::StateGraph(topo, routing));
+}
+
+TEST(TurnCensus, EcubeProhibitsAllYToXTurns) {
+  const Topology topo = make_mesh({5, 5});
+  const routing::DimensionOrder routing(topo);
+  const TurnCensus census = census_of(topo, routing);
+  EXPECT_EQ(census.permitted_count, 4u);
+  EXPECT_EQ(census.prohibited_count, 4u);
+  // All four X -> Y turns allowed, no Y -> X turn.
+  for (std::size_t from : {kXPos, kXNeg}) {
+    for (std::size_t to : {kYPos, kYNeg}) {
+      EXPECT_TRUE(census.permitted[from][to]);
+      EXPECT_FALSE(census.permitted[to][from]);
+    }
+  }
+}
+
+TEST(TurnCensus, WestFirstProhibitsExactlyTurnsIntoWest) {
+  // Glass & Ni's minimum: two prohibited turns, both ending on X-.
+  const Topology topo = make_mesh({5, 5});
+  const routing::WestFirst routing(topo);
+  const TurnCensus census = census_of(topo, routing);
+  EXPECT_EQ(census.prohibited_count, 2u);
+  EXPECT_FALSE(census.permitted[kYPos][kXNeg]);
+  EXPECT_FALSE(census.permitted[kYNeg][kXNeg]);
+}
+
+TEST(TurnCensus, NorthLastProhibitsExactlyTurnsOutOfNorth) {
+  const Topology topo = make_mesh({5, 5});
+  const routing::NorthLast routing(topo);
+  const TurnCensus census = census_of(topo, routing);
+  EXPECT_EQ(census.prohibited_count, 2u);
+  EXPECT_FALSE(census.permitted[kYPos][kXPos]);
+  EXPECT_FALSE(census.permitted[kYPos][kXNeg]);
+}
+
+TEST(TurnCensus, NegativeFirstProhibitsPositiveToNegative) {
+  const Topology topo = make_mesh({5, 5});
+  const routing::NegativeFirst routing(topo);
+  const TurnCensus census = census_of(topo, routing);
+  EXPECT_EQ(census.prohibited_count, 2u);
+  EXPECT_FALSE(census.permitted[kXPos][kYNeg]);
+  EXPECT_FALSE(census.permitted[kYPos][kXNeg]);
+}
+
+TEST(TurnCensus, UnrestrictedPermitsAllEight) {
+  const Topology topo = make_mesh({5, 5});
+  const routing::UnrestrictedMinimal routing(topo);
+  const TurnCensus census = census_of(topo, routing);
+  EXPECT_EQ(census.permitted_count, 8u);
+}
+
+TEST(TurnCensus, AcyclicCdgNeedsAtLeastTwoProhibitedTurns) {
+  // The turn-model lower bound, checked over every registry algorithm on a
+  // 1-VC 2-D mesh: anything with an acyclic CDG prohibits >= 2 turns.
+  const Topology topo = make_mesh({4, 4});
+  for (const core::AlgorithmEntry* entry : core::algorithms_for(topo)) {
+    const auto routing = entry->make(topo);
+    const cdg::StateGraph states(topo, *routing);
+    if (cdg::build_cdg(states).has_cycle()) continue;
+    const TurnCensus census = turn_census(states);
+    EXPECT_GE(census.prohibited_count, 2u) << entry->name;
+  }
+}
+
+TEST(TurnCensus, RejectsNon2DMeshes) {
+  const Topology torus = make_torus({4, 4});
+  const routing::UnrestrictedMinimal routing(torus);
+  EXPECT_THROW(census_of(torus, routing), std::invalid_argument);
+  const Topology mesh3 = make_mesh({3, 3, 3});
+  const routing::UnrestrictedMinimal routing3(mesh3);
+  EXPECT_THROW(census_of(mesh3, routing3), std::invalid_argument);
+}
+
+TEST(TurnCensus, DirectionNames) {
+  EXPECT_STREQ(direction_name(kXPos), "X+");
+  EXPECT_STREQ(direction_name(kYNeg), "Y-");
+}
+
+}  // namespace
+}  // namespace wormnet::analysis

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace wormnet::core {
+namespace {
+
+using topology::make_hypercube;
+using topology::make_mesh;
+using topology::make_torus;
+using topology::make_unidirectional_ring;
+using topology::Topology;
+
+TEST(Verifier, EcubeFreeByCdg) {
+  const Topology topo = make_mesh({4, 4});
+  const routing::DimensionOrder routing(topo);
+  const Verdict v = verify(topo, routing, {.method = Method::kCdgAcyclic});
+  EXPECT_EQ(v.conclusion, Conclusion::kDeadlockFree) << v.detail;
+}
+
+TEST(Verifier, OneVcRingDeadlockableByCdgNecessity) {
+  // Deterministic relation + cyclic CDG => Dally-Seitz necessity applies.
+  const Topology topo = make_unidirectional_ring(4, 1);
+  const routing::UnrestrictedMinimal routing(topo);
+  const Verdict v = verify(topo, routing, {.method = Method::kCdgAcyclic});
+  EXPECT_EQ(v.conclusion, Conclusion::kDeadlockable) << v.detail;
+  EXPECT_FALSE(v.witness_channels.empty());
+}
+
+TEST(Verifier, DuatoMeshCyclicCdgIsOnlyUnknown) {
+  // Adaptive relation: cyclic CDG proves nothing — the verdict must be
+  // kUnknown, not kDeadlockable.
+  const Topology topo = make_mesh({4, 4}, 2);
+  const auto routing = routing::make_duato_mesh(topo);
+  const Verdict v = verify(topo, *routing, {.method = Method::kCdgAcyclic});
+  EXPECT_EQ(v.conclusion, Conclusion::kUnknown) << v.detail;
+}
+
+TEST(Verifier, DuatoMeshFreeByDuatoCondition) {
+  const Topology topo = make_mesh({4, 4}, 2);
+  const auto routing = routing::make_duato_mesh(topo);
+  const Verdict v = verify(topo, *routing, {.method = Method::kDuato});
+  EXPECT_EQ(v.conclusion, Conclusion::kDeadlockFree) << v.detail;
+}
+
+TEST(Verifier, OneVcRingDeadlockableByDuatoExhaustion) {
+  const Topology topo = make_unidirectional_ring(4, 1);
+  const routing::UnrestrictedMinimal routing(topo);
+  const Verdict v = verify(topo, routing, {.method = Method::kDuato});
+  EXPECT_EQ(v.conclusion, Conclusion::kDeadlockable) << v.detail;
+}
+
+TEST(Verifier, SimulationFindsRingDeadlock) {
+  const Topology topo = make_unidirectional_ring(4, 1);
+  const routing::UnrestrictedMinimal routing(topo);
+  VerifyOptions options;
+  options.method = Method::kSimulation;
+  options.sim = test::stress_config();
+  options.sim.injection_rate = 0.9;
+  const Verdict v = verify(topo, routing, options);
+  EXPECT_EQ(v.conclusion, Conclusion::kDeadlockable) << v.detail;
+}
+
+TEST(Verifier, MethodNamesRoundTrip) {
+  EXPECT_STREQ(to_string(Method::kCdgAcyclic), "cdg-acyclic");
+  EXPECT_STREQ(to_string(Method::kDuato), "duato");
+  EXPECT_STREQ(to_string(Method::kCwg), "cwg");
+  EXPECT_STREQ(to_string(Method::kSimulation), "simulation");
+  EXPECT_STREQ(to_string(Conclusion::kDeadlockFree), "deadlock-free");
+}
+
+TEST(Registry, AllAlgorithmsInstantiable) {
+  const Topology mesh = make_mesh({4, 4}, 2);
+  const Topology torus = make_torus({4, 4}, 3);
+  const Topology cube = make_hypercube(3, 2);
+  const Topology incoherent = routing::make_incoherent_net();
+  std::size_t total = 0;
+  for (const Topology* topo : {&mesh, &torus, &cube, &incoherent}) {
+    for (const AlgorithmEntry* entry : algorithms_for(*topo)) {
+      auto routing = entry->make(*topo);
+      ASSERT_NE(routing, nullptr);
+      EXPECT_FALSE(routing->name().empty());
+      ++total;
+    }
+  }
+  EXPECT_GE(total, 15u);
+}
+
+TEST(Registry, UnknownNameThrows) {
+  const Topology topo = make_mesh({3, 3});
+  EXPECT_THROW(make_algorithm("no-such-algorithm", topo),
+               std::invalid_argument);
+  EXPECT_THROW(make_algorithm("dateline", topo), std::invalid_argument);
+}
+
+TEST(Registry, HypercubeGetsHypercubeAlgorithms) {
+  const Topology cube = make_hypercube(3, 2);
+  bool has_enhanced = false, has_duato = false;
+  for (const AlgorithmEntry* entry : algorithms_for(cube)) {
+    if (entry->name == "enhanced") has_enhanced = true;
+    if (entry->name == "duato-hypercube") has_duato = true;
+    EXPECT_NE(entry->name, "duato-mesh");
+    EXPECT_NE(entry->name, "west-first");  // 2-D only... on a 3-cube
+  }
+  EXPECT_TRUE(has_enhanced);
+  EXPECT_TRUE(has_duato);
+}
+
+// EXP-A as a test: static verdicts and the simulator never contradict each
+// other across the registry.
+struct AgreementCase {
+  std::string topo_kind;
+  std::string algorithm;
+};
+
+class VerdictAgreement : public ::testing::TestWithParam<AgreementCase> {
+ protected:
+  static Topology make_topo(const std::string& kind) {
+    if (kind == "mesh") return make_mesh({4, 4}, 2);
+    if (kind == "torus") return make_torus({4, 4}, 3);
+    if (kind == "hypercube") return make_hypercube(3, 2);
+    if (kind == "uniring") return make_unidirectional_ring(4, 2);
+    return routing::make_incoherent_net();
+  }
+};
+
+TEST_P(VerdictAgreement, NoContradictions) {
+  const auto& param = GetParam();
+  const Topology topo = make_topo(param.topo_kind);
+  const auto routing = make_algorithm(param.algorithm, topo);
+  VerifyOptions options;
+  options.sim = test::stress_config();
+  options.sim.injection_rate = 0.8;
+  options.cwg.max_cycles = 400;
+  options.cwg.classify.max_paths_per_edge = 16;
+  const FullReport report = verify_all(topo, *routing, options);
+  EXPECT_TRUE(report.consistent())
+      << param.algorithm << " on " << param.topo_kind << ":\n cdg: "
+      << report.cdg.detail << "\n duato: " << report.duato.detail
+      << "\n cwg: " << report.cwg.detail
+      << "\n sim: " << report.simulation.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, VerdictAgreement,
+    ::testing::Values(AgreementCase{"mesh", "e-cube"},
+                      AgreementCase{"mesh", "west-first"},
+                      AgreementCase{"mesh", "north-last"},
+                      AgreementCase{"mesh", "negative-first"},
+                      AgreementCase{"mesh", "duato-mesh"},
+                      AgreementCase{"mesh", "hpl-minimal"},
+                      AgreementCase{"torus", "dateline"},
+                      AgreementCase{"torus", "duato-torus"},
+                      AgreementCase{"hypercube", "e-cube"},
+                      AgreementCase{"hypercube", "duato-hypercube"},
+                      AgreementCase{"hypercube", "enhanced"},
+                      AgreementCase{"uniring", "dateline"},
+                      AgreementCase{"incoherent", "incoherent"}),
+    [](const ::testing::TestParamInfo<AgreementCase>& info) {
+      std::string name = info.param.topo_kind + "_" + info.param.algorithm;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace wormnet::core

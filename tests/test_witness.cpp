@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace wormnet::core {
+namespace {
+
+using topology::make_hypercube;
+using topology::make_unidirectional_ring;
+using topology::Topology;
+
+cwg::ClassifiedCycle first_true_cycle(const Topology& topo,
+                                      const routing::RoutingFunction& routing) {
+  const cdg::StateGraph states(topo, routing);
+  const cwg::Cwg graph = cwg::build_cwg(states);
+  const cwg::CycleSurvey survey = cwg::survey_cycles(states, graph, 2000);
+  for (const auto& cycle : survey.cycles) {
+    if (cycle.kind == cwg::CycleKind::kTrue) return cycle;
+  }
+  ADD_FAILURE() << "no True Cycle found";
+  return {};
+}
+
+TEST(Witness, RingTrueCycleReplaysToDeadlock) {
+  const Topology topo = make_unidirectional_ring(4, 1);
+  const routing::UnrestrictedMinimal routing(topo);
+  const auto cycle = first_true_cycle(topo, routing);
+  ASSERT_EQ(cycle.kind, cwg::CycleKind::kTrue);
+  const auto stats = replay_witness(topo, routing, cycle);
+  EXPECT_TRUE(stats.deadlocked);
+  EXPECT_FALSE(stats.deadlock.from_watchdog);
+}
+
+TEST(Witness, ScriptShapeMatchesCycle) {
+  const Topology topo = make_unidirectional_ring(4, 1);
+  const routing::UnrestrictedMinimal routing(topo);
+  const auto cycle = first_true_cycle(topo, routing);
+  const auto script = build_witness_script(topo, cycle, 4);
+  ASSERT_EQ(script.size(), cycle.channels.size());
+  for (std::size_t i = 0; i < script.size(); ++i) {
+    // Each packet starts at the source of its first witness channel and its
+    // forced path ends with the next message's held channel.
+    EXPECT_EQ(script[i].src, topo.channel(script[i].forced_path.front()).src);
+    EXPECT_EQ(script[i].forced_path.back(),
+              cycle.channels[(i + 1) % cycle.channels.size()]);
+    EXPECT_GT(script[i].length, 4u);
+  }
+}
+
+TEST(Witness, EnhancedRelaxedReplaysToDeadlock) {
+  // EXP-I: the Theorem-6 violation, executed.
+  const Topology topo = make_hypercube(3, 2);
+  const routing::EnhancedFullyAdaptive routing(topo, /*relaxed=*/true);
+  const auto cycle = first_true_cycle(topo, routing);
+  ASSERT_EQ(cycle.kind, cwg::CycleKind::kTrue);
+  const auto stats = replay_witness(topo, routing, cycle);
+  EXPECT_TRUE(stats.deadlocked);
+}
+
+TEST(Witness, RejectsNonTrueCycles) {
+  const Topology topo = make_unidirectional_ring(4, 1);
+  cwg::ClassifiedCycle fake;
+  fake.kind = cwg::CycleKind::kFalseResource;
+  EXPECT_THROW(build_witness_script(topo, fake, 4), std::invalid_argument);
+}
+
+TEST(Witness, StrictEnhancedHasNoTrueCycleToReplay) {
+  // Control: the deadlock-free variant yields nothing for the witness
+  // machinery to exploit.
+  const Topology topo = make_hypercube(3, 2);
+  const routing::EnhancedFullyAdaptive routing(topo, /*relaxed=*/false);
+  const cdg::StateGraph states(topo, routing);
+  const cwg::Cwg graph = cwg::build_cwg(states);
+  const cwg::CycleSurvey survey = cwg::survey_cycles(states, graph, 2000);
+  EXPECT_EQ(survey.true_cycles, 0u);
+}
+
+}  // namespace
+}  // namespace wormnet::core
