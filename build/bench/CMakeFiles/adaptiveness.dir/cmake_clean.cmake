@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptiveness.dir/adaptiveness.cpp.o"
+  "CMakeFiles/adaptiveness.dir/adaptiveness.cpp.o.d"
+  "adaptiveness"
+  "adaptiveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checker_scaling.dir/checker_scaling.cpp.o"
+  "CMakeFiles/checker_scaling.dir/checker_scaling.cpp.o.d"
+  "checker_scaling"
+  "checker_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checker_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/duato_condition.dir/duato_condition.cpp.o"
+  "CMakeFiles/duato_condition.dir/duato_condition.cpp.o.d"
+  "duato_condition"
+  "duato_condition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/duato_condition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for duato_condition.
+# This may be replaced when dependencies are built.

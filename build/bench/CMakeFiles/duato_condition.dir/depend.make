@@ -1,0 +1,2 @@
+# Empty dependencies file for duato_condition.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incoherent_example.dir/incoherent_example.cpp.o"
+  "CMakeFiles/incoherent_example.dir/incoherent_example.cpp.o.d"
+  "incoherent_example"
+  "incoherent_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incoherent_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indirect_deps.dir/indirect_deps.cpp.o"
+  "CMakeFiles/indirect_deps.dir/indirect_deps.cpp.o.d"
+  "indirect_deps"
+  "indirect_deps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indirect_deps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for indirect_deps.
+# This may be replaced when dependencies are built.

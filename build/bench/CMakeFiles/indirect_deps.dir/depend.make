@@ -1,0 +1,2 @@
+# Empty dependencies file for indirect_deps.
+# This may be replaced when dependencies are built.

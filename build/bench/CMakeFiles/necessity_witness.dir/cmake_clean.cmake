@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/necessity_witness.dir/necessity_witness.cpp.o"
+  "CMakeFiles/necessity_witness.dir/necessity_witness.cpp.o.d"
+  "necessity_witness"
+  "necessity_witness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/necessity_witness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

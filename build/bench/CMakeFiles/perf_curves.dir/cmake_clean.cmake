@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_curves.dir/perf_curves.cpp.o"
+  "CMakeFiles/perf_curves.dir/perf_curves.cpp.o.d"
+  "perf_curves"
+  "perf_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

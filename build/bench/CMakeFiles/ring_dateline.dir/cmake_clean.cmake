@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ring_dateline.dir/ring_dateline.cpp.o"
+  "CMakeFiles/ring_dateline.dir/ring_dateline.cpp.o.d"
+  "ring_dateline"
+  "ring_dateline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ring_dateline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

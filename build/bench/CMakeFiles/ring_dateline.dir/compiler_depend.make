@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ring_dateline.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saturation_points.dir/saturation_points.cpp.o"
+  "CMakeFiles/saturation_points.dir/saturation_points.cpp.o.d"
+  "saturation_points"
+  "saturation_points.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saturation_points.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verdict_matrix.dir/verdict_matrix.cpp.o"
+  "CMakeFiles/verdict_matrix.dir/verdict_matrix.cpp.o.d"
+  "verdict_matrix"
+  "verdict_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verdict_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for verdict_matrix.
+# This may be replaced when dependencies are built.

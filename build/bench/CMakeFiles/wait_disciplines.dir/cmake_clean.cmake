@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wait_disciplines.dir/wait_disciplines.cpp.o"
+  "CMakeFiles/wait_disciplines.dir/wait_disciplines.cpp.o.d"
+  "wait_disciplines"
+  "wait_disciplines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wait_disciplines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for wait_disciplines.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for wait_disciplines.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_cwg_analysis.dir/cwg_analysis.cpp.o"
+  "CMakeFiles/example_cwg_analysis.dir/cwg_analysis.cpp.o.d"
+  "cwg_analysis"
+  "cwg_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_cwg_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_deadlock_autopsy.dir/deadlock_autopsy.cpp.o"
+  "CMakeFiles/example_deadlock_autopsy.dir/deadlock_autopsy.cpp.o.d"
+  "deadlock_autopsy"
+  "deadlock_autopsy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_deadlock_autopsy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_design_methodology.dir/design_methodology.cpp.o"
+  "CMakeFiles/example_design_methodology.dir/design_methodology.cpp.o.d"
+  "design_methodology"
+  "design_methodology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_design_methodology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

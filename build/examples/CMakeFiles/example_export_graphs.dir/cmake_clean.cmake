@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_export_graphs.dir/export_graphs.cpp.o"
+  "CMakeFiles/example_export_graphs.dir/export_graphs.cpp.o.d"
+  "export_graphs"
+  "export_graphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_export_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

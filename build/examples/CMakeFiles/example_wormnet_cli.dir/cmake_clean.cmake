@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_wormnet_cli.dir/wormnet_cli.cpp.o"
+  "CMakeFiles/example_wormnet_cli.dir/wormnet_cli.cpp.o.d"
+  "wormnet_cli"
+  "wormnet_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_wormnet_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wormnet/analysis/adaptiveness.cpp" "src/CMakeFiles/wormnet.dir/wormnet/analysis/adaptiveness.cpp.o" "gcc" "src/CMakeFiles/wormnet.dir/wormnet/analysis/adaptiveness.cpp.o.d"
+  "/root/repo/src/wormnet/analysis/path_count.cpp" "src/CMakeFiles/wormnet.dir/wormnet/analysis/path_count.cpp.o" "gcc" "src/CMakeFiles/wormnet.dir/wormnet/analysis/path_count.cpp.o.d"
+  "/root/repo/src/wormnet/analysis/saturation.cpp" "src/CMakeFiles/wormnet.dir/wormnet/analysis/saturation.cpp.o" "gcc" "src/CMakeFiles/wormnet.dir/wormnet/analysis/saturation.cpp.o.d"
+  "/root/repo/src/wormnet/analysis/turns.cpp" "src/CMakeFiles/wormnet.dir/wormnet/analysis/turns.cpp.o" "gcc" "src/CMakeFiles/wormnet.dir/wormnet/analysis/turns.cpp.o.d"
+  "/root/repo/src/wormnet/cdg/cdg_builder.cpp" "src/CMakeFiles/wormnet.dir/wormnet/cdg/cdg_builder.cpp.o" "gcc" "src/CMakeFiles/wormnet.dir/wormnet/cdg/cdg_builder.cpp.o.d"
+  "/root/repo/src/wormnet/cdg/duato_checker.cpp" "src/CMakeFiles/wormnet.dir/wormnet/cdg/duato_checker.cpp.o" "gcc" "src/CMakeFiles/wormnet.dir/wormnet/cdg/duato_checker.cpp.o.d"
+  "/root/repo/src/wormnet/cdg/extended_cdg.cpp" "src/CMakeFiles/wormnet.dir/wormnet/cdg/extended_cdg.cpp.o" "gcc" "src/CMakeFiles/wormnet.dir/wormnet/cdg/extended_cdg.cpp.o.d"
+  "/root/repo/src/wormnet/cdg/message_flow.cpp" "src/CMakeFiles/wormnet.dir/wormnet/cdg/message_flow.cpp.o" "gcc" "src/CMakeFiles/wormnet.dir/wormnet/cdg/message_flow.cpp.o.d"
+  "/root/repo/src/wormnet/cdg/states.cpp" "src/CMakeFiles/wormnet.dir/wormnet/cdg/states.cpp.o" "gcc" "src/CMakeFiles/wormnet.dir/wormnet/cdg/states.cpp.o.d"
+  "/root/repo/src/wormnet/cdg/subfunction.cpp" "src/CMakeFiles/wormnet.dir/wormnet/cdg/subfunction.cpp.o" "gcc" "src/CMakeFiles/wormnet.dir/wormnet/cdg/subfunction.cpp.o.d"
+  "/root/repo/src/wormnet/core/registry.cpp" "src/CMakeFiles/wormnet.dir/wormnet/core/registry.cpp.o" "gcc" "src/CMakeFiles/wormnet.dir/wormnet/core/registry.cpp.o.d"
+  "/root/repo/src/wormnet/core/verdict.cpp" "src/CMakeFiles/wormnet.dir/wormnet/core/verdict.cpp.o" "gcc" "src/CMakeFiles/wormnet.dir/wormnet/core/verdict.cpp.o.d"
+  "/root/repo/src/wormnet/core/verifier.cpp" "src/CMakeFiles/wormnet.dir/wormnet/core/verifier.cpp.o" "gcc" "src/CMakeFiles/wormnet.dir/wormnet/core/verifier.cpp.o.d"
+  "/root/repo/src/wormnet/core/witness.cpp" "src/CMakeFiles/wormnet.dir/wormnet/core/witness.cpp.o" "gcc" "src/CMakeFiles/wormnet.dir/wormnet/core/witness.cpp.o.d"
+  "/root/repo/src/wormnet/cwg/cwg_builder.cpp" "src/CMakeFiles/wormnet.dir/wormnet/cwg/cwg_builder.cpp.o" "gcc" "src/CMakeFiles/wormnet.dir/wormnet/cwg/cwg_builder.cpp.o.d"
+  "/root/repo/src/wormnet/cwg/cycle_classify.cpp" "src/CMakeFiles/wormnet.dir/wormnet/cwg/cycle_classify.cpp.o" "gcc" "src/CMakeFiles/wormnet.dir/wormnet/cwg/cycle_classify.cpp.o.d"
+  "/root/repo/src/wormnet/cwg/reduction.cpp" "src/CMakeFiles/wormnet.dir/wormnet/cwg/reduction.cpp.o" "gcc" "src/CMakeFiles/wormnet.dir/wormnet/cwg/reduction.cpp.o.d"
+  "/root/repo/src/wormnet/graph/cycles.cpp" "src/CMakeFiles/wormnet.dir/wormnet/graph/cycles.cpp.o" "gcc" "src/CMakeFiles/wormnet.dir/wormnet/graph/cycles.cpp.o.d"
+  "/root/repo/src/wormnet/graph/digraph.cpp" "src/CMakeFiles/wormnet.dir/wormnet/graph/digraph.cpp.o" "gcc" "src/CMakeFiles/wormnet.dir/wormnet/graph/digraph.cpp.o.d"
+  "/root/repo/src/wormnet/routing/dateline.cpp" "src/CMakeFiles/wormnet.dir/wormnet/routing/dateline.cpp.o" "gcc" "src/CMakeFiles/wormnet.dir/wormnet/routing/dateline.cpp.o.d"
+  "/root/repo/src/wormnet/routing/dimension_order.cpp" "src/CMakeFiles/wormnet.dir/wormnet/routing/dimension_order.cpp.o" "gcc" "src/CMakeFiles/wormnet.dir/wormnet/routing/dimension_order.cpp.o.d"
+  "/root/repo/src/wormnet/routing/duato_adaptive.cpp" "src/CMakeFiles/wormnet.dir/wormnet/routing/duato_adaptive.cpp.o" "gcc" "src/CMakeFiles/wormnet.dir/wormnet/routing/duato_adaptive.cpp.o.d"
+  "/root/repo/src/wormnet/routing/enhanced_hypercube.cpp" "src/CMakeFiles/wormnet.dir/wormnet/routing/enhanced_hypercube.cpp.o" "gcc" "src/CMakeFiles/wormnet.dir/wormnet/routing/enhanced_hypercube.cpp.o.d"
+  "/root/repo/src/wormnet/routing/examples.cpp" "src/CMakeFiles/wormnet.dir/wormnet/routing/examples.cpp.o" "gcc" "src/CMakeFiles/wormnet.dir/wormnet/routing/examples.cpp.o.d"
+  "/root/repo/src/wormnet/routing/fault.cpp" "src/CMakeFiles/wormnet.dir/wormnet/routing/fault.cpp.o" "gcc" "src/CMakeFiles/wormnet.dir/wormnet/routing/fault.cpp.o.d"
+  "/root/repo/src/wormnet/routing/hpl.cpp" "src/CMakeFiles/wormnet.dir/wormnet/routing/hpl.cpp.o" "gcc" "src/CMakeFiles/wormnet.dir/wormnet/routing/hpl.cpp.o.d"
+  "/root/repo/src/wormnet/routing/routing_function.cpp" "src/CMakeFiles/wormnet.dir/wormnet/routing/routing_function.cpp.o" "gcc" "src/CMakeFiles/wormnet.dir/wormnet/routing/routing_function.cpp.o.d"
+  "/root/repo/src/wormnet/routing/scripted.cpp" "src/CMakeFiles/wormnet.dir/wormnet/routing/scripted.cpp.o" "gcc" "src/CMakeFiles/wormnet.dir/wormnet/routing/scripted.cpp.o.d"
+  "/root/repo/src/wormnet/routing/selection.cpp" "src/CMakeFiles/wormnet.dir/wormnet/routing/selection.cpp.o" "gcc" "src/CMakeFiles/wormnet.dir/wormnet/routing/selection.cpp.o.d"
+  "/root/repo/src/wormnet/routing/turn_model.cpp" "src/CMakeFiles/wormnet.dir/wormnet/routing/turn_model.cpp.o" "gcc" "src/CMakeFiles/wormnet.dir/wormnet/routing/turn_model.cpp.o.d"
+  "/root/repo/src/wormnet/routing/unrestricted.cpp" "src/CMakeFiles/wormnet.dir/wormnet/routing/unrestricted.cpp.o" "gcc" "src/CMakeFiles/wormnet.dir/wormnet/routing/unrestricted.cpp.o.d"
+  "/root/repo/src/wormnet/sim/deadlock_detector.cpp" "src/CMakeFiles/wormnet.dir/wormnet/sim/deadlock_detector.cpp.o" "gcc" "src/CMakeFiles/wormnet.dir/wormnet/sim/deadlock_detector.cpp.o.d"
+  "/root/repo/src/wormnet/sim/flit.cpp" "src/CMakeFiles/wormnet.dir/wormnet/sim/flit.cpp.o" "gcc" "src/CMakeFiles/wormnet.dir/wormnet/sim/flit.cpp.o.d"
+  "/root/repo/src/wormnet/sim/network.cpp" "src/CMakeFiles/wormnet.dir/wormnet/sim/network.cpp.o" "gcc" "src/CMakeFiles/wormnet.dir/wormnet/sim/network.cpp.o.d"
+  "/root/repo/src/wormnet/sim/router.cpp" "src/CMakeFiles/wormnet.dir/wormnet/sim/router.cpp.o" "gcc" "src/CMakeFiles/wormnet.dir/wormnet/sim/router.cpp.o.d"
+  "/root/repo/src/wormnet/sim/simulator.cpp" "src/CMakeFiles/wormnet.dir/wormnet/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/wormnet.dir/wormnet/sim/simulator.cpp.o.d"
+  "/root/repo/src/wormnet/sim/stats.cpp" "src/CMakeFiles/wormnet.dir/wormnet/sim/stats.cpp.o" "gcc" "src/CMakeFiles/wormnet.dir/wormnet/sim/stats.cpp.o.d"
+  "/root/repo/src/wormnet/sim/traffic.cpp" "src/CMakeFiles/wormnet.dir/wormnet/sim/traffic.cpp.o" "gcc" "src/CMakeFiles/wormnet.dir/wormnet/sim/traffic.cpp.o.d"
+  "/root/repo/src/wormnet/topology/builders.cpp" "src/CMakeFiles/wormnet.dir/wormnet/topology/builders.cpp.o" "gcc" "src/CMakeFiles/wormnet.dir/wormnet/topology/builders.cpp.o.d"
+  "/root/repo/src/wormnet/topology/topology.cpp" "src/CMakeFiles/wormnet.dir/wormnet/topology/topology.cpp.o" "gcc" "src/CMakeFiles/wormnet.dir/wormnet/topology/topology.cpp.o.d"
+  "/root/repo/src/wormnet/util/rng.cpp" "src/CMakeFiles/wormnet.dir/wormnet/util/rng.cpp.o" "gcc" "src/CMakeFiles/wormnet.dir/wormnet/util/rng.cpp.o.d"
+  "/root/repo/src/wormnet/util/table.cpp" "src/CMakeFiles/wormnet.dir/wormnet/util/table.cpp.o" "gcc" "src/CMakeFiles/wormnet.dir/wormnet/util/table.cpp.o.d"
+  "/root/repo/src/wormnet/util/thread_pool.cpp" "src/CMakeFiles/wormnet.dir/wormnet/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/wormnet.dir/wormnet/util/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adaptiveness.dir/test_adaptiveness.cpp.o"
+  "CMakeFiles/test_adaptiveness.dir/test_adaptiveness.cpp.o.d"
+  "test_adaptiveness"
+  "test_adaptiveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adaptiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

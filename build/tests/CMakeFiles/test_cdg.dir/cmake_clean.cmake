@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cdg.dir/test_cdg.cpp.o"
+  "CMakeFiles/test_cdg.dir/test_cdg.cpp.o.d"
+  "test_cdg"
+  "test_cdg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cdg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cwg_incoherent.dir/test_cwg_incoherent.cpp.o"
+  "CMakeFiles/test_cwg_incoherent.dir/test_cwg_incoherent.cpp.o.d"
+  "test_cwg_incoherent"
+  "test_cwg_incoherent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cwg_incoherent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

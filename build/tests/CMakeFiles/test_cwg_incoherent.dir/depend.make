@@ -1,0 +1,2 @@
+# Empty dependencies file for test_cwg_incoherent.
+# This may be replaced when dependencies are built.

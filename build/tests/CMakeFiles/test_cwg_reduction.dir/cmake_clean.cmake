@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cwg_reduction.dir/test_cwg_reduction.cpp.o"
+  "CMakeFiles/test_cwg_reduction.dir/test_cwg_reduction.cpp.o.d"
+  "test_cwg_reduction"
+  "test_cwg_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cwg_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cycles.dir/test_cycles.cpp.o"
+  "CMakeFiles/test_cycles.dir/test_cycles.cpp.o.d"
+  "test_cycles"
+  "test_cycles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cycles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

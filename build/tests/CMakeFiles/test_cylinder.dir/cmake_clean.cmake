@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cylinder.dir/test_cylinder.cpp.o"
+  "CMakeFiles/test_cylinder.dir/test_cylinder.cpp.o.d"
+  "test_cylinder"
+  "test_cylinder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cylinder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

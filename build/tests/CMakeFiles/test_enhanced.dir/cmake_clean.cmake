@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_enhanced.dir/test_enhanced.cpp.o"
+  "CMakeFiles/test_enhanced.dir/test_enhanced.cpp.o.d"
+  "test_enhanced"
+  "test_enhanced.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_enhanced.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_extended_cdg.dir/test_extended_cdg.cpp.o"
+  "CMakeFiles/test_extended_cdg.dir/test_extended_cdg.cpp.o.d"
+  "test_extended_cdg"
+  "test_extended_cdg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_extended_cdg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_message_flow.dir/test_message_flow.cpp.o"
+  "CMakeFiles/test_message_flow.dir/test_message_flow.cpp.o.d"
+  "test_message_flow"
+  "test_message_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_message_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

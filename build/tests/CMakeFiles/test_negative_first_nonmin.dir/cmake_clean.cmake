@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_negative_first_nonmin.dir/test_negative_first_nonmin.cpp.o"
+  "CMakeFiles/test_negative_first_nonmin.dir/test_negative_first_nonmin.cpp.o.d"
+  "test_negative_first_nonmin"
+  "test_negative_first_nonmin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_negative_first_nonmin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

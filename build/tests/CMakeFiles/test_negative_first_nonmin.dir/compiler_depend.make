@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_negative_first_nonmin.
+# This may be replaced when dependencies are built.

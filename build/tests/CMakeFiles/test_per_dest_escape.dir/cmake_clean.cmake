@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_per_dest_escape.dir/test_per_dest_escape.cpp.o"
+  "CMakeFiles/test_per_dest_escape.dir/test_per_dest_escape.cpp.o.d"
+  "test_per_dest_escape"
+  "test_per_dest_escape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_per_dest_escape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

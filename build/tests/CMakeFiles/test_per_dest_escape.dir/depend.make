@@ -1,0 +1,2 @@
+# Empty dependencies file for test_per_dest_escape.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_routing_basic.dir/test_routing_basic.cpp.o"
+  "CMakeFiles/test_routing_basic.dir/test_routing_basic.cpp.o.d"
+  "test_routing_basic"
+  "test_routing_basic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_routing_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_saturation.dir/test_saturation.cpp.o"
+  "CMakeFiles/test_saturation.dir/test_saturation.cpp.o.d"
+  "test_saturation"
+  "test_saturation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_saturation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_basic.dir/test_sim_basic.cpp.o"
+  "CMakeFiles/test_sim_basic.dir/test_sim_basic.cpp.o.d"
+  "test_sim_basic"
+  "test_sim_basic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_deadlock.dir/test_sim_deadlock.cpp.o"
+  "CMakeFiles/test_sim_deadlock.dir/test_sim_deadlock.cpp.o.d"
+  "test_sim_deadlock"
+  "test_sim_deadlock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_deadlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

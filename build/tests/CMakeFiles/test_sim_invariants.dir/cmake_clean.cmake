@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_invariants.dir/test_sim_invariants.cpp.o"
+  "CMakeFiles/test_sim_invariants.dir/test_sim_invariants.cpp.o.d"
+  "test_sim_invariants"
+  "test_sim_invariants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_invariants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

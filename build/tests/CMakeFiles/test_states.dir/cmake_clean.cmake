@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_states.dir/test_states.cpp.o"
+  "CMakeFiles/test_states.dir/test_states.cpp.o.d"
+  "test_states"
+  "test_states.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_states.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

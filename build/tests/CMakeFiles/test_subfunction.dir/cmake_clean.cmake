@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_subfunction.dir/test_subfunction.cpp.o"
+  "CMakeFiles/test_subfunction.dir/test_subfunction.cpp.o.d"
+  "test_subfunction"
+  "test_subfunction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_subfunction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_table_routing.dir/test_table_routing.cpp.o"
+  "CMakeFiles/test_table_routing.dir/test_table_routing.cpp.o.d"
+  "test_table_routing"
+  "test_table_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_table_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

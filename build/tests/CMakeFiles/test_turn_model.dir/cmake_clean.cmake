@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_turn_model.dir/test_turn_model.cpp.o"
+  "CMakeFiles/test_turn_model.dir/test_turn_model.cpp.o.d"
+  "test_turn_model"
+  "test_turn_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_turn_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

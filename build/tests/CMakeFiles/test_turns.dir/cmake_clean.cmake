@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_turns.dir/test_turns.cpp.o"
+  "CMakeFiles/test_turns.dir/test_turns.cpp.o.d"
+  "test_turns"
+  "test_turns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_turns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
