@@ -1,0 +1,74 @@
+// EXP-OBS — cost of the observability layer on the simulator hot path.
+//
+// Three configurations over the same 8x8 mesh / duato-adaptive workload:
+//   * baseline        — cfg.trace and cfg.metrics null (the shipping default;
+//     each instrumentation site is one never-taken branch);
+//   * null-trace      — a NullTraceSink wired in, isolating the cost of
+//     materializing TraceEvent records without any serialization;
+//   * metrics         — per-epoch channel series + end-of-run scalars.
+// The interesting number is baseline vs null-trace: that gap is what every
+// untraced user pays for the instrumentation existing at all, and it should
+// be indistinguishable from noise.
+#include <benchmark/benchmark.h>
+
+#include "wormnet/wormnet.hpp"
+
+namespace {
+
+using namespace wormnet;
+
+sim::SimConfig workload() {
+  sim::SimConfig cfg;
+  cfg.injection_rate = 0.25;
+  cfg.packet_length = 8;
+  cfg.buffer_depth = 4;
+  cfg.warmup_cycles = 200;
+  cfg.measure_cycles = 1000;
+  cfg.drain_cycles = 4000;
+  cfg.seed = 31;
+  return cfg;
+}
+
+void BM_SimulateBaseline(benchmark::State& state) {
+  const auto topo = topology::make_mesh({8, 8}, 2);
+  const auto routing = core::make_algorithm("duato-mesh", topo);
+  for (auto _ : state) {
+    const sim::SimStats stats = sim::run(topo, *routing, workload());
+    benchmark::DoNotOptimize(stats.packets_delivered);
+  }
+}
+BENCHMARK(BM_SimulateBaseline)->Unit(benchmark::kMillisecond);
+
+void BM_SimulateNullTrace(benchmark::State& state) {
+  const auto topo = topology::make_mesh({8, 8}, 2);
+  const auto routing = core::make_algorithm("duato-mesh", topo);
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    obs::NullTraceSink sink;
+    sim::SimConfig cfg = workload();
+    cfg.trace = &sink;
+    const sim::SimStats stats = sim::run(topo, *routing, cfg);
+    benchmark::DoNotOptimize(stats.packets_delivered);
+    events = sink.count();
+  }
+  state.counters["events/run"] = static_cast<double>(events);
+}
+BENCHMARK(BM_SimulateNullTrace)->Unit(benchmark::kMillisecond);
+
+void BM_SimulateMetrics(benchmark::State& state) {
+  const auto topo = topology::make_mesh({8, 8}, 2);
+  const auto routing = core::make_algorithm("duato-mesh", topo);
+  for (auto _ : state) {
+    obs::MetricsRegistry metrics;
+    sim::SimConfig cfg = workload();
+    cfg.metrics = &metrics;
+    const sim::SimStats stats = sim::run(topo, *routing, cfg);
+    benchmark::DoNotOptimize(stats.packets_delivered);
+    benchmark::DoNotOptimize(metrics.empty());
+  }
+}
+BENCHMARK(BM_SimulateMetrics)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

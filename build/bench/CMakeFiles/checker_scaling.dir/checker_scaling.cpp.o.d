@@ -222,14 +222,16 @@ bench/CMakeFiles/checker_scaling.dir/checker_scaling.cpp.o: \
  /usr/include/c++/12/span /usr/include/c++/12/array \
  /root/repo/src/wormnet/analysis/saturation.hpp \
  /root/repo/src/wormnet/sim/simulator.hpp \
- /root/repo/src/wormnet/sim/deadlock_detector.hpp \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/wormnet/obs/metrics.hpp \
+ /root/repo/src/wormnet/obs/trace.hpp /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h \
+ /root/repo/src/wormnet/sim/deadlock_detector.hpp \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /root/repo/src/wormnet/sim/stats.hpp /root/repo/src/wormnet/sim/flit.hpp \
- /root/repo/src/wormnet/sim/network.hpp /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/wormnet/sim/network.hpp \
  /root/repo/src/wormnet/sim/router.hpp \
  /root/repo/src/wormnet/routing/selection.hpp \
  /root/repo/src/wormnet/util/rng.hpp \
@@ -250,6 +252,12 @@ bench/CMakeFiles/checker_scaling.dir/checker_scaling.cpp.o: \
  /root/repo/src/wormnet/cwg/cwg_builder.hpp \
  /root/repo/src/wormnet/core/witness.hpp \
  /root/repo/src/wormnet/graph/cycles.hpp \
+ /root/repo/src/wormnet/obs/json.hpp /root/repo/src/wormnet/obs/probe.hpp \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/wormnet/routing/dateline.hpp \
  /root/repo/src/wormnet/routing/dimension_order.hpp \
  /root/repo/src/wormnet/routing/duato_adaptive.hpp \
@@ -263,9 +271,7 @@ bench/CMakeFiles/checker_scaling.dir/checker_scaling.cpp.o: \
  /root/repo/src/wormnet/topology/builders.hpp \
  /root/repo/src/wormnet/util/table.hpp \
  /root/repo/src/wormnet/util/thread_pool.hpp \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/condition_variable \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
  /usr/include/c++/12/bits/semaphore_base.h \

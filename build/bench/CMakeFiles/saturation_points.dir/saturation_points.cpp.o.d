@@ -208,22 +208,28 @@ bench/CMakeFiles/saturation_points.dir/saturation_points.cpp.o: \
  /usr/include/c++/12/cstddef \
  /root/repo/src/wormnet/analysis/saturation.hpp \
  /root/repo/src/wormnet/sim/simulator.hpp \
+ /root/repo/src/wormnet/obs/metrics.hpp /usr/include/c++/12/limits \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/wormnet/obs/trace.hpp \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/unordered_map \
+ /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/unordered_map.h \
  /root/repo/src/wormnet/sim/deadlock_detector.hpp \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/node_handle.h \
- /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/wormnet/sim/stats.hpp /root/repo/src/wormnet/sim/flit.hpp \
- /root/repo/src/wormnet/sim/network.hpp /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/wormnet/sim/network.hpp \
  /root/repo/src/wormnet/sim/router.hpp \
  /root/repo/src/wormnet/routing/selection.hpp \
- /root/repo/src/wormnet/util/rng.hpp /usr/include/c++/12/limits \
+ /root/repo/src/wormnet/util/rng.hpp \
  /root/repo/src/wormnet/sim/traffic.hpp \
  /root/repo/src/wormnet/analysis/turns.hpp \
  /root/repo/src/wormnet/cdg/states.hpp \
@@ -238,11 +244,14 @@ bench/CMakeFiles/saturation_points.dir/saturation_points.cpp.o: \
  /root/repo/src/wormnet/core/verifier.hpp \
  /root/repo/src/wormnet/cwg/reduction.hpp \
  /root/repo/src/wormnet/cwg/cycle_classify.hpp \
- /root/repo/src/wormnet/cwg/cwg_builder.hpp /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h \
+ /root/repo/src/wormnet/cwg/cwg_builder.hpp \
  /root/repo/src/wormnet/core/witness.hpp \
  /root/repo/src/wormnet/graph/cycles.hpp \
+ /root/repo/src/wormnet/obs/json.hpp /root/repo/src/wormnet/obs/probe.hpp \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/wormnet/routing/dateline.hpp \
  /root/repo/src/wormnet/routing/dimension_order.hpp \
  /root/repo/src/wormnet/routing/duato_adaptive.hpp \
@@ -256,9 +265,7 @@ bench/CMakeFiles/saturation_points.dir/saturation_points.cpp.o: \
  /root/repo/src/wormnet/topology/builders.hpp \
  /root/repo/src/wormnet/util/table.hpp \
  /root/repo/src/wormnet/util/thread_pool.hpp \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/condition_variable \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
  /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
  /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \

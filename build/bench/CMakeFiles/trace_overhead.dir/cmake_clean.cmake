@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_overhead.dir/trace_overhead.cpp.o"
+  "CMakeFiles/trace_overhead.dir/trace_overhead.cpp.o.d"
+  "trace_overhead"
+  "trace_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

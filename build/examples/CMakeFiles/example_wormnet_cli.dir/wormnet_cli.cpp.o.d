@@ -47,8 +47,8 @@ examples/CMakeFiles/example_wormnet_cli.dir/wormnet_cli.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/struct_rwlock.h /usr/include/alloca.h \
  /usr/include/x86_64-linux-gnu/bits/stdlib-bsearch.h \
  /usr/include/x86_64-linux-gnu/bits/stdlib-float.h \
- /usr/include/c++/12/bits/std_abs.h /usr/include/c++/12/iostream \
- /usr/include/c++/12/ostream /usr/include/c++/12/ios \
+ /usr/include/c++/12/bits/std_abs.h /usr/include/c++/12/fstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/ios \
  /usr/include/c++/12/iosfwd /usr/include/c++/12/bits/stringfwd.h \
  /usr/include/c++/12/bits/memoryfwd.h /usr/include/c++/12/bits/postypes.h \
  /usr/include/c++/12/cwchar /usr/include/wchar.h \
@@ -151,21 +151,20 @@ examples/CMakeFiles/example_wormnet_cli.dir/wormnet_cli.cpp.o: \
  /usr/include/c++/12/bits/streambuf_iterator.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/ctype_inline.h \
  /usr/include/c++/12/bits/locale_facets.tcc \
- /usr/include/c++/12/bits/basic_ios.tcc \
- /usr/include/c++/12/bits/ostream.tcc /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/basic_ios.tcc /usr/include/c++/12/ostream \
+ /usr/include/c++/12/bits/ostream.tcc \
+ /usr/include/c++/12/bits/istream.tcc /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc /usr/include/c++/12/iostream \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/ext/aligned_buffer.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/stl_map.h /usr/include/c++/12/tuple \
  /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/stl_multimap.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/sstream \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/wormnet/wormnet.hpp \
- /root/repo/src/wormnet/analysis/adaptiveness.hpp \
- /root/repo/src/wormnet/analysis/path_count.hpp \
- /root/repo/src/wormnet/routing/routing_function.hpp \
- /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_uninitialized.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
@@ -203,8 +202,12 @@ examples/CMakeFiles/example_wormnet_cli.dir/wormnet_cli.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/vector \
- /usr/include/c++/12/bits/stl_vector.h \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/wormnet/wormnet.hpp \
+ /root/repo/src/wormnet/analysis/adaptiveness.hpp \
+ /root/repo/src/wormnet/analysis/path_count.hpp \
+ /root/repo/src/wormnet/routing/routing_function.hpp \
+ /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc \
  /root/repo/src/wormnet/topology/topology.hpp \
@@ -214,21 +217,23 @@ examples/CMakeFiles/example_wormnet_cli.dir/wormnet_cli.cpp.o: \
  /usr/include/c++/12/cstddef \
  /root/repo/src/wormnet/analysis/saturation.hpp \
  /root/repo/src/wormnet/sim/simulator.hpp \
- /root/repo/src/wormnet/sim/deadlock_detector.hpp \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/wormnet/obs/metrics.hpp /usr/include/c++/12/limits \
+ /root/repo/src/wormnet/obs/trace.hpp /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h \
+ /root/repo/src/wormnet/sim/deadlock_detector.hpp \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/wormnet/sim/stats.hpp /root/repo/src/wormnet/sim/flit.hpp \
- /root/repo/src/wormnet/sim/network.hpp /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/wormnet/sim/network.hpp \
  /root/repo/src/wormnet/sim/router.hpp \
  /root/repo/src/wormnet/routing/selection.hpp \
- /root/repo/src/wormnet/util/rng.hpp /usr/include/c++/12/limits \
+ /root/repo/src/wormnet/util/rng.hpp \
  /root/repo/src/wormnet/sim/traffic.hpp \
  /root/repo/src/wormnet/analysis/turns.hpp \
  /root/repo/src/wormnet/cdg/states.hpp \
@@ -246,6 +251,10 @@ examples/CMakeFiles/example_wormnet_cli.dir/wormnet_cli.cpp.o: \
  /root/repo/src/wormnet/cwg/cwg_builder.hpp \
  /root/repo/src/wormnet/core/witness.hpp \
  /root/repo/src/wormnet/graph/cycles.hpp \
+ /root/repo/src/wormnet/obs/json.hpp /root/repo/src/wormnet/obs/probe.hpp \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/wormnet/routing/dateline.hpp \
  /root/repo/src/wormnet/routing/dimension_order.hpp \
  /root/repo/src/wormnet/routing/duato_adaptive.hpp \
@@ -259,9 +268,7 @@ examples/CMakeFiles/example_wormnet_cli.dir/wormnet_cli.cpp.o: \
  /root/repo/src/wormnet/topology/builders.hpp \
  /root/repo/src/wormnet/util/table.hpp \
  /root/repo/src/wormnet/util/thread_pool.hpp \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/condition_variable \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
  /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
  /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \

@@ -27,6 +27,10 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/wormnet/cwg/reduction.cpp" "src/CMakeFiles/wormnet.dir/wormnet/cwg/reduction.cpp.o" "gcc" "src/CMakeFiles/wormnet.dir/wormnet/cwg/reduction.cpp.o.d"
   "/root/repo/src/wormnet/graph/cycles.cpp" "src/CMakeFiles/wormnet.dir/wormnet/graph/cycles.cpp.o" "gcc" "src/CMakeFiles/wormnet.dir/wormnet/graph/cycles.cpp.o.d"
   "/root/repo/src/wormnet/graph/digraph.cpp" "src/CMakeFiles/wormnet.dir/wormnet/graph/digraph.cpp.o" "gcc" "src/CMakeFiles/wormnet.dir/wormnet/graph/digraph.cpp.o.d"
+  "/root/repo/src/wormnet/obs/json.cpp" "src/CMakeFiles/wormnet.dir/wormnet/obs/json.cpp.o" "gcc" "src/CMakeFiles/wormnet.dir/wormnet/obs/json.cpp.o.d"
+  "/root/repo/src/wormnet/obs/metrics.cpp" "src/CMakeFiles/wormnet.dir/wormnet/obs/metrics.cpp.o" "gcc" "src/CMakeFiles/wormnet.dir/wormnet/obs/metrics.cpp.o.d"
+  "/root/repo/src/wormnet/obs/probe.cpp" "src/CMakeFiles/wormnet.dir/wormnet/obs/probe.cpp.o" "gcc" "src/CMakeFiles/wormnet.dir/wormnet/obs/probe.cpp.o.d"
+  "/root/repo/src/wormnet/obs/trace.cpp" "src/CMakeFiles/wormnet.dir/wormnet/obs/trace.cpp.o" "gcc" "src/CMakeFiles/wormnet.dir/wormnet/obs/trace.cpp.o.d"
   "/root/repo/src/wormnet/routing/dateline.cpp" "src/CMakeFiles/wormnet.dir/wormnet/routing/dateline.cpp.o" "gcc" "src/CMakeFiles/wormnet.dir/wormnet/routing/dateline.cpp.o.d"
   "/root/repo/src/wormnet/routing/dimension_order.cpp" "src/CMakeFiles/wormnet.dir/wormnet/routing/dimension_order.cpp.o" "gcc" "src/CMakeFiles/wormnet.dir/wormnet/routing/dimension_order.cpp.o.d"
   "/root/repo/src/wormnet/routing/duato_adaptive.cpp" "src/CMakeFiles/wormnet.dir/wormnet/routing/duato_adaptive.cpp.o" "gcc" "src/CMakeFiles/wormnet.dir/wormnet/routing/duato_adaptive.cpp.o.d"

@@ -220,11 +220,13 @@ src/CMakeFiles/wormnet.dir/wormnet/core/witness.cpp.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/wormnet/sim/simulator.hpp \
+ /root/repo/src/wormnet/obs/metrics.hpp /usr/include/c++/12/limits \
+ /root/repo/src/wormnet/obs/trace.hpp /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/wormnet/sim/deadlock_detector.hpp \
  /root/repo/src/wormnet/sim/stats.hpp /root/repo/src/wormnet/sim/flit.hpp \
- /root/repo/src/wormnet/sim/network.hpp /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/wormnet/sim/network.hpp \
  /root/repo/src/wormnet/sim/router.hpp \
  /root/repo/src/wormnet/routing/selection.hpp \
- /root/repo/src/wormnet/util/rng.hpp /usr/include/c++/12/limits \
+ /root/repo/src/wormnet/util/rng.hpp \
  /root/repo/src/wormnet/sim/traffic.hpp

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_obs_metrics.dir/test_obs_metrics.cpp.o"
+  "CMakeFiles/test_obs_metrics.dir/test_obs_metrics.cpp.o.d"
+  "test_obs_metrics"
+  "test_obs_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_obs_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

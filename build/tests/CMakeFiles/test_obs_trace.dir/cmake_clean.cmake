@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_obs_trace.dir/test_obs_trace.cpp.o"
+  "CMakeFiles/test_obs_trace.dir/test_obs_trace.cpp.o.d"
+  "test_obs_trace"
+  "test_obs_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_obs_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -300,10 +300,12 @@ tests/CMakeFiles/test_witness.dir/test_witness.cpp.o: \
  /root/repo/src/wormnet/topology/topology.hpp /usr/include/c++/12/span \
  /root/repo/src/wormnet/analysis/saturation.hpp \
  /root/repo/src/wormnet/sim/simulator.hpp \
+ /root/repo/src/wormnet/obs/metrics.hpp \
+ /root/repo/src/wormnet/obs/trace.hpp /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/wormnet/sim/deadlock_detector.hpp \
  /root/repo/src/wormnet/sim/stats.hpp /root/repo/src/wormnet/sim/flit.hpp \
- /root/repo/src/wormnet/sim/network.hpp /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/wormnet/sim/network.hpp \
  /root/repo/src/wormnet/sim/router.hpp \
  /root/repo/src/wormnet/routing/selection.hpp \
  /root/repo/src/wormnet/util/rng.hpp \
@@ -324,7 +326,9 @@ tests/CMakeFiles/test_witness.dir/test_witness.cpp.o: \
  /root/repo/src/wormnet/cwg/cwg_builder.hpp \
  /root/repo/src/wormnet/core/witness.hpp \
  /root/repo/src/wormnet/graph/cycles.hpp \
- /root/repo/src/wormnet/routing/dateline.hpp \
+ /root/repo/src/wormnet/obs/json.hpp /root/repo/src/wormnet/obs/probe.hpp \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/wormnet/routing/dateline.hpp \
  /root/repo/src/wormnet/routing/dimension_order.hpp \
  /root/repo/src/wormnet/routing/duato_adaptive.hpp \
  /root/repo/src/wormnet/routing/enhanced_hypercube.hpp \
@@ -337,10 +341,10 @@ tests/CMakeFiles/test_witness.dir/test_witness.cpp.o: \
  /root/repo/src/wormnet/topology/builders.hpp \
  /root/repo/src/wormnet/util/table.hpp \
  /root/repo/src/wormnet/util/thread_pool.hpp \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
- /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \

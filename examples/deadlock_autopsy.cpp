@@ -6,6 +6,10 @@
 // runtime detector found, and then shows that the static analysis predicted
 // exactly this: the checker proves no escape subfunction exists (ring) and
 // the simulator-confirmed cycle maps onto a static dependency cycle.
+//
+// The run is traced through an in-memory event sink, so after a deadlock we
+// can also replay each wedged packet's last moments: when it blocked and
+// which channels it was waiting on at that instant.
 #include <iostream>
 
 #include "wormnet/wormnet.hpp"
@@ -25,7 +29,8 @@ void autopsy(const topology::Topology& topo,
   std::cout << "  static verdict: " << core::to_string(duato.conclusion)
             << " — " << duato.detail << "\n";
 
-  // Now wedge it.
+  // Now wedge it, keeping a bounded trace of recent events for the autopsy.
+  obs::MemoryTraceSink trace(1u << 20);
   sim::SimConfig cfg;
   cfg.injection_rate = rate;
   cfg.packet_length = length;
@@ -35,6 +40,7 @@ void autopsy(const topology::Topology& topo,
   cfg.drain_cycles = 5000;
   cfg.deadlock_check_interval = 64;
   cfg.seed = 99;
+  cfg.trace = &trace;
   sim::Simulator sim(topo, routing, cfg);
   const sim::SimStats stats = sim.run();
   if (!stats.deadlocked) {
@@ -56,6 +62,27 @@ void autopsy(const topology::Topology& topo,
     }
     std::cout << ") waits for " << topo.channel_name(cyc.blocked_channels[i])
               << "\n";
+  }
+
+  // Replay from the trace: each wedged packet's final block event gives the
+  // cycle it stalled at and the full waiting set the allocator saw.
+  std::cout << "  trace replay (from " << trace.total_emitted()
+            << " recorded events):\n";
+  for (const sim::PacketId id : cyc.packet_cycle) {
+    const obs::TraceEvent* last_block = nullptr;
+    for (const obs::TraceEvent& ev : trace.events()) {
+      if (ev.packet == id && ev.kind == obs::EventKind::kBlock) {
+        last_block = &ev;
+      }
+    }
+    if (!last_block) continue;  // block predates the ring buffer window
+    std::cout << "    packet #" << id << " blocked since cycle "
+              << last_block->cycle << " at node " << last_block->node
+              << ", waiting on";
+    for (const std::uint32_t c : last_block->list) {
+      std::cout << " " << topo.channel_name(c);
+    }
+    std::cout << "\n";
   }
   std::cout << "\n";
 }

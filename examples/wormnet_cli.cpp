@@ -2,17 +2,23 @@
 //
 //   wormnet_cli list
 //   wormnet_cli verify   --topo mesh:8x8:2 --alg duato-mesh [--method duato]
+//                        [--stats]
 //   wormnet_cli simulate --topo torus:8x8:3 --alg duato-torus
 //                        [--rate 0.3] [--pattern transpose] [--seed 1]
 //                        [--length 8] [--buffers 4] [--cycles 5000]
-//   wormnet_cli analyze  --topo mesh:5x5:1 --alg west-first
+//                        [--warmup N] [--drain N] [--json]
+//                        [--trace FILE] [--trace-format jsonl|chrome]
+//                        [--metrics-out FILE]
+//   wormnet_cli analyze  --topo mesh:5x5:1 --alg west-first [--stats]
 //
 // Topology specs:  mesh:AxB[xC...]:VCS   torus:AxB:VCS   hypercube:N:VCS
 //                  ring:N:VCS   uniring:N:VCS   incoherent
 // Methods:         cdg | duato | cwg | message-flow | sim
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <sstream>
 
 #include "wormnet/wormnet.hpp"
@@ -26,15 +32,22 @@ using namespace wormnet;
   std::cerr <<
       "usage:\n"
       "  wormnet_cli list\n"
-      "  wormnet_cli verify   --topo SPEC --alg NAME [--method M]\n"
+      "  wormnet_cli verify   --topo SPEC --alg NAME [--method M] [--stats]\n"
       "  wormnet_cli simulate --topo SPEC --alg NAME [--rate R] [--pattern P]\n"
       "                       [--seed S] [--length L] [--buffers B] [--cycles N]\n"
-      "  wormnet_cli analyze  --topo SPEC --alg NAME\n"
+      "                       [--warmup N] [--drain N] [--json]\n"
+      "                       [--trace FILE] [--trace-format jsonl|chrome]\n"
+      "                       [--metrics-out FILE]\n"
+      "  wormnet_cli analyze  --topo SPEC --alg NAME [--stats]\n"
       "topology SPEC: mesh:4x4:2 torus:8x8:3 hypercube:6:2 ring:8:2\n"
       "               uniring:4:1 incoherent\n"
       "method M: cdg duato cwg message-flow sim (default: duato)\n"
       "pattern P: uniform transpose bit-complement bit-reverse shuffle\n"
-      "           tornado hotspot\n";
+      "           tornado hotspot\n"
+      "--trace writes packet/flit lifecycle events (jsonl = one JSON object\n"
+      "per line; chrome = open in chrome://tracing or ui.perfetto.dev);\n"
+      "--metrics-out writes counters and per-channel time series as JSON;\n"
+      "--stats prints checker work counters and phase timings as JSON\n";
   std::exit(2);
 }
 
@@ -110,7 +123,15 @@ int cmd_verify(const std::map<std::string, std::string>& args) {
   core::VerifyOptions options;
   options.method = parse_method(args.count("--method") ? args.at("--method")
                                                        : "duato");
-  const core::Verdict verdict = core::verify(topo, *routing, options);
+  obs::CheckerStats checker_stats;
+  core::Verdict verdict;
+  {
+    std::unique_ptr<obs::ProbeScope> probe;
+    if (args.count("--stats")) {
+      probe = std::make_unique<obs::ProbeScope>(checker_stats);
+    }
+    verdict = core::verify(topo, *routing, options);
+  }
   std::cout << topo.name() << " / " << routing->name() << "\n"
             << "method:  " << core::to_string(options.method) << "\n"
             << "verdict: " << core::to_string(verdict.conclusion) << "\n"
@@ -118,6 +139,11 @@ int cmd_verify(const std::map<std::string, std::string>& args) {
   if (!verdict.witness_channels.empty()) {
     std::cout << "witness: "
               << core::describe_cycle(topo, verdict.witness_channels) << "\n";
+  }
+  if (args.count("--stats")) {
+    std::cout << "stats:   ";
+    checker_stats.write_json(std::cout);
+    std::cout << "\n";
   }
   return verdict.conclusion == core::Conclusion::kDeadlockable ? 1 : 0;
 }
@@ -138,21 +164,72 @@ int cmd_simulate(const std::map<std::string, std::string>& args) {
   if (args.count("--cycles")) {
     cfg.measure_cycles = std::stoull(args.at("--cycles"));
   }
+  if (args.count("--warmup")) {
+    cfg.warmup_cycles = std::stoull(args.at("--warmup"));
+  }
+  if (args.count("--drain")) {
+    cfg.drain_cycles = std::stoull(args.at("--drain"));
+  }
+
+  std::ofstream trace_file;
+  std::unique_ptr<obs::TraceSink> sink;
+  if (args.count("--trace")) {
+    const std::string format =
+        args.count("--trace-format") ? args.at("--trace-format") : "jsonl";
+    trace_file.open(args.at("--trace"));
+    if (!trace_file) usage("cannot open trace file: " + args.at("--trace"));
+    if (format == "jsonl") {
+      sink = std::make_unique<obs::JsonlTraceSink>(trace_file);
+    } else if (format == "chrome") {
+      std::vector<std::string> names;
+      names.reserve(topo.num_channels());
+      for (topology::ChannelId c = 0; c < topo.num_channels(); ++c) {
+        names.push_back(topo.channel_name(c));
+      }
+      sink = std::make_unique<obs::ChromeTraceSink>(trace_file,
+                                                    std::move(names));
+    } else {
+      usage("unknown trace format: " + format);
+    }
+    cfg.trace = sink.get();
+  }
+  obs::MetricsRegistry metrics;
+  if (args.count("--metrics-out")) cfg.metrics = &metrics;
+
   const sim::SimStats stats = sim::run(topo, *routing, cfg);
-  std::cout << topo.name() << " / " << routing->name() << " @ "
-            << cfg.injection_rate << " flits/node/cycle, "
-            << sim::to_string(cfg.pattern) << "\n"
-            << stats.summary() << "\n"
-            << "channel utilization avg "
-            << util::fmt_double(stats.avg_channel_utilization, 3) << ", max "
-            << util::fmt_double(stats.max_channel_utilization, 3)
-            << "; longest path " << stats.max_hops << " hops\n";
+  sink.reset();  // ChromeTraceSink writes its closing bracket on destruction
+  if (args.count("--metrics-out")) {
+    std::ofstream metrics_file(args.at("--metrics-out"));
+    if (!metrics_file) {
+      usage("cannot open metrics file: " + args.at("--metrics-out"));
+    }
+    metrics.write_json(metrics_file);
+    metrics_file << "\n";
+  }
+
+  if (args.count("--json")) {
+    std::cout << stats.to_json() << "\n";
+  } else {
+    std::cout << topo.name() << " / " << routing->name() << " @ "
+              << cfg.injection_rate << " flits/node/cycle, "
+              << sim::to_string(cfg.pattern) << "\n"
+              << stats.summary() << "\n"
+              << "channel utilization avg "
+              << util::fmt_double(stats.avg_channel_utilization, 3) << ", max "
+              << util::fmt_double(stats.max_channel_utilization, 3)
+              << "; longest path " << stats.max_hops << " hops\n";
+  }
   return stats.deadlocked ? 1 : 0;
 }
 
 int cmd_analyze(const std::map<std::string, std::string>& args) {
   const topology::Topology topo = parse_topology(args.at("--topo"));
   const auto routing = core::make_algorithm(args.at("--alg"), topo);
+  obs::CheckerStats checker_stats;
+  std::unique_ptr<obs::ProbeScope> probe;
+  if (args.count("--stats")) {
+    probe = std::make_unique<obs::ProbeScope>(checker_stats);
+  }
   const cdg::StateGraph states(topo, *routing);
   const auto cdg_graph = cdg::build_cdg(states);
   std::cout << topo.name() << " / " << routing->name() << "\n";
@@ -192,6 +269,12 @@ int cmd_analyze(const std::map<std::string, std::string>& args) {
               << util::fmt_double(degree.degree, 4)
               << (degree.sampled ? " (sampled)" : "") << "\n";
   }
+  if (args.count("--stats")) {
+    probe.reset();  // stop accumulating before we print
+    std::cout << "stats: ";
+    checker_stats.write_json(std::cout);
+    std::cout << "\n";
+  }
   return 0;
 }
 
@@ -201,8 +284,17 @@ int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string command = argv[1];
   std::map<std::string, std::string> args;
-  for (int i = 2; i + 1 < argc; i += 2) {
-    args[argv[i]] = argv[i + 1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) usage("expected an option, got: " + key);
+    // Options either take the next token as their value or act as boolean
+    // flags (--json, --stats) when the next token is absent or is itself an
+    // option.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      args[key] = argv[++i];
+    } else {
+      args[key] = "1";
+    }
   }
   try {
     if (command == "list") return cmd_list();

@@ -1,8 +1,11 @@
 #include "wormnet/cdg/cdg_builder.hpp"
 
+#include "wormnet/obs/probe.hpp"
+
 namespace wormnet::cdg {
 
 graph::Digraph build_cdg(const StateGraph& states) {
+  const obs::PhaseTimer timer("cdg_build");
   const Topology& topo = states.topo();
   graph::Digraph cdg(topo.num_channels());
   for (NodeId dest = 0; dest < topo.num_nodes(); ++dest) {
@@ -12,6 +15,10 @@ graph::Digraph build_cdg(const StateGraph& states) {
         cdg.add_edge(c, next);
       }
     }
+  }
+  if (auto* probe = obs::checker_probe()) {
+    ++probe->cdg_builds;
+    probe->cdg_edges += cdg.num_edges();
   }
   return cdg;
 }

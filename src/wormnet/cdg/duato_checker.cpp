@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "wormnet/obs/probe.hpp"
+
 namespace wormnet::cdg {
 
 DuatoReport check(const Subfunction& sub) {
@@ -25,6 +27,7 @@ namespace {
 bool try_candidate(const StateGraph& states, std::vector<bool> c1,
                    const std::string& label, SearchResult& result) {
   ++result.candidates_tried;
+  if (auto* probe = obs::checker_probe()) ++probe->subfunction_candidates;
   Subfunction sub(states, c1, label);
   // Cheap gates first: connectivity checks are much faster than the ECDG.
   if (!sub.connected() || !sub.escape_everywhere()) return false;
@@ -55,6 +58,10 @@ bool greedy_search(const StateGraph& states, SearchResult& result,
     Frame& frame = stack.back();
     if (frame.cycle.empty()) {
       ++spent;
+      if (auto* probe = obs::checker_probe()) {
+        ++probe->greedy_expansions;
+        ++probe->subfunction_candidates;
+      }
       Subfunction sub(states, frame.c1, "greedy");
       if (sub.connected() && sub.escape_everywhere()) {
         DuatoReport report = check(sub);
@@ -97,18 +104,25 @@ SearchResult search(const StateGraph& states, const SearchOptions& options) {
 
   // Stage 1: the full set (classical acyclic-CDG test; with C1 = C the
   // extended CDG has no excursions, so it equals the plain CDG).
-  if (try_candidate(states, std::vector<bool>(channels, true), "all-channels",
-                    result)) {
-    return result;
+  {
+    const obs::PhaseTimer timer("search_full_set");
+    if (try_candidate(states, std::vector<bool>(channels, true),
+                      "all-channels", result)) {
+      return result;
+    }
   }
 
   // Stage 2: caller-seeded candidates (e.g. known escape layers).
-  for (const auto& [c1, label] : options.seeded_candidates) {
-    if (try_candidate(states, c1, label, result)) return result;
+  {
+    const obs::PhaseTimer timer("search_seeded");
+    for (const auto& [c1, label] : options.seeded_candidates) {
+      if (try_candidate(states, c1, label, result)) return result;
+    }
   }
 
   // Stage 3: virtual-channel-class subsets on cube topologies.
   if (topo.is_cube() && topo.cube().vcs > 1) {
+    const obs::PhaseTimer timer("search_vc_classes");
     const std::uint8_t vcs = topo.cube().vcs;
     for (std::uint32_t mask = 1; mask < (1u << vcs); ++mask) {
       if (mask == (1u << vcs) - 1) continue;  // full set already tried
@@ -125,10 +139,14 @@ SearchResult search(const StateGraph& states, const SearchOptions& options) {
   }
 
   // Stage 4: greedy cycle breaking.
-  if (greedy_search(states, result, options.greedy_budget)) return result;
+  {
+    const obs::PhaseTimer timer("search_greedy");
+    if (greedy_search(states, result, options.greedy_budget)) return result;
+  }
 
   // Stage 5: exhaustive enumeration for tiny networks.
   if (channels <= options.exhaustive_channel_limit) {
+    const obs::PhaseTimer timer("search_exhaustive");
     for (std::uint64_t mask = 1; mask + 1 < (1ULL << channels); ++mask) {
       std::vector<bool> c1(channels, false);
       for (ChannelId c = 0; c < channels; ++c) {

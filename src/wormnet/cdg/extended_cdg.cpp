@@ -2,9 +2,13 @@
 
 #include <vector>
 
+#include "wormnet/obs/probe.hpp"
+
 namespace wormnet::cdg {
 
 ExtendedCdg build_extended_cdg(const Subfunction& sub) {
+  const obs::PhaseTimer timer("ecdg_build");
+  obs::CheckerStats* const probe = obs::checker_probe();
   const StateGraph& states = sub.states();
   const Topology& topo = states.topo();
   const std::size_t channels = topo.num_channels();
@@ -45,6 +49,7 @@ ExtendedCdg build_extended_cdg(const Subfunction& sub) {
       while (!stack.empty()) {
         const ChannelId mid = stack.back();
         stack.pop_back();
+        if (probe) ++probe->ecdg_excursion_visits;
         for (ChannelId cj : states.successors(mid, dest)) {
           if (sub.in_any_c1(cj)) {
             const bool cross = !sub.in_c1(cj, dest);
@@ -60,6 +65,12 @@ ExtendedCdg build_extended_cdg(const Subfunction& sub) {
         }
       }
     }
+  }
+  if (probe) {
+    ++probe->ecdg_builds;
+    probe->ecdg_direct_edges += out.direct_edges;
+    probe->ecdg_indirect_edges += out.indirect_edges;
+    probe->ecdg_cross_edges += out.cross_edges;
   }
   return out;
 }

@@ -1,8 +1,11 @@
 #include "wormnet/cwg/cwg_builder.hpp"
 
+#include "wormnet/obs/probe.hpp"
+
 namespace wormnet::cwg {
 
 Cwg build_cwg(const StateGraph& states) {
+  const obs::PhaseTimer timer("cwg_build");
   const auto& topo = states.topo();
   const std::size_t channels = topo.num_channels();
   Cwg out;
@@ -23,6 +26,10 @@ Cwg build_cwg(const StateGraph& states) {
         }
       }
     }
+  }
+  if (auto* probe = obs::checker_probe()) {
+    ++probe->cwg_builds;
+    probe->cwg_edges += out.graph.num_edges();
   }
   return out;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "wormnet/graph/cycles.hpp"
+#include "wormnet/obs/probe.hpp"
 
 namespace wormnet::cwg {
 namespace {
@@ -115,6 +116,7 @@ const char* to_string(CycleKind kind) {
 ClassifiedCycle classify_cycle(const StateGraph& states, const Cwg& cwg,
                                std::span<const graph::Vertex> cycle,
                                const ClassifyLimits& limits) {
+  const obs::PhaseTimer timer("cycle_classify");
   ClassifiedCycle result;
   result.channels.assign(cycle.begin(), cycle.end());
   const std::size_t k = cycle.size();

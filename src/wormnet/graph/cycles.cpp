@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "wormnet/obs/probe.hpp"
+
 namespace wormnet::graph {
 namespace {
 
@@ -13,7 +15,8 @@ class JohnsonState {
       : g_(g), max_cycles_(max_cycles), out_(out),
         blocked_(g.num_vertices(), false),
         block_lists_(g.num_vertices()),
-        in_scope_(g.num_vertices(), false) {}
+        in_scope_(g.num_vertices(), false),
+        probe_(obs::checker_probe()) {}
 
   /// Runs the enumeration over all start vertices.
   void run() {
@@ -95,10 +98,12 @@ class JohnsonState {
     bool found = false;
     path_.push_back(v);
     blocked_[v] = true;
+    if (probe_) ++probe_->cycle_visits;
     for (Vertex w : g_.out(v)) {
       if (!in_scope_[w] || done()) continue;
       if (w == start_) {
         out_.cycles.push_back(path_);
+        if (probe_) ++probe_->cycles_found;
         if (out_.cycles.size() >= max_cycles_) out_.truncated = true;
         found = true;
       } else if (!blocked_[w]) {
@@ -128,11 +133,13 @@ class JohnsonState {
   std::vector<bool> in_scope_;
   std::vector<Vertex> path_;
   Vertex start_ = 0;
+  obs::CheckerStats* probe_;  ///< captured once; null when tracing is off
 };
 
 }  // namespace
 
 CycleEnumeration enumerate_cycles(const Digraph& g, std::size_t max_cycles) {
+  const obs::PhaseTimer timer("cycle_enumeration");
   CycleEnumeration result;
   if (g.num_vertices() == 0 || max_cycles == 0) return result;
   JohnsonState state(g, max_cycles, result);

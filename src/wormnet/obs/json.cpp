@@ -1,0 +1,137 @@
+#include "wormnet/obs/json.hpp"
+
+#include <array>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace wormnet::obs {
+
+void json_quote(std::ostream& os, std::string_view text) {
+  os << '"';
+  for (const char ch : text) {
+    switch (ch) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\b': os << "\\b"; break;
+      case '\f': os << "\\f"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          std::array<char, 8> buf{};
+          std::snprintf(buf.data(), buf.size(), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          os << buf.data();
+        } else {
+          os << ch;
+        }
+    }
+  }
+  os << '"';
+}
+
+std::string json_double(double value) {
+  if (!std::isfinite(value)) return "null";  // JSON has no Inf/NaN
+  if (value == static_cast<double>(static_cast<std::int64_t>(value)) &&
+      std::fabs(value) < 1e15) {
+    return std::to_string(static_cast<std::int64_t>(value));
+  }
+  std::array<char, 32> buf{};
+  const auto [ptr, ec] =
+      std::to_chars(buf.data(), buf.data() + buf.size(), value);
+  if (ec != std::errc{}) return "null";
+  return std::string(buf.data(), ptr);
+}
+
+void JsonWriter::separate() {
+  if (pending_value_) {
+    // Directly after key(): the ':' was already written, no comma here.
+    pending_value_ = false;
+    return;
+  }
+  if (!wrote_element_.empty()) {
+    if (wrote_element_.back()) os_ << ',';
+    wrote_element_.back() = true;
+  }
+}
+
+void JsonWriter::begin_object() {
+  separate();
+  os_ << '{';
+  wrote_element_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  os_ << '}';
+  wrote_element_.pop_back();
+}
+
+void JsonWriter::begin_array() {
+  separate();
+  os_ << '[';
+  wrote_element_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  os_ << ']';
+  wrote_element_.pop_back();
+}
+
+void JsonWriter::key(std::string_view name) {
+  separate();
+  json_quote(os_, name);
+  os_ << ':';
+  pending_value_ = true;  // the value that follows must not emit a comma
+}
+
+void JsonWriter::item() { separate(); }
+
+void JsonWriter::string(std::string_view value) {
+  separate();
+  json_quote(os_, value);
+}
+void JsonWriter::boolean(bool value) {
+  separate();
+  os_ << (value ? "true" : "false");
+}
+void JsonWriter::number(std::uint64_t value) {
+  separate();
+  os_ << value;
+}
+void JsonWriter::number(std::int64_t value) {
+  separate();
+  os_ << value;
+}
+void JsonWriter::number(double value) {
+  separate();
+  os_ << json_double(value);
+}
+
+void JsonWriter::field(std::string_view name, std::string_view value) {
+  key(name);
+  string(value);
+}
+void JsonWriter::field(std::string_view name, const char* value) {
+  key(name);
+  string(value);
+}
+void JsonWriter::field(std::string_view name, bool value) {
+  key(name);
+  boolean(value);
+}
+void JsonWriter::field(std::string_view name, std::uint64_t value) {
+  key(name);
+  number(value);
+}
+void JsonWriter::field(std::string_view name, std::uint32_t value) {
+  key(name);
+  number(static_cast<std::uint64_t>(value));
+}
+void JsonWriter::field(std::string_view name, double value) {
+  key(name);
+  number(value);
+}
+
+}  // namespace wormnet::obs

@@ -1,0 +1,95 @@
+#include "wormnet/obs/metrics.hpp"
+
+#include <cmath>
+
+#include "wormnet/obs/json.hpp"
+
+namespace wormnet::obs {
+
+void Histogram::add(double v) noexcept {
+  ++count_;
+  sum_ += v;
+  if (v < min_) min_ = v;
+  if (v > max_) max_ = v;
+  std::size_t bucket = 0;
+  // Bucket i holds samples <= 2^i; non-positive samples land in bucket 0.
+  while (bucket < kBuckets && v > static_cast<double>(1ULL << bucket)) {
+    ++bucket;
+  }
+  ++buckets_[bucket];
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  JsonWriter w(os);
+  w.begin_object();
+
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, c] : counters_) w.field(name, c.value());
+  w.end_object();
+
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, g] : gauges_) w.field(name, g.value());
+  w.end_object();
+
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [name, h] : histograms_) {
+    w.key(name);
+    w.begin_object();
+    w.field("count", h.count());
+    w.field("sum", h.sum());
+    w.field("min", h.min());
+    w.field("max", h.max());
+    w.field("mean", h.mean());
+    // Sparse bucket dump: only occupied buckets, as {"le": bound, "n": count}.
+    w.key("buckets");
+    w.begin_array();
+    for (std::size_t i = 0; i <= Histogram::kBuckets; ++i) {
+      if (h.buckets()[i] == 0) continue;
+      w.begin_object();
+      if (i < Histogram::kBuckets) {
+        w.field("le", std::uint64_t{1} << i);
+      } else {
+        w.field("le", "inf");
+      }
+      w.field("n", h.buckets()[i]);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+
+  w.key("series");
+  w.begin_object();
+  for (const auto& [name, s] : series_) {
+    w.key(name);
+    w.begin_object();
+    if (!s.labels().empty()) {
+      w.key("labels");
+      w.begin_array();
+      for (const auto& label : s.labels()) w.string(label);
+      w.end_array();
+    }
+    w.key("cycles");
+    w.begin_array();
+    for (const auto& sample : s.samples()) w.number(sample.cycle);
+    w.end_array();
+    w.key("values");
+    w.begin_array();
+    for (const auto& sample : s.samples()) {
+      w.begin_array();
+      for (const double v : sample.values) w.number(v);
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+
+  w.end_object();
+}
+
+}  // namespace wormnet::obs

@@ -1,0 +1,126 @@
+// Metrics registry: named counters, gauges, histograms, and per-epoch vector
+// time series, with deterministic JSON export.
+//
+// The simulator samples per-channel occupancy, stall cycles, and utilization
+// into series once per `metrics_epoch` cycles; scalar outcomes (packets,
+// flit moves, latencies) land in counters/gauges/histograms at end of run.
+// Everything is owned by the registry and addressed by name, so exporters
+// need no knowledge of who produced what.
+//
+// Instruments hand out stable references: the registry stores them in
+// std::map, which never invalidates element addresses, and map ordering
+// makes the JSON export deterministic for golden tests.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace wormnet::obs {
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept { value_ += n; }
+  void set(std::uint64_t v) noexcept { value_ = v; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) noexcept { value_ = v; }
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Power-of-two bucketed histogram: bucket i counts samples <= 2^i, plus an
+/// overflow bucket.  Exact count/sum/min/max are tracked alongside, so means
+/// are exact and only percentile-style queries pay the bucket quantisation.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 40;
+
+  void add(double v) noexcept;
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double min() const noexcept { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return count_ ? max_ : 0.0; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  [[nodiscard]] const std::uint64_t* buckets() const noexcept {
+    return buckets_;
+  }
+
+ private:
+  std::uint64_t buckets_[kBuckets + 1] = {};
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// A sequence of (cycle, vector-of-values) samples — one value per tracked
+/// entity (channel, VC, node...).  Labels, when set, name the columns.
+class Series {
+ public:
+  struct Sample {
+    std::uint64_t cycle = 0;
+    std::vector<double> values;
+  };
+
+  void set_labels(std::vector<std::string> labels) {
+    labels_ = std::move(labels);
+  }
+  void add(std::uint64_t cycle, std::vector<double> values) {
+    samples_.push_back(Sample{cycle, std::move(values)});
+  }
+  [[nodiscard]] const std::vector<Sample>& samples() const noexcept {
+    return samples_;
+  }
+  [[nodiscard]] const std::vector<std::string>& labels() const noexcept {
+    return labels_;
+  }
+
+ private:
+  std::vector<std::string> labels_;
+  std::vector<Sample> samples_;
+};
+
+class MetricsRegistry {
+ public:
+  [[nodiscard]] Counter& counter(const std::string& name) {
+    return counters_[name];
+  }
+  [[nodiscard]] Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  [[nodiscard]] Histogram& histogram(const std::string& name) {
+    return histograms_[name];
+  }
+  [[nodiscard]] Series& series(const std::string& name) {
+    return series_[name];
+  }
+
+  [[nodiscard]] bool empty() const noexcept {
+    return counters_.empty() && gauges_.empty() && histograms_.empty() &&
+           series_.empty();
+  }
+
+  /// Full-registry JSON dump:
+  ///   {"counters":{...},"gauges":{...},"histograms":{...},"series":{...}}
+  void write_json(std::ostream& os) const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+  std::map<std::string, Series> series_;
+};
+
+}  // namespace wormnet::obs

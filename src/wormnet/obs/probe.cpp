@@ -1,0 +1,73 @@
+#include "wormnet/obs/probe.hpp"
+
+#include "wormnet/obs/json.hpp"
+
+namespace wormnet::obs {
+
+namespace {
+thread_local CheckerStats* g_probe = nullptr;
+}  // namespace
+
+CheckerStats* checker_probe() noexcept { return g_probe; }
+
+ProbeScope::ProbeScope(CheckerStats& stats) noexcept : previous_(g_probe) {
+  g_probe = &stats;
+}
+
+ProbeScope::~ProbeScope() { g_probe = previous_; }
+
+PhaseTimer::PhaseTimer(const char* phase) noexcept
+    : stats_(g_probe), phase_(phase) {
+  if (stats_) start_ = std::chrono::steady_clock::now();
+}
+
+PhaseTimer::~PhaseTimer() {
+  if (!stats_) return;
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  stats_->add_phase(phase_,
+                    std::chrono::duration<double>(elapsed).count());
+}
+
+void CheckerStats::add_phase(const char* phase, double seconds) {
+  phase_seconds[phase] += seconds;
+  ++phase_calls[phase];
+}
+
+void CheckerStats::write_json(std::ostream& os) const {
+  JsonWriter w(os);
+  w.begin_object();
+
+  w.key("work");
+  w.begin_object();
+  w.field("cdg_builds", cdg_builds);
+  w.field("cdg_edges", cdg_edges);
+  w.field("ecdg_builds", ecdg_builds);
+  w.field("ecdg_direct_edges", ecdg_direct_edges);
+  w.field("ecdg_indirect_edges", ecdg_indirect_edges);
+  w.field("ecdg_cross_edges", ecdg_cross_edges);
+  w.field("ecdg_excursion_visits", ecdg_excursion_visits);
+  w.field("cwg_builds", cwg_builds);
+  w.field("cwg_edges", cwg_edges);
+  w.field("cycle_visits", cycle_visits);
+  w.field("cycles_found", cycles_found);
+  w.field("subfunction_candidates", subfunction_candidates);
+  w.field("greedy_expansions", greedy_expansions);
+  w.end_object();
+
+  w.key("phases");
+  w.begin_object();
+  for (const auto& [phase, seconds] : phase_seconds) {
+    w.key(phase);
+    w.begin_object();
+    w.field("seconds", seconds);
+    const auto calls = phase_calls.find(phase);
+    w.field("calls",
+            calls != phase_calls.end() ? calls->second : std::uint64_t{0});
+    w.end_object();
+  }
+  w.end_object();
+
+  w.end_object();
+}
+
+}  // namespace wormnet::obs

@@ -7,7 +7,15 @@ namespace wormnet::sim {
 
 std::optional<DeadlockInfo> find_wait_cycle(
     const std::vector<BlockedPacket>& blocked,
-    const std::function<PacketId(ChannelId)>& owner_of, std::uint64_t cycle) {
+    const std::function<PacketId(ChannelId)>& owner_of, std::uint64_t cycle,
+    obs::TraceSink* trace) {
+  if (trace) {
+    obs::TraceEvent ev;
+    ev.kind = obs::EventKind::kDeadlockCheck;
+    ev.cycle = cycle;
+    ev.value = blocked.size();
+    trace->emit(ev);
+  }
   if (blocked.empty()) return std::nullopt;
 
   // Greatest-fixpoint knot detection: keep only packets whose EVERY waiting
@@ -77,6 +85,14 @@ std::optional<DeadlockInfo> find_wait_cycle(
   for (std::size_t i = position[current]; i < walk.size(); ++i) {
     info.packet_cycle.push_back(walk[i].first);
     info.blocked_channels.push_back(walk[i].second);
+  }
+  if (trace) {
+    obs::TraceEvent ev;
+    ev.kind = obs::EventKind::kDeadlockDetected;
+    ev.cycle = cycle;
+    ev.value = info.packet_cycle.size();
+    ev.list.assign(info.packet_cycle.begin(), info.packet_cycle.end());
+    trace->emit(ev);
   }
   return info;
 }

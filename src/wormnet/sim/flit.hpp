@@ -53,6 +53,13 @@ struct Packet {
   /// Channels acquired so far, in order (head of the chain last).  Used by
   /// the deadlock reporter and by tests asserting path legality.
   std::vector<ChannelId> path;
+
+  // --- trace bookkeeping (obs) -------------------------------------------
+  // Only read/written when a TraceSink is attached; never influences
+  // routing, arbitration, or RNG state.
+  std::uint32_t trace_routes_emitted = 0;  ///< hops with a route event so far
+  std::uint64_t trace_block_start = 0;     ///< cycle the current block began
+  bool trace_blocked = false;              ///< a block event is outstanding
 };
 
 }  // namespace wormnet::sim

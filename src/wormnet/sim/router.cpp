@@ -6,9 +6,12 @@ RouteAllocator::RouteAllocator(const Topology& topo,
                                const RoutingFunction& routing,
                                SelectionPolicy selection,
                                WaitOverride wait_override,
-                               std::uint32_t buffer_depth, std::uint64_t seed)
+                               std::uint32_t buffer_depth, std::uint64_t seed,
+                               obs::TraceSink* trace,
+                               const std::uint64_t* clock)
     : topo_(&topo), routing_(&routing), selection_(selection),
-      wait_override_(wait_override), buffer_depth_(buffer_depth), rng_(seed) {}
+      wait_override_(wait_override), buffer_depth_(buffer_depth), rng_(seed),
+      trace_(trace), clock_(clock) {}
 
 WaitMode RouteAllocator::effective_wait_mode() const {
   switch (wait_override_) {
@@ -41,6 +44,19 @@ std::optional<ChannelId> RouteAllocator::attempt(Packet& pkt, ChannelId input,
                                                  NodeId current,
                                                  NetworkState& net) {
   const routing::ChannelSet cands = candidates(pkt, input, current);
+  // One route-compute event per hop: blocked headers re-arbitrate every
+  // cycle, but only the first evaluation at a hop is a routing decision.
+  if (trace_ && pkt.trace_routes_emitted == pkt.path.size()) {
+    ++pkt.trace_routes_emitted;
+    obs::TraceEvent ev;
+    ev.kind = obs::EventKind::kRouteCompute;
+    ev.cycle = clock_ ? *clock_ : 0;
+    ev.packet = pkt.id;
+    ev.node = current;
+    ev.channel2 = input == kInvalidChannel ? obs::kNoId : input;
+    ev.value = cands.size();
+    trace_->emit(ev);
+  }
   if (cands.empty()) return std::nullopt;
 
   std::vector<bool> free(cands.size());
@@ -60,6 +76,15 @@ std::optional<ChannelId> RouteAllocator::attempt(Packet& pkt, ChannelId input,
     pkt.committed_wait = kInvalidChannel;
     if (!pkt.forced_path.empty()) ++pkt.forced_next;
     pkt.path.push_back(acquired);
+    if (trace_) {
+      obs::TraceEvent ev;
+      ev.kind = obs::EventKind::kVcAlloc;
+      ev.cycle = clock_ ? *clock_ : 0;
+      ev.packet = pkt.id;
+      ev.node = current;
+      ev.channel = acquired;
+      trace_->emit(ev);
+    }
     return acquired;
   }
 

@@ -10,6 +10,7 @@
 
 #include <optional>
 
+#include "wormnet/obs/trace.hpp"
 #include "wormnet/routing/routing_function.hpp"
 #include "wormnet/routing/selection.hpp"
 #include "wormnet/sim/network.hpp"
@@ -27,9 +28,14 @@ enum class WaitOverride : std::uint8_t { kFollowRouting, kForceAny, kForceSpecif
 
 class RouteAllocator {
  public:
+  /// `trace`/`clock`, when set, emit route-compute and VC-allocate events
+  /// stamped with `*clock` (the simulator's cycle counter).  Tracing never
+  /// alters allocation behaviour or RNG state.
   RouteAllocator(const Topology& topo, const RoutingFunction& routing,
                  SelectionPolicy selection, WaitOverride wait_override,
-                 std::uint32_t buffer_depth, std::uint64_t seed);
+                 std::uint32_t buffer_depth, std::uint64_t seed,
+                 obs::TraceSink* trace = nullptr,
+                 const std::uint64_t* clock = nullptr);
 
   /// Attempts to allocate the next channel for `pkt`, whose header sits at
   /// node `current` having arrived on `input` (kInvalidChannel at the
@@ -59,6 +65,8 @@ class RouteAllocator {
   WaitOverride wait_override_;
   std::uint32_t buffer_depth_;
   util::Xoshiro256 rng_;
+  obs::TraceSink* trace_;
+  const std::uint64_t* clock_;
 };
 
 }  // namespace wormnet::sim

@@ -10,12 +10,14 @@ Simulator::Simulator(const Topology& topo,
                      const routing::RoutingFunction& routing, SimConfig config)
     : topo_(&topo), routing_(&routing), config_(std::move(config)), net_(topo),
       allocator_(topo, routing, config_.selection, config_.wait_override,
-                 config_.buffer_depth, config_.seed ^ 0xa5a5a5a5ULL),
+                 config_.buffer_depth, config_.seed ^ 0xa5a5a5a5ULL,
+                 config_.trace, &cycle_),
       traffic_(topo, config_.pattern, config_.seed, config_.hotspot_fraction,
                config_.hotspots),
       rng_(config_.seed ^ 0x5a5a5a5aULL), sources_(topo.num_nodes()),
       script_by_node_(topo.num_nodes()),
-      channel_moves_(topo.num_channels(), 0) {
+      channel_moves_(topo.num_channels(), 0), trace_(config_.trace),
+      metrics_(config_.metrics) {
   for (const ScriptedPacket& sp : config_.script) {
     script_by_node_[sp.src].push_back(sp);
   }
@@ -24,6 +26,19 @@ Simulator::Simulator(const Topology& topo,
                      [](const ScriptedPacket& a, const ScriptedPacket& b) {
                        return a.inject_cycle < b.inject_cycle;
                      });
+  }
+  if (metrics_) {
+    epoch_moves_.assign(topo.num_channels(), 0);
+    epoch_stalls_.assign(topo.num_channels(), 0);
+    std::vector<std::string> names;
+    names.reserve(topo.num_channels());
+    for (ChannelId c = 0; c < topo.num_channels(); ++c) {
+      names.push_back(topo.channel_name(c));
+    }
+    for (const char* series : {"channel_occupancy", "channel_stall_cycles",
+                               "channel_utilization"}) {
+      metrics_->series(series).set_labels(names);
+    }
   }
 }
 
@@ -45,6 +60,17 @@ PacketId Simulator::create_packet(NodeId src, NodeId dst, std::uint32_t length,
   ++stats_.packets_created;
   if (pkt.measured) ++stats_.measured_created;
   ++in_flight_;
+  if (trace_) {
+    obs::TraceEvent ev;
+    ev.kind = obs::EventKind::kPacketCreate;
+    ev.cycle = cycle_;
+    ev.packet = pkt.id;
+    ev.node = src;
+    ev.node2 = dst;
+    ev.value = pkt.length;
+    ev.flag = pkt.measured;
+    trace_->emit(ev);
+  }
   packets_.push_back(std::move(pkt));
   sources_[src].queue.push_back(packets_.back().id);
   return packets_.back().id;
@@ -91,6 +117,9 @@ void Simulator::allocate_outputs() {
     if (allocator_.attempt(pkt, kInvalidChannel, node, net_)) {
       pkt.injecting = true;
       pkt.first_injected = cycle_;
+      trace_block_transition(pkt, kInvalidChannel, node, /*acquired=*/true);
+    } else {
+      trace_block_transition(pkt, kInvalidChannel, node, /*acquired=*/false);
     }
   }
 
@@ -112,7 +141,41 @@ void Simulator::allocate_outputs() {
     if (auto acquired = allocator_.attempt(pkt, c, here, net_)) {
       vc.out = *acquired;
       vc.out_assigned = true;
+      trace_block_transition(pkt, c, here, /*acquired=*/true);
+    } else {
+      trace_block_transition(pkt, c, here, /*acquired=*/false);
     }
+  }
+}
+
+void Simulator::trace_block_transition(Packet& pkt, ChannelId input,
+                                       NodeId node, bool acquired) {
+  if (!trace_) return;
+  if (acquired) {
+    if (pkt.trace_blocked) {
+      pkt.trace_blocked = false;
+      obs::TraceEvent ev;
+      ev.kind = obs::EventKind::kUnblock;
+      ev.cycle = cycle_;
+      ev.packet = pkt.id;
+      ev.node = node;
+      ev.value = cycle_ - pkt.trace_block_start;
+      trace_->emit(ev);
+    }
+    return;
+  }
+  if (!pkt.trace_blocked) {
+    pkt.trace_blocked = true;
+    pkt.trace_block_start = cycle_;
+    obs::TraceEvent ev;
+    ev.kind = obs::EventKind::kBlock;
+    ev.cycle = cycle_;
+    ev.packet = pkt.id;
+    ev.node = node;
+    ev.channel2 = input == kInvalidChannel ? obs::kNoId : input;
+    const routing::ChannelSet waits = allocator_.blocked_on(pkt, input, node);
+    ev.list.assign(waits.begin(), waits.end());
+    trace_->emit(ev);
   }
 }
 
@@ -173,6 +236,21 @@ void Simulator::move_flits() {
       net_.vc(m.to).queue.push_back(flit);
       ++pkt.flits_injected;
       if (flit.tail) src.queue.pop_front();
+      if (trace_) {
+        obs::TraceEvent ev;
+        ev.cycle = cycle_;
+        ev.packet = pkt.id;
+        if (flit.head) {
+          ev.kind = obs::EventKind::kInject;
+          ev.node = m.src_node;
+          ev.channel = m.to;
+        } else {
+          ev.kind = obs::EventKind::kLinkTraverse;
+          ev.channel = m.to;
+          ev.flag2 = flit.tail;
+        }
+        trace_->emit(ev);
+      }
     } else {
       VcState& from = net_.vc(m.from);
       const Flit flit = from.queue.front();
@@ -184,8 +262,20 @@ void Simulator::move_flits() {
         from.out_assigned = false;
         from.out_eject = false;
       }
+      if (trace_) {
+        obs::TraceEvent ev;
+        ev.kind = obs::EventKind::kLinkTraverse;
+        ev.cycle = cycle_;
+        ev.packet = flit.packet;
+        ev.channel = m.to;
+        ev.channel2 = m.from;
+        ev.flag = flit.head;
+        ev.flag2 = flit.tail;
+        trace_->emit(ev);
+      }
     }
     if (in_window) ++channel_moves_[m.to];
+    if (metrics_) ++epoch_moves_[m.to];
     ++flit_moves_;
     last_progress_ = cycle_;
   }
@@ -209,6 +299,16 @@ void Simulator::move_flits() {
     Packet& pkt = packets_[flit.packet];
     ++pkt.flits_ejected;
     if (in_window) ++stats_.flits_ejected_in_window;
+    if (trace_) {
+      obs::TraceEvent ev;
+      ev.kind = obs::EventKind::kEject;
+      ev.cycle = cycle_;
+      ev.packet = pkt.id;
+      ev.node = node;
+      ev.channel = c;
+      ev.flag2 = flit.tail;
+      trace_->emit(ev);
+    }
     if (flit.tail) {
       vc.owner = kNoPacket;
       vc.out = kInvalidChannel;
@@ -231,6 +331,21 @@ void Simulator::finish_packet(Packet& pkt) {
     ++stats_.measured_delivered;
     latency_.add(static_cast<double>(pkt.finished - pkt.created),
                  static_cast<double>(pkt.finished - pkt.first_injected));
+  }
+  if (trace_) {
+    obs::TraceEvent ev;
+    ev.kind = obs::EventKind::kPacketDone;
+    ev.cycle = cycle_;
+    ev.packet = pkt.id;
+    ev.node = pkt.dst;
+    ev.value = pkt.finished - pkt.created;
+    trace_->emit(ev);
+  }
+  if (metrics_ && pkt.measured) {
+    metrics_->histogram("packet_latency").add(
+        static_cast<double>(pkt.finished - pkt.created));
+    metrics_->histogram("packet_network_latency")
+        .add(static_cast<double>(pkt.finished - pkt.first_injected));
   }
 }
 
@@ -265,7 +380,7 @@ void Simulator::check_deadlock() {
   }
 
   auto owner_of = [this](ChannelId c) { return net_.vc(c).owner; };
-  if (auto info = find_wait_cycle(blocked, owner_of, cycle_)) {
+  if (auto info = find_wait_cycle(blocked, owner_of, cycle_, trace_)) {
     deadlock_ = std::move(info);
     return;
   }
@@ -274,6 +389,13 @@ void Simulator::check_deadlock() {
     info.cycle = cycle_;
     info.from_watchdog = true;
     deadlock_ = std::move(info);
+    if (trace_) {
+      obs::TraceEvent ev;
+      ev.kind = obs::EventKind::kDeadlockDetected;
+      ev.cycle = cycle_;
+      ev.flag = true;  // watchdog, no explicit wait-for cycle
+      trace_->emit(ev);
+    }
   }
 }
 
@@ -285,7 +407,57 @@ void Simulator::step() {
       cycle_ % config_.deadlock_check_interval == 0) {
     check_deadlock();
   }
+  if (metrics_) sample_metrics();
   ++cycle_;
+}
+
+void Simulator::sample_metrics() {
+  const std::size_t channels = net_.num_channels();
+  // A stall cycle: a header at the FIFO front with no output assignment.
+  for (ChannelId c = 0; c < channels; ++c) {
+    const VcState& vc = net_.vc(c);
+    if (!vc.queue.empty() && vc.queue.front().head && !vc.out_assigned) {
+      ++epoch_stalls_[c];
+    }
+  }
+  const std::uint64_t epoch = config_.metrics_epoch;
+  if (epoch == 0 || (cycle_ + 1) % epoch != 0) return;
+  std::vector<double> occupancy(channels), stalls(channels), util(channels);
+  for (ChannelId c = 0; c < channels; ++c) {
+    occupancy[c] = static_cast<double>(net_.vc(c).queue.size());
+    stalls[c] = static_cast<double>(epoch_stalls_[c]);
+    util[c] = static_cast<double>(epoch_moves_[c]) /
+              static_cast<double>(epoch);
+  }
+  const std::uint64_t stamp = cycle_ + 1;
+  metrics_->series("channel_occupancy").add(stamp, std::move(occupancy));
+  metrics_->series("channel_stall_cycles").add(stamp, std::move(stalls));
+  metrics_->series("channel_utilization").add(stamp, std::move(util));
+  std::fill(epoch_moves_.begin(), epoch_moves_.end(), 0);
+  std::fill(epoch_stalls_.begin(), epoch_stalls_.end(), 0);
+}
+
+void Simulator::export_final_metrics() {
+  if (!metrics_) return;
+  obs::MetricsRegistry& m = *metrics_;
+  m.counter("packets_created").set(stats_.packets_created);
+  m.counter("packets_delivered").set(stats_.packets_delivered);
+  m.counter("measured_created").set(stats_.measured_created);
+  m.counter("measured_delivered").set(stats_.measured_delivered);
+  m.counter("flits_ejected_in_window").set(stats_.flits_ejected_in_window);
+  m.counter("flit_moves").set(flit_moves_);
+  m.counter("cycles_run").set(stats_.cycles_run);
+  m.counter("deadlocked").set(stats_.deadlocked ? 1 : 0);
+  m.counter("saturated").set(stats_.saturated ? 1 : 0);
+  m.gauge("avg_latency").set(stats_.avg_latency);
+  m.gauge("p50_latency").set(stats_.p50_latency);
+  m.gauge("p99_latency").set(stats_.p99_latency);
+  m.gauge("avg_network_latency").set(stats_.avg_network_latency);
+  m.gauge("offered_load").set(stats_.offered_load);
+  m.gauge("accepted_throughput").set(stats_.accepted_throughput);
+  m.gauge("avg_channel_utilization").set(stats_.avg_channel_utilization);
+  m.gauge("max_channel_utilization").set(stats_.max_channel_utilization);
+  m.gauge("max_hops").set(static_cast<double>(stats_.max_hops));
 }
 
 SimStats Simulator::run() {
@@ -358,6 +530,8 @@ SimStats Simulator::run() {
   stats_.saturated = !stats_.deadlocked &&
                      stats_.measured_delivered < stats_.measured_created;
   latency_.finalize(stats_);
+  export_final_metrics();
+  if (trace_) trace_->flush();
   return stats_;
 }
 

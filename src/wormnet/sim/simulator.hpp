@@ -20,6 +20,8 @@
 #include <memory>
 #include <optional>
 
+#include "wormnet/obs/metrics.hpp"
+#include "wormnet/obs/trace.hpp"
 #include "wormnet/routing/routing_function.hpp"
 #include "wormnet/sim/deadlock_detector.hpp"
 #include "wormnet/sim/network.hpp"
@@ -61,6 +63,13 @@ struct SimConfig {
   std::uint64_t deadlock_check_interval = 128;
   std::uint64_t watchdog_cycles = 4000;  ///< no-progress threshold
   std::uint64_t seed = 1;
+
+  // Observability (borrowed handles; callers own the sinks and must keep
+  // them alive for the run).  Null = disabled; the disabled path costs one
+  // branch per site and is behaviour-identical to an instrumented run.
+  obs::TraceSink* trace = nullptr;       ///< packet/flit lifecycle events
+  obs::MetricsRegistry* metrics = nullptr;  ///< per-epoch channel time series
+  std::uint64_t metrics_epoch = 256;     ///< cycles between series samples
 };
 
 class Simulator {
@@ -112,6 +121,12 @@ class Simulator {
                          std::vector<ChannelId> forced);
   void finish_packet(Packet& pkt);
 
+  // --- observability (all no-ops when the handles are null) --------------
+  void trace_block_transition(Packet& pkt, ChannelId input, NodeId node,
+                              bool acquired);
+  void sample_metrics();
+  void export_final_metrics();
+
   const Topology* topo_;
   const routing::RoutingFunction* routing_;
   SimConfig config_;
@@ -134,6 +149,12 @@ class Simulator {
   // Measurement.
   LatencyAccumulator latency_;
   SimStats stats_;
+
+  // Observability state (allocated only when the respective handle is set).
+  obs::TraceSink* trace_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  std::vector<std::uint32_t> epoch_moves_;   ///< per-channel, this epoch
+  std::vector<std::uint32_t> epoch_stalls_;  ///< per-channel, this epoch
 };
 
 /// One-call convenience wrapper.

@@ -4,6 +4,8 @@
 #include <numeric>
 #include <sstream>
 
+#include "wormnet/obs/json.hpp"
+
 namespace wormnet::sim {
 
 void LatencyAccumulator::add(double total, double network) {
@@ -12,14 +14,27 @@ void LatencyAccumulator::add(double total, double network) {
 }
 
 void LatencyAccumulator::finalize(SimStats& stats) {
-  if (total_.empty()) return;
+  if (total_.empty()) {
+    // No delivered measured packets (deadlock before delivery, zero offered
+    // load, ...): report zeros rather than leaving stale values behind.
+    stats.avg_latency = 0.0;
+    stats.p50_latency = 0.0;
+    stats.p99_latency = 0.0;
+    stats.avg_network_latency = 0.0;
+    return;
+  }
   std::sort(total_.begin(), total_.end());
   stats.avg_latency =
       std::accumulate(total_.begin(), total_.end(), 0.0) / total_.size();
+  // Linear interpolation between closest ranks.  The single-sample case is
+  // handled explicitly: there is no upper rank to interpolate toward.
   auto percentile = [&](double p) {
-    const std::size_t idx = static_cast<std::size_t>(
-        p * static_cast<double>(total_.size() - 1) + 0.5);
-    return total_[std::min(idx, total_.size() - 1)];
+    if (total_.size() == 1) return total_.front();
+    const double rank = p * static_cast<double>(total_.size() - 1);
+    const std::size_t lo =
+        std::min(static_cast<std::size_t>(rank), total_.size() - 2);
+    const double frac = rank - static_cast<double>(lo);
+    return total_[lo] + frac * (total_[lo + 1] - total_[lo]);
   };
   stats.p50_latency = percentile(0.50);
   stats.p99_latency = percentile(0.99);
@@ -39,6 +54,50 @@ std::string SimStats::summary() const {
      << p99_latency << " cyc, accepted " << accepted_throughput
      << " flits/node/cyc (offered " << offered_load << ")";
   if (saturated) os << " [saturated]";
+  return os.str();
+}
+
+std::string SimStats::to_json() const {
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  w.begin_object();
+  w.field("deadlocked", deadlocked);
+  if (deadlocked) {
+    w.key("deadlock");
+    w.begin_object();
+    w.field("cycle", deadlock.cycle);
+    w.field("from_watchdog", deadlock.from_watchdog);
+    w.key("packet_cycle");
+    w.begin_array();
+    for (const PacketId p : deadlock.packet_cycle) {
+      w.number(std::uint64_t{p});
+    }
+    w.end_array();
+    w.key("blocked_channels");
+    w.begin_array();
+    for (const ChannelId c : deadlock.blocked_channels) {
+      w.number(std::uint64_t{c});
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.field("saturated", saturated);
+  w.field("packets_created", packets_created);
+  w.field("packets_delivered", packets_delivered);
+  w.field("measured_created", measured_created);
+  w.field("measured_delivered", measured_delivered);
+  w.field("flits_ejected_in_window", flits_ejected_in_window);
+  w.field("avg_latency", avg_latency);
+  w.field("p50_latency", p50_latency);
+  w.field("p99_latency", p99_latency);
+  w.field("avg_network_latency", avg_network_latency);
+  w.field("offered_load", offered_load);
+  w.field("accepted_throughput", accepted_throughput);
+  w.field("avg_channel_utilization", avg_channel_utilization);
+  w.field("max_channel_utilization", max_channel_utilization);
+  w.field("max_hops", max_hops);
+  w.field("cycles_run", cycles_run);
+  w.end_object();
   return os.str();
 }
 

@@ -55,6 +55,10 @@ struct SimStats {
   std::uint64_t cycles_run = 0;
 
   [[nodiscard]] std::string summary() const;
+
+  /// Machine-readable form of every field above (one JSON object), used by
+  /// `wormnet_cli simulate --json` and downstream tooling.
+  [[nodiscard]] std::string to_json() const;
 };
 
 /// Latency collection helper.
@@ -62,7 +66,10 @@ class LatencyAccumulator {
  public:
   void add(double total, double network);
   [[nodiscard]] std::size_t count() const noexcept { return total_.size(); }
-  /// Computes avg/percentiles into `stats` (sorts internally).
+  /// Computes avg/percentiles into `stats` (sorts internally).  Percentiles
+  /// use linear interpolation between closest ranks; with zero samples all
+  /// latency fields are zeroed, with one sample every percentile is that
+  /// sample (no division by zero, no out-of-range indexing).
   void finalize(SimStats& stats);
 
  private:

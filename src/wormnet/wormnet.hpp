@@ -7,6 +7,8 @@
 //   cwg       — [companion] channel waiting graphs, True/False Resource
 //               cycles, CWG' reduction
 //   sim       — flit-level wormhole network simulator
+//   obs       — structured event tracing (JSONL / Chrome trace_event),
+//               metrics registry, checker phase timers and work counters
 //   analysis  — degree of adaptiveness, path counting
 //   core      — verification façade, algorithm registry, deadlock witnesses
 #pragma once
@@ -30,6 +32,10 @@
 #include "wormnet/cwg/reduction.hpp"
 #include "wormnet/graph/cycles.hpp"
 #include "wormnet/graph/digraph.hpp"
+#include "wormnet/obs/json.hpp"
+#include "wormnet/obs/metrics.hpp"
+#include "wormnet/obs/probe.hpp"
+#include "wormnet/obs/trace.hpp"
 #include "wormnet/routing/dateline.hpp"
 #include "wormnet/routing/dimension_order.hpp"
 #include "wormnet/routing/duato_adaptive.hpp"

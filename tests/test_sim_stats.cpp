@@ -61,6 +61,92 @@ TEST(SimStatsExtra, NonminimalRoutingCanExceedDiameterButStaysBounded) {
   EXPECT_LE(stats.max_hops, 40u) << "runaway misrouting (livelock symptom)";
 }
 
+TEST(LatencyAccumulator, ZeroSamplesZeroesEveryLatencyField) {
+  // A deadlocked or zero-load run delivers no measured packets; finalize must
+  // scrub any stale values rather than leave them untouched.
+  LatencyAccumulator acc;
+  SimStats stats;
+  stats.avg_latency = 123.0;
+  stats.p50_latency = 456.0;
+  stats.p99_latency = 789.0;
+  stats.avg_network_latency = 42.0;
+  acc.finalize(stats);
+  EXPECT_EQ(stats.avg_latency, 0.0);
+  EXPECT_EQ(stats.p50_latency, 0.0);
+  EXPECT_EQ(stats.p99_latency, 0.0);
+  EXPECT_EQ(stats.avg_network_latency, 0.0);
+}
+
+TEST(LatencyAccumulator, SingleSampleIsEveryPercentile) {
+  LatencyAccumulator acc;
+  acc.add(10.0, 8.0);
+  SimStats stats;
+  acc.finalize(stats);
+  EXPECT_DOUBLE_EQ(stats.avg_latency, 10.0);
+  EXPECT_DOUBLE_EQ(stats.p50_latency, 10.0);
+  EXPECT_DOUBLE_EQ(stats.p99_latency, 10.0);
+  EXPECT_DOUBLE_EQ(stats.avg_network_latency, 8.0);
+}
+
+TEST(LatencyAccumulator, PercentilesInterpolateBetweenClosestRanks) {
+  LatencyAccumulator acc;
+  acc.add(20.0, 18.0);  // out of order: finalize sorts
+  acc.add(10.0, 9.0);
+  SimStats two;
+  acc.finalize(two);
+  EXPECT_DOUBLE_EQ(two.avg_latency, 15.0);
+  EXPECT_DOUBLE_EQ(two.p50_latency, 15.0);               // rank 0.5
+  EXPECT_DOUBLE_EQ(two.p99_latency, 10.0 + 0.99 * 10.0); // rank 0.99
+  EXPECT_DOUBLE_EQ(two.avg_network_latency, 13.5);
+
+  LatencyAccumulator acc5;
+  for (double v : {5.0, 3.0, 1.0, 4.0, 2.0}) acc5.add(v, v);
+  SimStats five;
+  acc5.finalize(five);
+  EXPECT_DOUBLE_EQ(five.p50_latency, 3.0);   // rank 2, exact
+  EXPECT_DOUBLE_EQ(five.p99_latency, 4.96);  // rank 3.96
+}
+
+TEST(SimStatsExtra, ToJsonCoversEveryField) {
+  const topology::Topology topo = make_mesh({3, 3});
+  const routing::DimensionOrder routing(topo);
+  SimConfig cfg;
+  cfg.injection_rate = 0.1;
+  cfg.warmup_cycles = 100;
+  cfg.measure_cycles = 500;
+  cfg.drain_cycles = 2000;
+  const SimStats stats = run(topo, routing, cfg);
+  const std::string text = stats.to_json();
+  EXPECT_EQ(text.front(), '{');
+  EXPECT_EQ(text.back(), '}');
+  for (const char* field :
+       {"\"deadlocked\":false", "\"saturated\"", "\"packets_created\"",
+        "\"packets_delivered\"", "\"measured_created\"",
+        "\"measured_delivered\"", "\"flits_ejected_in_window\"",
+        "\"avg_latency\"", "\"p50_latency\"", "\"p99_latency\"",
+        "\"avg_network_latency\"", "\"offered_load\"",
+        "\"accepted_throughput\"", "\"avg_channel_utilization\"",
+        "\"max_channel_utilization\"", "\"max_hops\"", "\"cycles_run\""}) {
+    EXPECT_NE(text.find(field), std::string::npos) << field;
+  }
+  // Non-deadlocked runs omit the deadlock report object.
+  EXPECT_EQ(text.find("\"deadlock\":{"), std::string::npos);
+}
+
+TEST(SimStatsExtra, ToJsonReportsDeadlockWitness) {
+  SimStats stats;
+  stats.deadlocked = true;
+  stats.deadlock.cycle = 64;
+  stats.deadlock.packet_cycle = {1, 3, 5};
+  stats.deadlock.blocked_channels = {3, 0, 1};
+  const std::string text = stats.to_json();
+  EXPECT_NE(text.find("\"deadlocked\":true"), std::string::npos);
+  EXPECT_NE(text.find("\"deadlock\":{\"cycle\":64"), std::string::npos);
+  EXPECT_NE(text.find("\"packet_cycle\":[1,3,5]"), std::string::npos);
+  EXPECT_NE(text.find("\"blocked_channels\":[3,0,1]"), std::string::npos);
+  EXPECT_NE(text.find("\"from_watchdog\":false"), std::string::npos);
+}
+
 TEST(SimStatsExtra, SummaryStringMentionsOutcome) {
   const topology::Topology topo = make_mesh({3, 3});
   const routing::DimensionOrder routing(topo);
