@@ -51,38 +51,14 @@ using namespace wormnet;
   std::exit(2);
 }
 
-std::vector<std::string> split(const std::string& text, char sep) {
-  std::vector<std::string> parts;
-  std::istringstream stream(text);
-  std::string part;
-  while (std::getline(stream, part, sep)) parts.push_back(part);
-  return parts;
-}
-
 topology::Topology parse_topology(const std::string& spec) {
-  const auto parts = split(spec, ':');
-  if (parts.empty()) usage("empty topology spec");
-  const std::string& kind = parts[0];
-  if (kind == "incoherent") return routing::make_incoherent_net();
-  if (parts.size() < 2) usage("topology spec needs a size: " + spec);
-  const std::uint8_t vcs =
-      parts.size() > 2 ? static_cast<std::uint8_t>(std::stoul(parts[2])) : 1;
-  if (kind == "hypercube") {
-    return topology::make_hypercube(std::stoul(parts[1]), vcs);
+  // Shared spec grammar (core::make_topology) so every binary accepts the
+  // same syntax; malformed specs surface as usage errors here.
+  try {
+    return core::make_topology(spec);
+  } catch (const std::invalid_argument& error) {
+    usage(error.what());
   }
-  if (kind == "ring") {
-    return topology::make_ring(std::stoul(parts[1]), vcs);
-  }
-  if (kind == "uniring") {
-    return topology::make_unidirectional_ring(std::stoul(parts[1]), vcs);
-  }
-  std::vector<std::uint32_t> radices;
-  for (const std::string& r : split(parts[1], 'x')) {
-    radices.push_back(static_cast<std::uint32_t>(std::stoul(r)));
-  }
-  if (kind == "mesh") return topology::make_mesh(radices, vcs);
-  if (kind == "torus") return topology::make_torus(radices, vcs);
-  usage("unknown topology kind: " + kind);
 }
 
 sim::Pattern parse_pattern(const std::string& name) {

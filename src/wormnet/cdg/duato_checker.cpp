@@ -9,15 +9,30 @@ namespace wormnet::cdg {
 DuatoReport check(const Subfunction& sub) {
   DuatoReport report;
   report.subfunction_label = sub.label();
-  report.connected = sub.connected();
-  report.escape_everywhere = sub.escape_everywhere();
+  const SubfunctionWitness connectivity = sub.connectivity_witness();
+  report.connected = connectivity.ok();
+  if (!report.connected) report.connectivity_witness = connectivity;
+  const SubfunctionWitness escape = sub.escape_witness();
+  report.escape_everywhere = escape.ok();
+  if (report.connected && !report.escape_everywhere) {
+    report.connectivity_witness = escape;
+  }
   const ExtendedCdg ecdg = build_extended_cdg(sub);
   report.direct_edges = ecdg.direct_edges;
   report.indirect_edges = ecdg.indirect_edges;
   report.cross_edges = ecdg.cross_edges;
   auto cycle = ecdg.graph.find_cycle();
   report.acyclic = !cycle.has_value();
-  if (cycle) report.witness_cycle = std::move(*cycle);
+  if (cycle) {
+    report.witness_cycle = std::move(*cycle);
+    report.witness_cycle_kinds.reserve(report.witness_cycle.size());
+    for (std::size_t i = 0; i < report.witness_cycle.size(); ++i) {
+      const graph::Vertex from = report.witness_cycle[i];
+      const graph::Vertex to =
+          report.witness_cycle[(i + 1) % report.witness_cycle.size()];
+      report.witness_cycle_kinds.push_back(ecdg.kind(from, to));
+    }
+  }
   return report;
 }
 
@@ -103,11 +118,20 @@ SearchResult search(const StateGraph& states, const SearchOptions& options) {
   const std::size_t channels = topo.num_channels();
 
   // Stage 1: the full set (classical acyclic-CDG test; with C1 = C the
-  // extended CDG has no excursions, so it equals the plain CDG).
+  // extended CDG has no excursions, so it equals the plain CDG).  Its report
+  // is kept on the result either way: when every later stage fails, the
+  // full-set witness cycle is the concrete "why".
   {
     const obs::PhaseTimer timer("search_full_set");
-    if (try_candidate(states, std::vector<bool>(channels, true),
-                      "all-channels", result)) {
+    ++result.candidates_tried;
+    if (auto* probe = obs::checker_probe()) ++probe->subfunction_candidates;
+    std::vector<bool> all(channels, true);
+    const Subfunction sub(states, all, "all-channels");
+    result.full_set_report = check(sub);
+    if (result.full_set_report.holds()) {
+      result.found = true;
+      result.c1 = std::move(all);
+      result.report = result.full_set_report;
       return result;
     }
   }

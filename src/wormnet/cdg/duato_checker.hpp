@@ -39,6 +39,11 @@ struct DuatoReport {
   std::size_t indirect_edges = 0;
   std::size_t cross_edges = 0;
   std::vector<graph::Vertex> witness_cycle;  ///< channels, when cyclic
+  /// Kind of each witness-cycle edge: witness_cycle_kinds[i] classifies the
+  /// dependency witness_cycle[i] -> witness_cycle[(i+1) % size].
+  std::vector<DepKind> witness_cycle_kinds;
+  /// Where connectivity / escape-everywhere failed, when either is false.
+  SubfunctionWitness connectivity_witness;
   std::string subfunction_label;
 
   [[nodiscard]] bool holds() const {
@@ -63,6 +68,10 @@ struct SearchResult {
   /// Valid when found: the qualifying subfunction's channel set + report.
   std::vector<bool> c1;
   DuatoReport report;
+  /// The stage-1 (all-channels) report, kept even when the search fails: its
+  /// witness cycle is the concrete dependency cycle of the base relation's
+  /// CDG, which callers report as the "why" of a failed search.
+  DuatoReport full_set_report;
   /// True when the failed search enumerated every subset, making
   /// "no subfunction exists" a proof rather than a budget artifact.
   bool exhaustive_complete = false;

@@ -6,6 +6,47 @@
 
 namespace wormnet::cdg {
 
+const char* to_string(DepKind kind) {
+  switch (kind) {
+    case DepKind::kDirect:
+      return "direct";
+    case DepKind::kIndirect:
+      return "indirect";
+    case DepKind::kDirectCross:
+      return "direct-cross";
+    case DepKind::kIndirectCross:
+      return "indirect-cross";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Records (or strengthens) the classification of edge u -> v.  Direct beats
+/// indirect and same-destination beats cross, so a cycle witness always shows
+/// the simplest way each dependency arises.
+void note_kind(ExtendedCdg& out, graph::Vertex u, graph::Vertex v,
+               DepKind kind) {
+  const auto [it, inserted] = out.edge_kinds.try_emplace({u, v}, kind);
+  if (inserted) return;
+  const auto rank = [](DepKind k) {
+    switch (k) {
+      case DepKind::kDirect:
+        return 0;
+      case DepKind::kDirectCross:
+        return 1;
+      case DepKind::kIndirect:
+        return 2;
+      case DepKind::kIndirectCross:
+        return 3;
+    }
+    return 4;
+  };
+  if (rank(kind) < rank(it->second)) it->second = kind;
+}
+
+}  // namespace
+
 ExtendedCdg build_extended_cdg(const Subfunction& sub) {
   const obs::PhaseTimer timer("ecdg_build");
   obs::CheckerStats* const probe = obs::checker_probe();
@@ -32,6 +73,8 @@ ExtendedCdg build_extended_cdg(const Subfunction& sub) {
           ++out.direct_edges;
           if (cross) ++out.cross_edges;
         }
+        note_kind(out, ci, cj,
+                  cross ? DepKind::kDirectCross : DepKind::kDirect);
         out.direct_only.add_edge(ci, cj);
       }
 
@@ -57,6 +100,8 @@ ExtendedCdg build_extended_cdg(const Subfunction& sub) {
               ++out.indirect_edges;
               if (cross) ++out.cross_edges;
             }
+            note_kind(out, ci, cj,
+                      cross ? DepKind::kIndirectCross : DepKind::kIndirect);
           }
           if (!sub.in_c1(cj, dest) && !visited[cj]) {
             visited[cj] = true;

@@ -17,11 +17,25 @@
 #pragma once
 
 #include <cstddef>
+#include <map>
+#include <utility>
 
 #include "wormnet/cdg/subfunction.hpp"
 #include "wormnet/graph/digraph.hpp"
 
 namespace wormnet::cdg {
+
+/// Classification of one extended-CDG edge (file comment above).  An edge
+/// witnessed several ways keeps the strongest explanation: direct beats
+/// indirect, same-destination beats cross.
+enum class DepKind : std::uint8_t {
+  kDirect,
+  kIndirect,
+  kDirectCross,
+  kIndirectCross,
+};
+
+[[nodiscard]] const char* to_string(DepKind kind);
 
 struct ExtendedCdg {
   graph::Digraph graph;        ///< all dependency edges
@@ -30,6 +44,14 @@ struct ExtendedCdg {
   std::size_t indirect_edges = 0;        ///< indirect edges not already direct
   std::size_t cross_edges = 0;           ///< edges whose target is escape only
                                          ///< for other destinations
+  /// Kind of every edge in `graph` — lets cycle witnesses explain each hop
+  /// (direct / indirect / direct-cross / indirect-cross).
+  std::map<std::pair<graph::Vertex, graph::Vertex>, DepKind> edge_kinds;
+
+  [[nodiscard]] DepKind kind(graph::Vertex from, graph::Vertex to) const {
+    const auto it = edge_kinds.find({from, to});
+    return it == edge_kinds.end() ? DepKind::kDirect : it->second;
+  }
 };
 
 /// Builds the extended CDG of `sub` over its state graph.

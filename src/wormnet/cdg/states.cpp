@@ -87,11 +87,34 @@ bool StateGraph::reaches(ChannelId from, ChannelId to, NodeId dest) const {
   return (closure_[dest][from * words + to / 64] >> (to % 64)) & 1;
 }
 
-bool relation_connected(const StateGraph& states) {
+std::string ConnectivityReport::describe(const Topology& topo) const {
+  switch (failure) {
+    case Failure::kNone:
+      return "connected";
+    case Failure::kNoInjection:
+      return "no first hop for source " + std::to_string(src) +
+             " -> destination " + std::to_string(dest);
+    case Failure::kDeadEnd:
+      return "dead-end state (" + topo.channel_name(channel) +
+             ", dest " + std::to_string(dest) + "): no outputs supplied";
+    case Failure::kCannotFinish:
+      return "state (" + topo.channel_name(channel) + ", dest " +
+             std::to_string(dest) + ") can never reach its destination";
+  }
+  return "?";
+}
+
+ConnectivityReport relation_connectivity(const StateGraph& states) {
+  ConnectivityReport report;
   const Topology& topo = states.topo();
   for (NodeId d = 0; d < topo.num_nodes(); ++d) {
     for (NodeId s = 0; s < topo.num_nodes(); ++s) {
-      if (s != d && states.injection(s, d).empty()) return false;
+      if (s != d && states.injection(s, d).empty()) {
+        report.failure = ConnectivityReport::Failure::kNoInjection;
+        report.src = s;
+        report.dest = d;
+        return report;
+      }
     }
     // Collect sinks, then require every reachable state to reach one.
     std::vector<ChannelId> sinks;
@@ -103,7 +126,12 @@ bool relation_connected(const StateGraph& states) {
     for (ChannelId c = 0; c < topo.num_channels(); ++c) {
       if (!states.reachable(c, d)) continue;
       if (topo.channel(c).dst == d) continue;
-      if (states.successors(c, d).empty()) return false;
+      if (states.successors(c, d).empty()) {
+        report.failure = ConnectivityReport::Failure::kDeadEnd;
+        report.channel = c;
+        report.dest = d;
+        return report;
+      }
       bool delivers = false;
       for (ChannelId sink : sinks) {
         if (states.reaches(c, sink, d)) {
@@ -111,7 +139,34 @@ bool relation_connected(const StateGraph& states) {
           break;
         }
       }
-      if (!delivers) return false;
+      if (!delivers) {
+        report.failure = ConnectivityReport::Failure::kCannotFinish;
+        report.channel = c;
+        report.dest = d;
+        return report;
+      }
+    }
+  }
+  return report;
+}
+
+bool relation_connected(const StateGraph& states) {
+  return relation_connectivity(states).connected();
+}
+
+bool relation_minimal(const StateGraph& states) {
+  const Topology& topo = states.topo();
+  for (NodeId d = 0; d < topo.num_nodes(); ++d) {
+    for (ChannelId c = 0; c < topo.num_channels(); ++c) {
+      if (!states.reachable(c, d)) continue;
+      const NodeId at = topo.channel(c).dst;
+      if (at == d) continue;
+      for (ChannelId next : states.successors(c, d)) {
+        if (topo.distance(topo.channel(next).dst, d) + 1 !=
+            topo.distance(at, d)) {
+          return false;
+        }
+      }
     }
   }
   return true;

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "wormnet/routing/routing_function.hpp"
@@ -95,9 +96,40 @@ class StateGraph {
   mutable std::vector<std::vector<std::uint64_t>> closure_;
 };
 
-/// True iff the relation is *connected* (Definition 4's precondition):
-/// every source-destination pair has a first hop, no reachable state is a
-/// dead end, and every reachable state can still reach its destination.
+/// Why (and where) a relation fails to be *connected* (Definition 4's
+/// precondition): every source-destination pair must have a first hop, no
+/// reachable state may be a dead end, and every reachable state must still be
+/// able to reach its destination.  On failure the report pins down one
+/// offending (src, dest) pair or (channel, dest) state so callers can explain
+/// the verdict instead of echoing a bare bool.
+struct ConnectivityReport {
+  enum class Failure : std::uint8_t {
+    kNone,          ///< connected
+    kNoInjection,   ///< no first hop for (src, dest)
+    kDeadEnd,       ///< reachable state (channel, dest) with no outputs
+    kCannotFinish,  ///< reachable state that never reaches a sink
+  };
+  Failure failure = Failure::kNone;
+  NodeId src = 0;  ///< valid for kNoInjection
+  ChannelId channel = topology::kInvalidChannel;  ///< kDeadEnd/kCannotFinish
+  NodeId dest = 0;  ///< the destination being checked (all failure kinds)
+
+  [[nodiscard]] bool connected() const { return failure == Failure::kNone; }
+  /// One-line human rendering of the witness ("no route 3 -> 7", ...).
+  [[nodiscard]] std::string describe(const Topology& topo) const;
+};
+
+/// Full connectivity check with witness (see ConnectivityReport).
+[[nodiscard]] ConnectivityReport relation_connectivity(
+    const StateGraph& states);
+
+/// True iff the relation is connected (witness-free convenience wrapper).
 [[nodiscard]] bool relation_connected(const StateGraph& states);
+
+/// True iff every reachable hop strictly decreases the distance to the
+/// destination.  Minimal relations never revisit a node, so they satisfy the
+/// coherence precondition of the necessity direction; nonminimal relations
+/// (e.g. the incoherent example) fall outside the condition's exact scope.
+[[nodiscard]] bool relation_minimal(const StateGraph& states);
 
 }  // namespace wormnet::cdg

@@ -42,7 +42,26 @@ ChannelSet Subfunction::r1(ChannelId input, NodeId current,
   return out;
 }
 
-bool Subfunction::connected() const {
+std::string SubfunctionWitness::describe(const Topology& topo) const {
+  switch (kind) {
+    case Kind::kNone:
+      return "ok";
+    case Kind::kUnreachableNode:
+      return "node " + std::to_string(node) + " cannot reach destination " +
+             std::to_string(dest) + " on escape channels alone";
+    case Kind::kNoEscape:
+      return "state (" + topo.channel_name(channel) + ", dest " +
+             std::to_string(dest) + ") has no escape channel to wait on";
+    case Kind::kNoInjectionEscape:
+      return "injection at node " + std::to_string(node) +
+             " for destination " + std::to_string(dest) +
+             " has no escape first hop";
+  }
+  return "?";
+}
+
+SubfunctionWitness Subfunction::connectivity_witness() const {
+  SubfunctionWitness witness;
   const Topology& topo = states_->topo();
   const NodeId nodes = topo.num_nodes();
   // For each destination, reverse-BFS from dest over "u -> v is an R1 hop for
@@ -81,13 +100,19 @@ bool Subfunction::connected() const {
       }
     }
     for (NodeId u = 0; u < nodes; ++u) {
-      if (!ok[u]) return false;
+      if (!ok[u]) {
+        witness.kind = SubfunctionWitness::Kind::kUnreachableNode;
+        witness.node = u;
+        witness.dest = dest;
+        return witness;
+      }
     }
   }
-  return true;
+  return witness;
 }
 
-bool Subfunction::escape_everywhere() const {
+SubfunctionWitness Subfunction::escape_witness() const {
+  SubfunctionWitness witness;
   const Topology& topo = states_->topo();
   for (NodeId dest = 0; dest < topo.num_nodes(); ++dest) {
     for (ChannelId c = 0; c < topo.num_channels(); ++c) {
@@ -101,7 +126,12 @@ bool Subfunction::escape_everywhere() const {
           break;
         }
       }
-      if (!has_escape) return false;
+      if (!has_escape) {
+        witness.kind = SubfunctionWitness::Kind::kNoEscape;
+        witness.channel = c;
+        witness.dest = dest;
+        return witness;
+      }
     }
     // Injection states need an escape too.
     for (NodeId src = 0; src < topo.num_nodes(); ++src) {
@@ -113,10 +143,23 @@ bool Subfunction::escape_everywhere() const {
           break;
         }
       }
-      if (!has_escape) return false;
+      if (!has_escape) {
+        witness.kind = SubfunctionWitness::Kind::kNoInjectionEscape;
+        witness.node = src;
+        witness.dest = dest;
+        return witness;
+      }
     }
   }
-  return true;
+  return witness;
+}
+
+bool Subfunction::connected() const {
+  return connectivity_witness().ok();
+}
+
+bool Subfunction::escape_everywhere() const {
+  return escape_witness().ok();
 }
 
 Subfunction per_destination_from_escape(const StateGraph& states,

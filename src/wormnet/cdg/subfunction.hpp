@@ -27,6 +27,25 @@ namespace wormnet::cdg {
 
 class Subfunction;
 
+/// Witness for a failed subfunction connectivity or escape-everywhere check
+/// — *which* node is stranded or *which* state has no escape, so checkers and
+/// lint rules can explain a rejection instead of reporting a bare bool.
+struct SubfunctionWitness {
+  enum class Kind : std::uint8_t {
+    kNone,              ///< the check passed
+    kUnreachableNode,   ///< node cannot reach dest hopping on C1(dest) only
+    kNoEscape,          ///< reachable state (channel, dest) has no R1 output
+    kNoInjectionEscape  ///< injection state (src, dest) has no R1 first hop
+  };
+  Kind kind = Kind::kNone;
+  NodeId node = 0;  ///< kUnreachableNode: stranded node; kNoInjectionEscape: src
+  ChannelId channel = topology::kInvalidChannel;  ///< kNoEscape: occupied channel
+  NodeId dest = 0;  ///< destination under check (all failure kinds)
+
+  [[nodiscard]] bool ok() const { return kind == Kind::kNone; }
+  [[nodiscard]] std::string describe(const Topology& topo) const;
+};
+
 /// Builds a per-destination subfunction from an *escape relation*: C1(d) is
 /// the set of channels the escape relation can use toward destination d
 /// (its reachable channels for d).  This is the ICPP'94 generalization where
@@ -71,6 +90,14 @@ class Subfunction {
 
   /// Escape-everywhere over reachable states (see file comment).
   [[nodiscard]] bool escape_everywhere() const;
+
+  /// Node-connectivity check with witness: on failure names a node that
+  /// cannot reach some destination using C1(dest) hops alone.
+  [[nodiscard]] SubfunctionWitness connectivity_witness() const;
+
+  /// Escape-everywhere check with witness: on failure names the reachable
+  /// (or injection) state that offers no R1 output to wait on.
+  [[nodiscard]] SubfunctionWitness escape_witness() const;
 
   [[nodiscard]] std::size_t channel_count() const;
 

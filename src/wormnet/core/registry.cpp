@@ -1,5 +1,6 @@
 #include "wormnet/core/registry.hpp"
 
+#include <sstream>
 #include <stdexcept>
 
 #include "wormnet/routing/dateline.hpp"
@@ -10,6 +11,7 @@
 #include "wormnet/routing/hpl.hpp"
 #include "wormnet/routing/turn_model.hpp"
 #include "wormnet/routing/unrestricted.hpp"
+#include "wormnet/topology/builders.hpp"
 
 namespace wormnet::core {
 namespace {
@@ -180,12 +182,88 @@ std::vector<const AlgorithmEntry*> algorithms_for(const Topology& topo) {
   return out;
 }
 
+namespace {
+
+std::vector<std::string> split_spec(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::istringstream stream(text);
+  std::string part;
+  while (std::getline(stream, part, sep)) parts.push_back(part);
+  return parts;
+}
+
+std::uint32_t parse_count(const std::string& text, const std::string& spec) {
+  try {
+    const unsigned long value = std::stoul(text);
+    if (value == 0 || value > 1u << 20) {
+      throw std::invalid_argument("out of range");
+    }
+    return static_cast<std::uint32_t>(value);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bad number '" + text + "' in topology spec '" +
+                                spec + "'");
+  }
+}
+
+}  // namespace
+
+topology::Topology make_topology(const std::string& spec) {
+  const auto parts = split_spec(spec, ':');
+  if (parts.empty()) throw std::invalid_argument("empty topology spec");
+  const std::string& kind = parts[0];
+  if (kind == "incoherent") return routing::make_incoherent_net();
+  if (parts.size() < 2) {
+    throw std::invalid_argument("topology spec needs a size: " + spec);
+  }
+  const std::uint8_t vcs =
+      parts.size() > 2
+          ? static_cast<std::uint8_t>(parse_count(parts[2], spec))
+          : 1;
+  if (kind == "hypercube") {
+    return topology::make_hypercube(parse_count(parts[1], spec), vcs);
+  }
+  if (kind == "ring") {
+    return topology::make_ring(parse_count(parts[1], spec), vcs);
+  }
+  if (kind == "uniring") {
+    return topology::make_unidirectional_ring(parse_count(parts[1], spec),
+                                              vcs);
+  }
+  std::vector<std::uint32_t> radices;
+  for (const std::string& r : split_spec(parts[1], 'x')) {
+    radices.push_back(parse_count(r, spec));
+  }
+  if (kind == "mesh") return topology::make_mesh(radices, vcs);
+  if (kind == "torus") return topology::make_torus(radices, vcs);
+  throw std::invalid_argument("unknown topology kind: " + kind);
+}
+
+std::string canonical_algorithm_name(const std::string& name,
+                                     const Topology& topo) {
+  if (name == "minimal-noescape") return "unrestricted";
+  if (name == "duato") {
+    for (const char* candidate :
+         {"duato-hypercube", "duato-mesh", "duato-torus"}) {
+      for (const auto& entry : all_algorithms()) {
+        if (entry.name == candidate && entry.applicable(topo)) {
+          return candidate;
+        }
+      }
+    }
+    throw std::invalid_argument(
+        "alias 'duato' has no applicable construction for " + topo.name() +
+        " (mesh/hypercube need >= 2 VCs, torus >= 3)");
+  }
+  return name;
+}
+
 std::unique_ptr<routing::RoutingFunction> make_algorithm(
     const std::string& name, const Topology& topo) {
+  const std::string canonical = canonical_algorithm_name(name, topo);
   for (const auto& entry : all_algorithms()) {
-    if (entry.name == name) {
+    if (entry.name == canonical) {
       if (!entry.applicable(topo)) {
-        throw std::invalid_argument("algorithm '" + name +
+        throw std::invalid_argument("algorithm '" + canonical +
                                     "' not applicable to " + topo.name());
       }
       return entry.make(topo);

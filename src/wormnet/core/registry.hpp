@@ -31,8 +31,26 @@ struct AlgorithmEntry {
 [[nodiscard]] std::vector<const AlgorithmEntry*> algorithms_for(
     const topology::Topology& topo);
 
-/// Instantiates by name; throws std::invalid_argument for unknown names or
-/// inapplicable topologies.
+/// Parses a topology spec string, shared by every CLI binary so they all
+/// accept the same syntax:
+///
+///   mesh:4x4[:VCS]  torus:8x8[:VCS]  hypercube:N[:VCS]  ring:N[:VCS]
+///   uniring:N[:VCS]  incoherent
+///
+/// Throws std::invalid_argument on malformed specs.
+[[nodiscard]] topology::Topology make_topology(const std::string& spec);
+
+/// Resolves CLI-friendly aliases to registry names for `topo`:
+///   "duato"             -> the duato-* construction applicable to topo
+///   "minimal-noescape"  -> "unrestricted" (minimal adaptive, no escape
+///                          structure — the canonical deadlock-prone config)
+/// Registry names and unknown names pass through unchanged; "duato" with no
+/// applicable construction throws std::invalid_argument.
+[[nodiscard]] std::string canonical_algorithm_name(
+    const std::string& name, const topology::Topology& topo);
+
+/// Instantiates by name (aliases accepted); throws std::invalid_argument for
+/// unknown names or inapplicable topologies.
 [[nodiscard]] std::unique_ptr<routing::RoutingFunction> make_algorithm(
     const std::string& name, const topology::Topology& topo);
 

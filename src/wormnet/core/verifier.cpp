@@ -58,28 +58,6 @@ Verdict verify_cdg(const cdg::StateGraph& states) {
   return verdict;
 }
 
-/// True if every reachable hop strictly decreases the distance to the
-/// destination.  Minimal relations never revisit a node, so they satisfy the
-/// coherence precondition of the necessity direction; nonminimal relations
-/// (e.g. the incoherent example) fall outside the condition's exact scope.
-bool is_minimal_relation(const cdg::StateGraph& states) {
-  const auto& topo = states.topo();
-  for (topology::NodeId d = 0; d < topo.num_nodes(); ++d) {
-    for (topology::ChannelId c = 0; c < topo.num_channels(); ++c) {
-      if (!states.reachable(c, d)) continue;
-      const topology::NodeId at = topo.channel(c).dst;
-      if (at == d) continue;
-      for (topology::ChannelId next : states.successors(c, d)) {
-        if (topo.distance(topo.channel(next).dst, d) + 1 !=
-            topo.distance(at, d)) {
-          return false;
-        }
-      }
-    }
-  }
-  return true;
-}
-
 Verdict verify_duato(const cdg::StateGraph& states,
                      const cdg::SearchOptions& options,
                      const routing::RoutingFunction& routing) {
@@ -100,7 +78,10 @@ Verdict verify_duato(const cdg::StateGraph& states,
   }
   const bool in_scope = routing.form() == RelationForm::kNodeDest &&
                         routing.wait_mode() == WaitMode::kAnyOf &&
-                        is_minimal_relation(states);
+                        cdg::relation_minimal(states);
+  // Either way the failed search carries the full-set (plain-CDG) witness
+  // cycle — the concrete dependency cycle no candidate managed to break.
+  verdict.witness_channels = result.full_set_report.witness_cycle;
   if (result.exhaustive_complete && in_scope) {
     verdict.conclusion = Conclusion::kDeadlockable;
     verdict.detail =
@@ -127,10 +108,14 @@ Verdict verify_cwg(const cdg::StateGraph& states,
                    const routing::RoutingFunction& routing) {
   Verdict verdict;
   verdict.method = "cwg";
-  if (!cwg::wait_connected(states)) {
+  const cwg::WaitConnectivity wait = cwg::wait_connectivity(states);
+  if (!wait.connected) {
     verdict.conclusion = Conclusion::kDeadlockable;
-    verdict.detail = "relation is not wait-connected (a blocked message can "
-                     "have no waiting channel)";
+    verdict.detail = "relation is not wait-connected: " +
+                     wait.describe(states.topo());
+    if (wait.channel != topology::kInvalidChannel) {
+      verdict.witness_channels.push_back(wait.channel);
+    }
     return verdict;
   }
   const cwg::Cwg graph = cwg::build_cwg(states);

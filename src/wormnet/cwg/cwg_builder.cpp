@@ -34,20 +34,46 @@ Cwg build_cwg(const StateGraph& states) {
   return out;
 }
 
-bool wait_connected(const StateGraph& states) {
+std::string WaitConnectivity::describe(const Topology& topo) const {
+  if (connected) return "wait-connected";
+  if (at_injection) {
+    return "injection at node " + std::to_string(src) + " for destination " +
+           std::to_string(dest) + " has no waiting channel";
+  }
+  return "state (" + topo.channel_name(channel) + ", dest " +
+         std::to_string(dest) + ") has no waiting channel";
+}
+
+WaitConnectivity wait_connectivity(const StateGraph& states) {
+  WaitConnectivity report;
   const auto& topo = states.topo();
   for (NodeId dest = 0; dest < topo.num_nodes(); ++dest) {
     for (ChannelId c = 0; c < topo.num_channels(); ++c) {
       if (!states.reachable(c, dest)) continue;
       if (topo.channel(c).dst == dest) continue;  // delivered
-      if (states.waiting(c, dest).empty()) return false;
+      if (states.waiting(c, dest).empty()) {
+        report.connected = false;
+        report.channel = c;
+        report.dest = dest;
+        return report;
+      }
     }
     for (NodeId src = 0; src < topo.num_nodes(); ++src) {
       if (src == dest) continue;
-      if (states.injection_waiting(src, dest).empty()) return false;
+      if (states.injection_waiting(src, dest).empty()) {
+        report.connected = false;
+        report.at_injection = true;
+        report.src = src;
+        report.dest = dest;
+        return report;
+      }
     }
   }
-  return true;
+  return report;
+}
+
+bool wait_connected(const StateGraph& states) {
+  return wait_connectivity(states).connected;
 }
 
 }  // namespace wormnet::cwg

@@ -38,7 +38,21 @@ struct Cwg {
 
 /// Definition 10: every reachable blocked state (including injection states)
 /// offers at least one waiting channel.  Any deadlock-free algorithm must be
-/// wait-connected.
+/// wait-connected.  On failure the report names the starved state.
+struct WaitConnectivity {
+  bool connected = true;
+  bool at_injection = false;  ///< witness is an injection state
+  NodeId src = 0;             ///< valid when at_injection
+  ChannelId channel = topology::kInvalidChannel;  ///< valid otherwise
+  NodeId dest = 0;
+
+  [[nodiscard]] std::string describe(const Topology& topo) const;
+};
+
+/// Full wait-connectivity check with witness.
+[[nodiscard]] WaitConnectivity wait_connectivity(const StateGraph& states);
+
+/// Witness-free convenience wrapper.
 [[nodiscard]] bool wait_connected(const StateGraph& states);
 
 }  // namespace wormnet::cwg

@@ -1,0 +1,45 @@
+#include "wormnet/lint/context.hpp"
+
+namespace wormnet::lint {
+
+cdg::SearchOptions LintContext::default_search_options() {
+  cdg::SearchOptions options;
+  options.exhaustive_channel_limit = 16;
+  return options;
+}
+
+LintContext::LintContext(const Topology& topo, const RoutingFunction& routing,
+                         cdg::SearchOptions duato_options)
+    : topo_(&topo),
+      routing_(&routing),
+      duato_(dynamic_cast<const routing::DuatoAdaptive*>(&routing)),
+      duato_options_(std::move(duato_options)) {}
+
+const cdg::StateGraph& LintContext::states() {
+  if (!states_) states_.emplace(*topo_, *routing_);
+  return *states_;
+}
+
+const cdg::StateGraph& LintContext::escape_states() {
+  if (!escape_states_) escape_states_.emplace(*topo_, duato_->escape());
+  return *escape_states_;
+}
+
+const cdg::SearchResult& LintContext::duato_search() {
+  if (!search_) {
+    cdg::SearchOptions options = duato_options_;
+    if (duato_ != nullptr && options.seeded_candidates.empty()) {
+      // The designated escape layer is the canonical candidate: seed it so
+      // the search reports it by name instead of rediscovering it.
+      std::vector<bool> c1(topo_->num_channels(), false);
+      for (topology::ChannelId c = 0; c < topo_->num_channels(); ++c) {
+        if (topo_->channel(c).vc < duato_->adaptive_vc_lo()) c1[c] = true;
+      }
+      options.seeded_candidates.emplace_back(std::move(c1), "escape-layer");
+    }
+    search_ = cdg::search(states(), options);
+  }
+  return *search_;
+}
+
+}  // namespace wormnet::lint

@@ -1,0 +1,66 @@
+// Shared, lazily-computed analysis state for one lint run.
+//
+// Several rules need the same expensive artifacts — the reachable-state graph
+// and the Duato subfunction search above all.  The context builds each at
+// most once per (topology, routing) pair and hands out references, so adding
+// a rule never adds a redundant fixpoint computation.  When the routing is a
+// DuatoAdaptive construction the context also exposes its escape layer and
+// seeds the subfunction search with it (the canonical candidate).
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "wormnet/cdg/duato_checker.hpp"
+#include "wormnet/cdg/states.hpp"
+#include "wormnet/routing/duato_adaptive.hpp"
+
+namespace wormnet::lint {
+
+using routing::RoutingFunction;
+using topology::Topology;
+
+class LintContext {
+ public:
+  LintContext(const Topology& topo, const RoutingFunction& routing,
+              cdg::SearchOptions duato_options = default_search_options());
+
+  /// Default subfunction-search budget for linting: like the checker default
+  /// but with the exhaustive stage stretched to 16 channels, so small
+  /// networks (e.g. ring:8) get a *proof* of "no subfunction exists" instead
+  /// of a budget artifact.
+  [[nodiscard]] static cdg::SearchOptions default_search_options();
+
+  [[nodiscard]] const Topology& topo() const noexcept { return *topo_; }
+  [[nodiscard]] const RoutingFunction& routing() const noexcept {
+    return *routing_;
+  }
+
+  /// Reachable states of the full relation (built on first use).
+  [[nodiscard]] const cdg::StateGraph& states();
+
+  /// Duato subfunction search over the full relation (run on first use,
+  /// seeded with the escape layer when the routing is a DuatoAdaptive).
+  [[nodiscard]] const cdg::SearchResult& duato_search();
+
+  /// The routing as a DuatoAdaptive construction, or nullptr when it is not
+  /// one.  Rules about escape layers / adaptivity check this first.
+  [[nodiscard]] const routing::DuatoAdaptive* duato_layers() const {
+    return duato_;
+  }
+
+  /// Reachable states of the escape layer alone (DuatoAdaptive only; built
+  /// on first use).  Precondition: duato_layers() != nullptr.
+  [[nodiscard]] const cdg::StateGraph& escape_states();
+
+ private:
+  const Topology* topo_;
+  const RoutingFunction* routing_;
+  const routing::DuatoAdaptive* duato_;
+  cdg::SearchOptions duato_options_;
+  std::optional<cdg::StateGraph> states_;
+  std::optional<cdg::StateGraph> escape_states_;
+  std::optional<cdg::SearchResult> search_;
+};
+
+}  // namespace wormnet::lint

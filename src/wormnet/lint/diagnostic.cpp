@@ -1,0 +1,68 @@
+#include "wormnet/lint/diagnostic.hpp"
+
+#include <sstream>
+
+namespace wormnet::lint {
+
+const char* to_string(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo:
+      return "info";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+const char* sarif_level(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "none";
+}
+
+std::string Location::describe(const Topology& topo) const {
+  std::ostringstream os;
+  bool wrote = false;
+  if (!cycle.empty()) {
+    os << "cycle: ";
+    for (const CycleEdge& edge : cycle) {
+      os << topo.channel_name(edge.from) << " -(" << cdg::to_string(edge.kind)
+         << ")-> ";
+    }
+    os << topo.channel_name(cycle.front().from);
+    wrote = true;
+  }
+  if (!channels.empty()) {
+    if (wrote) os << "; ";
+    os << "channels: ";
+    for (std::size_t i = 0; i < channels.size(); ++i) {
+      if (i) os << ", ";
+      os << topo.channel_name(channels[i]);
+    }
+    wrote = true;
+  }
+  if (!nodes.empty()) {
+    if (wrote) os << "; ";
+    os << "nodes: ";
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (i) os << ", ";
+      os << nodes[i];
+    }
+    wrote = true;
+  }
+  if (dest) {
+    if (wrote) os << " ";
+    os << "[dest " << *dest << "]";
+  }
+  return os.str();
+}
+
+}  // namespace wormnet::lint

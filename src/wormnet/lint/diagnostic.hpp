@@ -1,0 +1,66 @@
+// Structured diagnostics for wormnet-lint, the compiler-style static
+// analyzer over (Topology, RoutingFunction) pairs.
+//
+// Every finding is a `Diagnostic`: a stable rule id (WN001, WN002, ...), a
+// severity, a human message, and a `Location` naming the offending channels,
+// nodes, or dependency cycle as a concrete *witness* — the same witnesses the
+// refactored checkers (duato_checker, cwg, states) now return, so a verdict
+// is always accompanied by its "why".  Renderers (render.hpp) turn the same
+// diagnostics into GCC-style text, JSON lines, or SARIF 2.1.0.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "wormnet/cdg/extended_cdg.hpp"
+#include "wormnet/topology/topology.hpp"
+
+namespace wormnet::lint {
+
+using topology::ChannelId;
+using topology::NodeId;
+using topology::Topology;
+
+enum class Severity : std::uint8_t { kInfo, kWarning, kError };
+
+[[nodiscard]] const char* to_string(Severity severity);
+
+/// SARIF `level` value for a severity ("note" / "warning" / "error").
+[[nodiscard]] const char* sarif_level(Severity severity);
+
+/// One hop of a dependency-cycle witness, classified like the extended CDG
+/// classifies its edges (direct / indirect / direct-cross / indirect-cross).
+struct CycleEdge {
+  ChannelId from = topology::kInvalidChannel;
+  ChannelId to = topology::kInvalidChannel;
+  cdg::DepKind kind = cdg::DepKind::kDirect;
+};
+
+/// What a diagnostic points at.  All members optional; rules fill in
+/// whichever witness shape they have (a channel list, a node pair, a cycle).
+struct Location {
+  std::vector<ChannelId> channels;  ///< offending channels
+  std::vector<NodeId> nodes;        ///< offending nodes (e.g. a (src,dst) pair)
+  std::vector<CycleEdge> cycle;     ///< dependency cycle, edge by edge
+  std::optional<NodeId> dest;       ///< destination context, when relevant
+
+  [[nodiscard]] bool empty() const {
+    return channels.empty() && nodes.empty() && cycle.empty() &&
+           !dest.has_value();
+  }
+
+  /// Compact human rendering, e.g.
+  ///   "cycle: cA1 -(indirect)-> cL2 -(direct)-> cA1 [dest 0]".
+  [[nodiscard]] std::string describe(const Topology& topo) const;
+};
+
+struct Diagnostic {
+  std::string rule_id;  ///< stable id, e.g. "WN002"
+  Severity severity = Severity::kWarning;
+  std::string message;
+  Location location;
+};
+
+}  // namespace wormnet::lint

@@ -1,0 +1,61 @@
+#include "wormnet/lint/engine.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "wormnet/obs/probe.hpp"
+
+namespace wormnet::lint {
+
+std::size_t LintResult::count(Severity severity) const {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == severity) ++n;
+  }
+  return n;
+}
+
+bool LintResult::clean(Severity at_least) const {
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity >= at_least) return false;
+  }
+  return true;
+}
+
+LintResult run_lint(const Topology& topo, const RoutingFunction& routing,
+                    const LintOptions& options) {
+  std::vector<const Rule*> selected;
+  if (options.rules.empty()) {
+    for (const Rule& rule : all_rules()) selected.push_back(&rule);
+  } else {
+    for (const std::string& key : options.rules) {
+      const Rule* rule = find_rule(key);
+      if (rule == nullptr) {
+        throw std::invalid_argument("unknown lint rule: " + key);
+      }
+      selected.push_back(rule);
+    }
+  }
+
+  LintContext ctx(topo, routing, options.duato_options);
+  LintResult result;
+  for (const Rule* rule : selected) {
+    const std::size_t before = result.diagnostics.size();
+    const auto start = std::chrono::steady_clock::now();
+    rule->run(ctx, result.diagnostics);
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    RuleTiming timing;
+    timing.rule = rule;
+    timing.seconds = elapsed.count();
+    timing.emitted = result.diagnostics.size() - before;
+    result.timings.push_back(timing);
+    if (obs::CheckerStats* probe = obs::checker_probe()) {
+      probe->add_phase((std::string("lint/") + rule->id).c_str(),
+                       timing.seconds);
+    }
+  }
+  return result;
+}
+
+}  // namespace wormnet::lint

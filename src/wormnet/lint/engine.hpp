@@ -1,0 +1,48 @@
+// The lint driver: runs a (filtered) set of registry rules over one
+// (topology, routing) pair, accumulating diagnostics and per-rule wall time.
+//
+// Analyses are shared between rules through LintContext's lazy caches — the
+// state graph is built once, the subfunction search runs once — so running
+// all ten rules costs barely more than the most expensive one.  When an
+// obs::CheckerStats probe is installed, each rule additionally reports its
+// wall time as phase "lint/WN0xx".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "wormnet/lint/context.hpp"
+#include "wormnet/lint/diagnostic.hpp"
+#include "wormnet/lint/rule.hpp"
+
+namespace wormnet::lint {
+
+struct LintOptions {
+  /// Rule ids or names to run; empty = the full catalog.
+  std::vector<std::string> rules;
+  /// Budget for the subfunction search behind WN002.
+  cdg::SearchOptions duato_options = LintContext::default_search_options();
+};
+
+struct RuleTiming {
+  const Rule* rule = nullptr;
+  double seconds = 0.0;
+  std::size_t emitted = 0;  ///< diagnostics this rule produced
+};
+
+struct LintResult {
+  std::vector<Diagnostic> diagnostics;
+  std::vector<RuleTiming> timings;  ///< one entry per rule run, in id order
+
+  [[nodiscard]] std::size_t count(Severity severity) const;
+  /// True when nothing at or above `at_least` was emitted.
+  [[nodiscard]] bool clean(Severity at_least = Severity::kInfo) const;
+};
+
+/// Runs the selected rules; throws std::invalid_argument on an unknown rule
+/// id/name in `options.rules`.
+[[nodiscard]] LintResult run_lint(const Topology& topo,
+                                  const RoutingFunction& routing,
+                                  const LintOptions& options = {});
+
+}  // namespace wormnet::lint

@@ -1,0 +1,91 @@
+#include "wormnet/lint/examples.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "wormnet/core/registry.hpp"
+
+namespace wormnet::lint {
+
+const std::vector<ExampleExpectation>& example_matrix() {
+  using Expect = ExampleExpectation::Expect;
+  static const std::vector<ExampleExpectation> kMatrix = {
+      {"mesh:4x4", "e-cube", Expect::kSpotless, {}},
+      // Dateline reserves vc1 for post-wrap traffic, so some vc1 channels
+      // are legitimately idle; the dead-resource warning must keep firing.
+      {"ring:8:2", "dateline", Expect::kNoErrors, {"WN010"}},
+      {"mesh:4x4", "west-first", Expect::kSpotless, {}},
+      {"mesh:4x4", "north-last", Expect::kSpotless, {}},
+      {"mesh:4x4", "negative-first", Expect::kSpotless, {}},
+      {"mesh:4x4", "negative-first-nonmin", Expect::kNoErrors, {}},
+      // The headline configuration: fully adaptive with an escape layer,
+      // certified by the necessary-and-sufficient condition.  Must be clean.
+      {"mesh:4x4:2", "duato-mesh", Expect::kSpotless, {}},
+      {"hypercube:3:2", "duato-hypercube", Expect::kSpotless, {}},
+      {"torus:4x4:3", "duato-torus", Expect::kNoErrors, {"WN010"}},
+      // The canonical deadlock: minimal adaptive on a ring, no escape
+      // structure.  16 channels, so the subfunction search is exhaustive and
+      // the verdict is a proof, not a budget artifact.
+      {"ring:8", "unrestricted", Expect::kErrors, {"WN002", "WN020"}},
+      // HPL is nonminimal (closed walks) and uncertifiable by the condition;
+      // its minimal core is certified clean.
+      {"mesh:3x3", "hpl", Expect::kNoErrors, {"WN002", "WN004"}},
+      {"mesh:3x3", "hpl-minimal", Expect::kSpotless, {}},
+      {"hypercube:3:2", "enhanced", Expect::kNoErrors, {"WN002"}},
+      // Removing the Theorem-6 restriction creates a realizable deadlock:
+      // the wait-specific True-Cycle rule must catch it as an error.
+      {"hypercube:3:2", "enhanced-relaxed", Expect::kErrors, {"WN006"}},
+      {"incoherent", "incoherent", Expect::kNoErrors, {"WN004"}},
+      {"incoherent", "incoherent-specific", Expect::kErrors, {"WN006"}},
+  };
+  return kMatrix;
+}
+
+std::vector<ExampleRun> run_examples() {
+  std::vector<ExampleRun> runs;
+  for (const ExampleExpectation& row : example_matrix()) {
+    ExampleRun run;
+    run.expectation = &row;
+    run.topo =
+        std::make_shared<Topology>(core::make_topology(row.topology_spec));
+    run.subject = row.topology_spec + " " + row.algorithm;
+    const auto routing = core::make_algorithm(row.algorithm, *run.topo);
+    run.result = run_lint(*run.topo, *routing);
+
+    std::ostringstream failure;
+    const std::size_t errors = run.result.count(Severity::kError);
+    const std::size_t total = run.result.diagnostics.size();
+    switch (row.expect) {
+      case ExampleExpectation::Expect::kSpotless:
+        if (total != 0) {
+          failure << "expected zero diagnostics, got " << total;
+        }
+        break;
+      case ExampleExpectation::Expect::kNoErrors:
+        if (errors != 0) {
+          failure << "expected no errors, got " << errors;
+        }
+        break;
+      case ExampleExpectation::Expect::kErrors:
+        if (errors == 0) {
+          failure << "expected at least one error, got none";
+        }
+        break;
+    }
+    for (const std::string& rule : row.must_fire) {
+      const bool fired = std::any_of(
+          run.result.diagnostics.begin(), run.result.diagnostics.end(),
+          [&](const Diagnostic& d) { return d.rule_id == rule; });
+      if (!fired) {
+        if (failure.tellp() > 0) failure << "; ";
+        failure << "expected rule " << rule << " to fire";
+      }
+    }
+    run.failure = failure.str();
+    run.passed = run.failure.empty();
+    runs.push_back(std::move(run));
+  }
+  return runs;
+}
+
+}  // namespace wormnet::lint

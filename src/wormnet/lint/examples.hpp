@@ -1,0 +1,47 @@
+// The golden example matrix: every algorithm in the core registry paired
+// with a canonical topology and the lint outcome it must produce.  The
+// matrix is both a regression corpus (tests assert each row) and the
+// substance of `wormnet-lint --all-examples` / the `lint_examples` ctest.
+//
+// Expectations are deliberately coarse — spotless / no-errors / errors plus
+// a set of rule ids that must fire — so the corpus pins the *verdicts*
+// without freezing message wording.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "wormnet/lint/engine.hpp"
+
+namespace wormnet::lint {
+
+struct ExampleExpectation {
+  enum class Expect : std::uint8_t {
+    kSpotless,  ///< zero diagnostics of any severity
+    kNoErrors,  ///< warnings/notes allowed, errors are not
+    kErrors,    ///< at least one error-severity diagnostic
+  };
+
+  std::string topology_spec;  ///< registry spec, e.g. "mesh:4x4:2"
+  std::string algorithm;      ///< registry name, e.g. "duato-mesh"
+  Expect expect = Expect::kNoErrors;
+  std::vector<std::string> must_fire;  ///< rule ids that must appear
+};
+
+/// One row per registry algorithm (tests assert the coverage is complete).
+[[nodiscard]] const std::vector<ExampleExpectation>& example_matrix();
+
+struct ExampleRun {
+  const ExampleExpectation* expectation = nullptr;
+  std::shared_ptr<Topology> topo;  ///< kept alive for rendering witnesses
+  std::string subject;             ///< "spec algorithm"
+  LintResult result;
+  bool passed = false;
+  std::string failure;  ///< empty when passed
+};
+
+/// Lints every matrix row and grades it against its expectation.
+[[nodiscard]] std::vector<ExampleRun> run_examples();
+
+}  // namespace wormnet::lint

@@ -1,0 +1,183 @@
+#include "wormnet/lint/render.hpp"
+
+#include <iomanip>
+
+#include "wormnet/obs/json.hpp"
+
+namespace wormnet::lint {
+
+namespace {
+
+const Rule* rule_of(const Diagnostic& d) { return find_rule(d.rule_id); }
+
+void write_location_fields(obs::JsonWriter& w, const Diagnostic& d,
+                           const Topology& topo) {
+  if (!d.location.channels.empty()) {
+    w.key("channels");
+    w.begin_array();
+    for (ChannelId c : d.location.channels) w.string(topo.channel_name(c));
+    w.end_array();
+  }
+  if (!d.location.nodes.empty()) {
+    w.key("nodes");
+    w.begin_array();
+    for (NodeId n : d.location.nodes) {
+      w.number(static_cast<std::uint64_t>(n));
+    }
+    w.end_array();
+  }
+  if (!d.location.cycle.empty()) {
+    w.key("cycle");
+    w.begin_array();
+    for (const CycleEdge& edge : d.location.cycle) {
+      w.begin_object();
+      w.field("from", topo.channel_name(edge.from));
+      w.field("to", topo.channel_name(edge.to));
+      w.field("kind", cdg::to_string(edge.kind));
+      w.end_object();
+    }
+    w.end_array();
+  }
+  if (d.location.dest.has_value()) {
+    w.field("dest", static_cast<std::uint64_t>(*d.location.dest));
+  }
+}
+
+}  // namespace
+
+void render_human(std::ostream& os, const std::vector<LintUnit>& units,
+                  bool show_timings) {
+  for (const LintUnit& unit : units) {
+    for (const Diagnostic& d : unit.result.diagnostics) {
+      const Rule* rule = rule_of(d);
+      os << unit.subject << ": " << to_string(d.severity) << ": " << d.message
+         << " [" << d.rule_id;
+      if (rule != nullptr) os << " " << rule->name;
+      os << "]\n";
+      if (!d.location.empty()) {
+        os << "  note: witness: " << d.location.describe(*unit.topo) << "\n";
+      }
+    }
+    const std::size_t errors = unit.result.count(Severity::kError);
+    const std::size_t warnings = unit.result.count(Severity::kWarning);
+    const std::size_t notes = unit.result.count(Severity::kInfo);
+    if (errors + warnings + notes == 0) {
+      os << unit.subject << ": clean (" << unit.result.timings.size()
+         << " rules)\n";
+    } else {
+      os << unit.subject << ": " << errors << " error(s), " << warnings
+         << " warning(s), " << notes << " note(s)\n";
+    }
+    if (show_timings) {
+      for (const RuleTiming& t : unit.result.timings) {
+        os << "  timing: " << t.rule->id << " " << std::fixed
+           << std::setprecision(3) << t.seconds * 1e3 << " ms ("
+           << t.emitted << " emitted)\n";
+        os.unsetf(std::ios::floatfield);
+      }
+    }
+  }
+}
+
+void render_jsonl(std::ostream& os, const std::vector<LintUnit>& units) {
+  for (const LintUnit& unit : units) {
+    for (const Diagnostic& d : unit.result.diagnostics) {
+      obs::JsonWriter w(os);
+      w.begin_object();
+      w.field("subject", unit.subject);
+      w.field("rule", d.rule_id);
+      if (const Rule* rule = rule_of(d)) w.field("name", rule->name);
+      w.field("severity", to_string(d.severity));
+      w.field("message", d.message);
+      write_location_fields(w, d, *unit.topo);
+      w.end_object();
+      os << "\n";
+    }
+  }
+}
+
+void render_sarif(std::ostream& os, const std::vector<LintUnit>& units) {
+  obs::JsonWriter w(os);
+  w.begin_object();
+  w.field("$schema", "https://json.schemastore.org/sarif-2.1.0.json");
+  w.field("version", "2.1.0");
+  w.key("runs");
+  w.begin_array();
+  w.begin_object();
+
+  w.key("tool");
+  w.begin_object();
+  w.key("driver");
+  w.begin_object();
+  w.field("name", "wormnet-lint");
+  w.field("informationUri",
+          "https://doi.org/10.1109/71.473515");  // the source paper
+  w.key("rules");
+  w.begin_array();
+  for (const Rule& rule : all_rules()) {
+    w.begin_object();
+    w.field("id", rule.id);
+    w.field("name", rule.name);
+    w.key("shortDescription");
+    w.begin_object();
+    w.field("text", rule.summary);
+    w.end_object();
+    w.key("defaultConfiguration");
+    w.begin_object();
+    w.field("level", sarif_level(rule.default_severity));
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();  // driver
+  w.end_object();  // tool
+
+  w.key("results");
+  w.begin_array();
+  for (const LintUnit& unit : units) {
+    for (const Diagnostic& d : unit.result.diagnostics) {
+      w.begin_object();
+      w.field("ruleId", d.rule_id);
+      std::uint64_t index = 0;
+      for (const Rule& rule : all_rules()) {
+        if (d.rule_id == rule.id) break;
+        ++index;
+      }
+      if (index < all_rules().size()) w.field("ruleIndex", index);
+      w.field("level", sarif_level(d.severity));
+      w.key("message");
+      w.begin_object();
+      std::string text = d.message;
+      if (!d.location.empty()) {
+        text += " — witness: " + d.location.describe(*unit.topo);
+      }
+      w.field("text", text);
+      w.end_object();
+      w.key("locations");
+      w.begin_array();
+      w.begin_object();
+      w.key("logicalLocations");
+      w.begin_array();
+      w.begin_object();
+      w.field("name", unit.subject);
+      w.field("kind", "module");
+      w.end_object();
+      w.end_array();
+      w.end_object();
+      w.end_array();
+      w.key("properties");
+      w.begin_object();
+      write_location_fields(w, d, *unit.topo);
+      w.end_object();
+      w.end_object();  // result
+    }
+  }
+  w.end_array();  // results
+
+  w.end_object();  // run
+  w.end_array();   // runs
+  w.end_object();
+  os << "\n";
+}
+
+}  // namespace wormnet::lint

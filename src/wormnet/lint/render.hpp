@@ -1,0 +1,31 @@
+// Diagnostic renderers: human (GCC-style, one line per finding plus witness
+// notes), JSON lines (one object per diagnostic, machine-greppable), and
+// SARIF 2.1.0 (one run, full rule catalog in the tool driver, results across
+// every linted configuration — uploadable to code-scanning UIs).
+//
+// All three take a list of LintUnits so a single report can span many
+// (topology, routing) configurations (--all-examples); witnesses are
+// rendered with channel *names*, ids stay available in the structured forms.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "wormnet/lint/engine.hpp"
+
+namespace wormnet::lint {
+
+/// One linted configuration: the subject label names it in every renderer.
+struct LintUnit {
+  std::string subject;  ///< e.g. "mesh:4x4:2 duato-mesh"
+  const Topology* topo = nullptr;
+  LintResult result;
+};
+
+void render_human(std::ostream& os, const std::vector<LintUnit>& units,
+                  bool show_timings = false);
+void render_jsonl(std::ostream& os, const std::vector<LintUnit>& units);
+void render_sarif(std::ostream& os, const std::vector<LintUnit>& units);
+
+}  // namespace wormnet::lint

@@ -1,0 +1,56 @@
+#include "wormnet/lint/rule.hpp"
+
+#include "wormnet/lint/rules_internal.hpp"
+
+namespace wormnet::lint {
+
+const std::vector<Rule>& all_rules() {
+  static const std::vector<Rule> kRules = {
+      {"WN001", "routing-not-connected", Severity::kError,
+       "some source cannot deliver to some destination under the relation",
+       rules::routing_not_connected},
+      {"WN002", "extended-cdg-cyclic", Severity::kError,
+       "no connected routing subfunction with an acyclic extended channel "
+       "dependency graph was found",
+       rules::extended_cdg_cyclic},
+      {"WN003", "subfunction-not-connected", Severity::kError,
+       "the designated escape subfunction fails connectivity or "
+       "escape-everywhere",
+       rules::subfunction_not_connected},
+      {"WN004", "incoherent-routing", Severity::kWarning,
+       "the relation permits a closed walk (messages can revisit nodes)",
+       rules::incoherent_routing},
+      {"WN005", "not-wait-connected", Severity::kError,
+       "a blocked state has no channel it is allowed to wait on",
+       rules::not_wait_connected},
+      {"WN006", "wait-specific-true-cycle", Severity::kError,
+       "wait-specific relation has a True Cycle (realizable deadlock "
+       "configuration)",
+       rules::wait_specific_true_cycle},
+      {"WN010", "unreachable-channel", Severity::kWarning,
+       "channels that no route ever uses (dead buffer resources)",
+       rules::unreachable_channel},
+      {"WN011", "dateline-misconfigured", Severity::kWarning,
+       "a wraparound dimension keeps a dependency cycle among its own "
+       "channels",
+       rules::dateline_misconfigured},
+      {"WN012", "adaptivity-degenerate", Severity::kInfo,
+       "the adaptive layer never supplies a channel; the relation collapses "
+       "to its escape layer",
+       rules::adaptivity_degenerate},
+      {"WN020", "vc-count-sanity", Severity::kWarning,
+       "virtual-channel budget cannot support the topology/routing "
+       "combination",
+       rules::vc_count_sanity},
+  };
+  return kRules;
+}
+
+const Rule* find_rule(std::string_view id_or_name) {
+  for (const Rule& rule : all_rules()) {
+    if (id_or_name == rule.id || id_or_name == rule.name) return &rule;
+  }
+  return nullptr;
+}
+
+}  // namespace wormnet::lint

@@ -1,0 +1,42 @@
+// The lint rule registry.
+//
+// A rule is a named, id-stable analysis pass over a LintContext.  Rules are
+// registered centrally (all_rules) so the CLI, the renderers (SARIF wants
+// the full catalog), the docs table, and the tests all enumerate the same
+// set.  Adding a rule = write a run function (rules_*.cpp), append one entry
+// to the table in rule.cpp, and document it in README's rule catalog.
+//
+// Conventions:
+//   * ids are "WN" + 3 digits and never reused; 00x = relation-level
+//     verdicts, 01x = structural hygiene, 02x = configuration sanity;
+//   * a rule emits nothing when it does not apply (wrong topology kind,
+//     wrong routing shape) — "not applicable" and "clean" look the same;
+//   * every diagnostic carries a witness in its Location whenever the
+//     underlying checker can produce one.
+#pragma once
+
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "wormnet/lint/context.hpp"
+#include "wormnet/lint/diagnostic.hpp"
+
+namespace wormnet::lint {
+
+struct Rule {
+  const char* id;    ///< stable id, e.g. "WN002"
+  const char* name;  ///< kebab-case name, e.g. "extended-cdg-cyclic"
+  Severity default_severity;
+  const char* summary;  ///< one-liner for --list-rules and the SARIF catalog
+  std::function<void(LintContext&, std::vector<Diagnostic>&)> run;
+};
+
+/// The full rule catalog, in id order.
+[[nodiscard]] const std::vector<Rule>& all_rules();
+
+/// Looks a rule up by id ("WN002") or name ("extended-cdg-cyclic");
+/// nullptr when unknown.
+[[nodiscard]] const Rule* find_rule(std::string_view id_or_name);
+
+}  // namespace wormnet::lint

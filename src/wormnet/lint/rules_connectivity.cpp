@@ -1,0 +1,144 @@
+// Relation-level connectivity and coherence rules:
+//
+//   WN001 routing-not-connected     some (src, dst) cannot be served
+//   WN003 subfunction-not-connected the designated escape layer fails the
+//                                   connectivity / escape-everywhere check
+//   WN004 incoherent-routing        the relation permits a closed walk (a
+//                                   message can revisit a node, like Duato's
+//                                   incoherent example)
+//   WN005 not-wait-connected        a blocked state has no waiting channel
+//   WN006 wait-specific-true-cycle  wait-specific relation with a True Cycle
+//                                   (Theorem-2 deadlock configuration)
+#include <sstream>
+
+#include "wormnet/cwg/cwg_builder.hpp"
+#include "wormnet/cwg/cycle_classify.hpp"
+#include "wormnet/graph/digraph.hpp"
+#include "wormnet/lint/rules_internal.hpp"
+
+namespace wormnet::lint::rules {
+
+void routing_not_connected(LintContext& ctx, std::vector<Diagnostic>& out) {
+  const cdg::ConnectivityReport report =
+      cdg::relation_connectivity(ctx.states());
+  if (report.connected()) return;
+  Diagnostic d;
+  d.rule_id = "WN001";
+  d.severity = Severity::kError;
+  d.message = "routing relation is not connected: " +
+              report.describe(ctx.topo());
+  d.location.dest = report.dest;
+  if (report.failure == cdg::ConnectivityReport::Failure::kNoInjection) {
+    d.location.nodes = {report.src, report.dest};
+  } else {
+    d.location.channels = {report.channel};
+  }
+  out.push_back(std::move(d));
+}
+
+void subfunction_not_connected(LintContext& ctx,
+                               std::vector<Diagnostic>& out) {
+  const routing::DuatoAdaptive* duato = ctx.duato_layers();
+  if (duato == nullptr) return;  // no designated escape layer to check
+  const Topology& topo = ctx.topo();
+  std::vector<bool> c1(topo.num_channels(), false);
+  for (ChannelId c = 0; c < topo.num_channels(); ++c) {
+    if (topo.channel(c).vc < duato->adaptive_vc_lo()) c1[c] = true;
+  }
+  const cdg::Subfunction sub(ctx.states(), c1, "escape-layer");
+  for (const cdg::SubfunctionWitness& witness :
+       {sub.connectivity_witness(), sub.escape_witness()}) {
+    if (witness.ok()) continue;
+    Diagnostic d;
+    d.rule_id = "WN003";
+    d.severity = Severity::kError;
+    d.message = "designated escape subfunction (VCs < " +
+                std::to_string(int(duato->adaptive_vc_lo())) +
+                ") is not connected: " + witness.describe(topo);
+    d.location.dest = witness.dest;
+    if (witness.channel != topology::kInvalidChannel) {
+      d.location.channels = {witness.channel};
+    } else {
+      d.location.nodes = {witness.node};
+    }
+    out.push_back(std::move(d));
+    return;  // one witness is enough; the second check usually co-fails
+  }
+}
+
+void incoherent_routing(LintContext& ctx, std::vector<Diagnostic>& out) {
+  // A cycle in the per-destination successor graph means some message can
+  // come back to a channel (hence a node) it already used: the permitted
+  // path revisits a node and its prefixes are not all permitted — the shape
+  // of Duato's incoherent example.  Minimal relations can never trigger
+  // this (every hop strictly decreases the distance).
+  const cdg::StateGraph& states = ctx.states();
+  const Topology& topo = ctx.topo();
+  for (NodeId dest = 0; dest < topo.num_nodes(); ++dest) {
+    graph::Digraph per_dest(topo.num_channels());
+    for (ChannelId c = 0; c < topo.num_channels(); ++c) {
+      if (!states.reachable(c, dest)) continue;
+      for (ChannelId next : states.successors(c, dest)) {
+        per_dest.add_edge(c, next);
+      }
+    }
+    const auto cycle = per_dest.find_cycle();
+    if (!cycle) continue;
+    Diagnostic d;
+    d.rule_id = "WN004";
+    d.severity = Severity::kWarning;
+    std::ostringstream os;
+    os << "routing permits a closed walk for destination " << dest
+       << " — a message can revisit nodes (incoherent/nonminimal "
+          "excursion), which puts the relation outside the "
+          "necessary-and-sufficient condition's exact scope";
+    d.message = os.str();
+    d.location.channels = *cycle;
+    d.location.dest = dest;
+    out.push_back(std::move(d));
+    return;  // one destination's witness is representative
+  }
+}
+
+void not_wait_connected(LintContext& ctx, std::vector<Diagnostic>& out) {
+  const cwg::WaitConnectivity report = cwg::wait_connectivity(ctx.states());
+  if (report.connected) return;
+  Diagnostic d;
+  d.rule_id = "WN005";
+  d.severity = Severity::kError;
+  d.message =
+      "relation is not wait-connected (a blocked message can starve): " +
+      report.describe(ctx.topo());
+  d.location.dest = report.dest;
+  if (report.at_injection) {
+    d.location.nodes = {report.src};
+  } else {
+    d.location.channels = {report.channel};
+  }
+  out.push_back(std::move(d));
+}
+
+void wait_specific_true_cycle(LintContext& ctx, std::vector<Diagnostic>& out) {
+  if (ctx.routing().wait_mode() != routing::WaitMode::kSpecific) return;
+  const cdg::StateGraph& states = ctx.states();
+  if (!cwg::wait_connectivity(states).connected) return;  // WN005's domain
+  const cwg::Cwg graph = cwg::build_cwg(states);
+  const cwg::CycleSurvey survey = cwg::survey_cycles(states, graph);
+  for (const cwg::ClassifiedCycle& cycle : survey.cycles) {
+    if (cycle.kind != cwg::CycleKind::kTrue) continue;
+    Diagnostic d;
+    d.rule_id = "WN006";
+    d.severity = Severity::kError;
+    std::ostringstream os;
+    os << "wait-specific relation has a True Cycle of "
+       << cycle.channels.size()
+       << " channels — a realizable deadlock configuration (companion "
+          "Theorem 2)";
+    d.message = os.str();
+    d.location.channels = cycle.channels;
+    out.push_back(std::move(d));
+    return;  // the first True Cycle is witness enough
+  }
+}
+
+}  // namespace wormnet::lint::rules

@@ -1,0 +1,28 @@
+// Internal declarations of the individual rule passes (implementation detail
+// of the registry in rule.cpp; not part of the public lint API).
+#pragma once
+
+#include <vector>
+
+#include "wormnet/lint/context.hpp"
+#include "wormnet/lint/diagnostic.hpp"
+
+namespace wormnet::lint::rules {
+
+// rules_connectivity.cpp
+void routing_not_connected(LintContext& ctx, std::vector<Diagnostic>& out);
+void subfunction_not_connected(LintContext& ctx, std::vector<Diagnostic>& out);
+void incoherent_routing(LintContext& ctx, std::vector<Diagnostic>& out);
+void not_wait_connected(LintContext& ctx, std::vector<Diagnostic>& out);
+void wait_specific_true_cycle(LintContext& ctx, std::vector<Diagnostic>& out);
+
+// rules_cycles.cpp
+void extended_cdg_cyclic(LintContext& ctx, std::vector<Diagnostic>& out);
+void dateline_misconfigured(LintContext& ctx, std::vector<Diagnostic>& out);
+
+// rules_structure.cpp
+void unreachable_channel(LintContext& ctx, std::vector<Diagnostic>& out);
+void adaptivity_degenerate(LintContext& ctx, std::vector<Diagnostic>& out);
+void vc_count_sanity(LintContext& ctx, std::vector<Diagnostic>& out);
+
+}  // namespace wormnet::lint::rules

@@ -1,0 +1,97 @@
+// Structural-hygiene and configuration-sanity rules:
+//
+//   WN010 unreachable-channel    channels no route ever uses (dead resources)
+//   WN012 adaptivity-degenerate  a layered adaptive routing whose adaptive
+//                                class is never actually offered
+//   WN020 vc-count-sanity        virtual-channel budget cannot support the
+//                                topology/routing combination
+#include <sstream>
+
+#include "wormnet/lint/rules_internal.hpp"
+
+namespace wormnet::lint::rules {
+
+void unreachable_channel(LintContext& ctx, std::vector<Diagnostic>& out) {
+  const cdg::StateGraph& states = ctx.states();
+  const Topology& topo = ctx.topo();
+  std::vector<ChannelId> unused;
+  for (ChannelId c = 0; c < topo.num_channels(); ++c) {
+    bool used = false;
+    for (NodeId dest = 0; dest < topo.num_nodes() && !used; ++dest) {
+      used = states.reachable(c, dest);
+    }
+    if (!used) unused.push_back(c);
+  }
+  if (unused.empty()) return;
+  Diagnostic d;
+  d.rule_id = "WN010";
+  d.severity = Severity::kWarning;
+  std::ostringstream os;
+  os << unused.size() << " of " << topo.num_channels()
+     << " channels are never used by any route (dead buffer resources; "
+        "first: "
+     << topo.channel_name(unused.front()) << ")";
+  d.message = os.str();
+  d.location.channels = std::move(unused);
+  out.push_back(std::move(d));
+}
+
+void adaptivity_degenerate(LintContext& ctx, std::vector<Diagnostic>& out) {
+  const routing::DuatoAdaptive* duato = ctx.duato_layers();
+  if (duato == nullptr) return;
+  const std::uint8_t lo = duato->adaptive_vc_lo();
+  const cdg::StateGraph& states = ctx.states();
+  const Topology& topo = ctx.topo();
+  // The adaptive class is live if any reachable supplied channel is in it.
+  for (ChannelId c = 0; c < topo.num_channels(); ++c) {
+    if (topo.channel(c).vc < lo) continue;
+    for (NodeId dest = 0; dest < topo.num_nodes(); ++dest) {
+      if (states.reachable(c, dest)) return;
+    }
+  }
+  Diagnostic d;
+  d.rule_id = "WN012";
+  d.severity = Severity::kInfo;
+  std::ostringstream os;
+  os << "adaptive layer is degenerate: no reachable state ever supplies a "
+        "channel with VC >= "
+     << int(lo) << " — the relation collapses to its escape layer";
+  d.message = os.str();
+  out.push_back(std::move(d));
+}
+
+void vc_count_sanity(LintContext& ctx, std::vector<Diagnostic>& out) {
+  const Topology& topo = ctx.topo();
+  if (!topo.is_cube()) return;
+  const std::uint8_t vcs = topo.cube().vcs;
+  bool any_wrap = false;
+  for (std::size_t dim = 0; dim < topo.num_dims(); ++dim) {
+    any_wrap = any_wrap || topo.cube().wraps[dim];
+  }
+  if (any_wrap && vcs < 2) {
+    Diagnostic d;
+    d.rule_id = "WN020";
+    d.severity = Severity::kWarning;
+    std::ostringstream os;
+    os << "wraparound topology with a single virtual channel per link — no "
+          "dateline VC switch is possible, so every minimal deterministic "
+          "routing has a cyclic channel dependency graph";
+    d.message = os.str();
+    out.push_back(std::move(d));
+  }
+  const routing::DuatoAdaptive* duato = ctx.duato_layers();
+  if (duato != nullptr && duato->adaptive_vc_lo() >= vcs) {
+    Diagnostic d;
+    d.rule_id = "WN020";
+    d.severity = Severity::kWarning;
+    std::ostringstream os;
+    os << "layered adaptive routing reserves VCs [0, "
+       << int(duato->adaptive_vc_lo()) << ") for escape but the topology has "
+       << "only " << int(vcs)
+       << " VC(s) per link — no adaptive class remains";
+    d.message = os.str();
+    out.push_back(std::move(d));
+  }
+}
+
+}  // namespace wormnet::lint::rules

@@ -10,6 +10,9 @@
 //   obs       — structured event tracing (JSONL / Chrome trace_event),
 //               metrics registry, checker phase timers and work counters
 //   analysis  — degree of adaptiveness, path counting
+//   lint      — wormnet-lint: compiler-style static diagnostics (WN0xx
+//               rules) over (topology, routing) pairs, with human/JSONL/
+//               SARIF renderers and a golden example matrix
 //   core      — verification façade, algorithm registry, deadlock witnesses
 #pragma once
 
@@ -32,6 +35,9 @@
 #include "wormnet/cwg/reduction.hpp"
 #include "wormnet/graph/cycles.hpp"
 #include "wormnet/graph/digraph.hpp"
+#include "wormnet/lint/engine.hpp"
+#include "wormnet/lint/examples.hpp"
+#include "wormnet/lint/render.hpp"
 #include "wormnet/obs/json.hpp"
 #include "wormnet/obs/metrics.hpp"
 #include "wormnet/obs/probe.hpp"

@@ -1,0 +1,295 @@
+// Renderer shape tests: the SARIF output must be structurally valid 2.1.0
+// (schema/version/runs/tool.driver.rules/results), JSONL must be one object
+// per line, and the human format must carry rule ids and witnesses.  A tiny
+// recursive-descent JSON reader keeps the tests dependency-free — the
+// library itself only ever writes JSON.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "wormnet/core/registry.hpp"
+#include "wormnet/lint/render.hpp"
+
+namespace wormnet {
+namespace {
+
+// ------------------------------------------------------- minimal JSON DOM
+
+struct JsonValue;
+using JsonObject = std::map<std::string, std::shared_ptr<JsonValue>>;
+using JsonArray = std::vector<std::shared_ptr<JsonValue>>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
+               JsonObject>
+      v;
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  std::shared_ptr<JsonValue> parse() {
+    auto value = parse_value();
+    skip_ws();
+    EXPECT_EQ(pos_, text_.size()) << "trailing bytes after JSON document";
+    return value;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    EXPECT_LT(pos_, text_.size()) << "unexpected end of JSON";
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  void expect(char c) {
+    EXPECT_EQ(peek(), c);
+    ++pos_;
+  }
+
+  std::shared_ptr<JsonValue> parse_value() {
+    auto out = std::make_shared<JsonValue>();
+    switch (peek()) {
+      case '{': {
+        JsonObject obj;
+        expect('{');
+        if (peek() != '}') {
+          do {
+            std::string key = parse_string();
+            expect(':');
+            obj[key] = parse_value();
+          } while (consume_comma('}'));
+        }
+        expect('}');
+        out->v = std::move(obj);
+        break;
+      }
+      case '[': {
+        JsonArray arr;
+        expect('[');
+        if (peek() != ']') {
+          do {
+            arr.push_back(parse_value());
+          } while (consume_comma(']'));
+        }
+        expect(']');
+        out->v = std::move(arr);
+        break;
+      }
+      case '"':
+        out->v = parse_string();
+        break;
+      case 't':
+        pos_ += 4;
+        out->v = true;
+        break;
+      case 'f':
+        pos_ += 5;
+        out->v = false;
+        break;
+      case 'n':
+        pos_ += 4;
+        out->v = nullptr;
+        break;
+      default: {
+        std::size_t end = pos_;
+        while (end < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[end])) ||
+                text_[end] == '-' || text_[end] == '+' || text_[end] == '.' ||
+                text_[end] == 'e' || text_[end] == 'E')) {
+          ++end;
+        }
+        out->v = std::stod(std::string(text_.substr(pos_, end - pos_)));
+        pos_ = end;
+        break;
+      }
+    }
+    return out;
+  }
+
+  bool consume_comma(char closer) {
+    if (peek() == ',') {
+      ++pos_;
+      return true;
+    }
+    EXPECT_EQ(peek(), closer);
+    return false;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'u':
+            pos_ += 4;  // tests never need the code point itself
+            out += '?';
+            break;
+          default: out += esc; break;
+        }
+      } else {
+        out += c;
+      }
+    }
+    expect('"');
+    return out;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+const JsonObject& as_object(const std::shared_ptr<JsonValue>& v) {
+  return std::get<JsonObject>(v->v);
+}
+const JsonArray& as_array(const std::shared_ptr<JsonValue>& v) {
+  return std::get<JsonArray>(v->v);
+}
+const std::string& as_string(const std::shared_ptr<JsonValue>& v) {
+  return std::get<std::string>(v->v);
+}
+
+std::vector<lint::LintUnit> lint_ring_units(
+    std::shared_ptr<topology::Topology>& topo_out) {
+  topo_out =
+      std::make_shared<topology::Topology>(core::make_topology("ring:8"));
+  const auto routing = core::make_algorithm("unrestricted", *topo_out);
+  lint::LintUnit unit;
+  unit.subject = "ring:8 unrestricted";
+  unit.topo = topo_out.get();
+  unit.result = lint::run_lint(*topo_out, *routing);
+  std::vector<lint::LintUnit> units;
+  units.push_back(std::move(unit));
+  return units;
+}
+
+// ------------------------------------------------------------------ SARIF
+
+TEST(LintRender, SarifShape) {
+  std::shared_ptr<topology::Topology> topo;
+  const auto units = lint_ring_units(topo);
+  std::ostringstream os;
+  lint::render_sarif(os, units);
+
+  const std::string text = os.str();
+  JsonParser parser(text);
+  const auto doc = parser.parse();
+  const JsonObject& root = as_object(doc);
+  ASSERT_TRUE(root.count("$schema"));
+  ASSERT_TRUE(root.count("version"));
+  EXPECT_EQ(as_string(root.at("version")), "2.1.0");
+
+  const JsonArray& runs = as_array(root.at("runs"));
+  ASSERT_EQ(runs.size(), 1u);
+  const JsonObject& run = as_object(runs[0]);
+
+  const JsonObject& driver =
+      as_object(as_object(run.at("tool")).at("driver"));
+  EXPECT_EQ(as_string(driver.at("name")), "wormnet-lint");
+  const JsonArray& rules = as_array(driver.at("rules"));
+  EXPECT_EQ(rules.size(), lint::all_rules().size());
+  for (const auto& rule : rules) {
+    const JsonObject& r = as_object(rule);
+    EXPECT_TRUE(r.count("id"));
+    EXPECT_TRUE(r.count("shortDescription"));
+    EXPECT_TRUE(r.count("defaultConfiguration"));
+  }
+
+  const JsonArray& results = as_array(run.at("results"));
+  ASSERT_FALSE(results.empty());
+  bool saw_wn002 = false;
+  for (const auto& result : results) {
+    const JsonObject& r = as_object(result);
+    ASSERT_TRUE(r.count("ruleId"));
+    ASSERT_TRUE(r.count("level"));
+    ASSERT_TRUE(r.count("message"));
+    EXPECT_TRUE(as_object(r.at("message")).count("text"));
+    const JsonArray& locations = as_array(r.at("locations"));
+    ASSERT_FALSE(locations.empty());
+    const JsonArray& logical =
+        as_array(as_object(locations[0]).at("logicalLocations"));
+    EXPECT_EQ(as_string(as_object(logical[0]).at("name")),
+              "ring:8 unrestricted");
+    if (as_string(r.at("ruleId")) == "WN002") {
+      saw_wn002 = true;
+      EXPECT_EQ(as_string(r.at("level")), "error");
+      // The concrete dependency-cycle witness rides in properties.cycle.
+      const JsonObject& properties = as_object(r.at("properties"));
+      EXPECT_EQ(as_array(properties.at("cycle")).size(), 8u);
+    }
+  }
+  EXPECT_TRUE(saw_wn002);
+}
+
+// ------------------------------------------------------------------ JSONL
+
+TEST(LintRender, JsonlOneValidObjectPerDiagnostic) {
+  std::shared_ptr<topology::Topology> topo;
+  const auto units = lint_ring_units(topo);
+  std::ostringstream os;
+  lint::render_jsonl(os, units);
+
+  std::istringstream lines(os.str());
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    JsonParser parser(line);
+    const auto doc = parser.parse();
+    const JsonObject& obj = as_object(doc);
+    EXPECT_TRUE(obj.count("subject"));
+    EXPECT_TRUE(obj.count("rule"));
+    EXPECT_TRUE(obj.count("severity"));
+    EXPECT_TRUE(obj.count("message"));
+    ++count;
+  }
+  EXPECT_EQ(count, units[0].result.diagnostics.size());
+}
+
+// ------------------------------------------------------------------ human
+
+TEST(LintRender, HumanNamesRuleAndWitness) {
+  std::shared_ptr<topology::Topology> topo;
+  const auto units = lint_ring_units(topo);
+  std::ostringstream os;
+  lint::render_human(os, units);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("[WN002 extended-cdg-cyclic]"), std::string::npos);
+  EXPECT_NE(text.find("note: witness:"), std::string::npos);
+  EXPECT_NE(text.find("error(s)"), std::string::npos);
+}
+
+TEST(LintRender, HumanCleanSummary) {
+  auto topo = std::make_shared<topology::Topology>(
+      core::make_topology("mesh:4x4:2"));
+  const auto routing = core::make_algorithm("duato-mesh", *topo);
+  lint::LintUnit unit;
+  unit.subject = "mesh:4x4:2 duato-mesh";
+  unit.topo = topo.get();
+  unit.result = lint::run_lint(*topo, *routing);
+  std::ostringstream os;
+  lint::render_human(os, {std::move(unit)});
+  EXPECT_NE(os.str().find("clean"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wormnet

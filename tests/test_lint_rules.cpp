@@ -1,0 +1,223 @@
+// Golden coverage for every WN0xx lint rule: each rule has at least one
+// configuration where it must fire (with the right witness) and the flagship
+// configurations where it must stay silent.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "wormnet/core/registry.hpp"
+#include "wormnet/lint/engine.hpp"
+#include "wormnet/lint/examples.hpp"
+#include "wormnet/routing/scripted.hpp"
+#include "wormnet/topology/builders.hpp"
+
+namespace wormnet {
+namespace {
+
+lint::LintResult lint_named(const std::string& spec,
+                            const std::string& algorithm) {
+  const topology::Topology topo = core::make_topology(spec);
+  const auto routing = core::make_algorithm(algorithm, topo);
+  return lint::run_lint(topo, *routing);
+}
+
+std::vector<const lint::Diagnostic*> find_all(const lint::LintResult& result,
+                                              const std::string& rule) {
+  std::vector<const lint::Diagnostic*> out;
+  for (const lint::Diagnostic& d : result.diagnostics) {
+    if (d.rule_id == rule) out.push_back(&d);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- flagship
+
+TEST(LintRules, DuatoMeshIsSpotless) {
+  const lint::LintResult result = lint_named("mesh:4x4:2", "duato-mesh");
+  EXPECT_TRUE(result.diagnostics.empty());
+  // All ten rules actually ran (none skipped by a filter).
+  EXPECT_EQ(result.timings.size(), lint::all_rules().size());
+}
+
+TEST(LintRules, DuatoAliasResolvesPerTopology) {
+  EXPECT_TRUE(lint_named("mesh:4x4:2", "duato").diagnostics.empty());
+  EXPECT_TRUE(lint_named("hypercube:3:2", "duato").diagnostics.empty());
+}
+
+// ------------------------------------------------------------------- WN002
+
+TEST(LintRules, RingWithoutDatelineProvenDeadlockable) {
+  const lint::LintResult result = lint_named("ring:8", "unrestricted");
+  const auto hits = find_all(result, "WN002");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0]->severity, lint::Severity::kError);
+  // 16 channels <= the lint search budget, so the verdict is a proof.
+  EXPECT_NE(hits[0]->message.find("exhaustive"), std::string::npos);
+  // The witness names the full unidirectional ring on vc0.
+  ASSERT_EQ(hits[0]->location.cycle.size(), 8u);
+  for (const lint::CycleEdge& edge : hits[0]->location.cycle) {
+    EXPECT_EQ(edge.kind, cdg::DepKind::kDirect);
+  }
+  // Edge i's head is edge i+1's tail: a closed cycle.
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(hits[0]->location.cycle[i].to,
+              hits[0]->location.cycle[(i + 1) % 8].from);
+  }
+}
+
+TEST(LintRules, MinimalNoEscapeAliasTriggersWN002) {
+  const lint::LintResult result = lint_named("ring:8", "minimal-noescape");
+  EXPECT_EQ(find_all(result, "WN002").size(), 1u);
+}
+
+TEST(LintRules, UncertifiedInScopeIsWarningNotError) {
+  // unrestricted on a 4x4 mesh with 1 VC: in scope, but 48 channels is past
+  // the exhaustive budget — the absence of a certificate must NOT be
+  // reported as a proof of deadlock.
+  const lint::LintResult result = lint_named("mesh:4x4", "unrestricted");
+  const auto hits = find_all(result, "WN002");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0]->severity, lint::Severity::kWarning);
+  EXPECT_NE(hits[0]->message.find("NOT certified"), std::string::npos);
+}
+
+// ------------------------------------------------------------------- WN004
+
+TEST(LintRules, IncoherentExampleFlagged) {
+  const lint::LintResult result = lint_named("incoherent", "incoherent");
+  const auto hits = find_all(result, "WN004");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0]->severity, lint::Severity::kWarning);
+  ASSERT_TRUE(hits[0]->location.dest.has_value());
+  EXPECT_EQ(*hits[0]->location.dest, 0u);
+  EXPECT_GE(hits[0]->location.channels.size(), 2u);
+}
+
+// ------------------------------------------------------------------- WN006
+
+TEST(LintRules, WaitSpecificIncoherentTrueCycleIsError) {
+  const lint::LintResult result =
+      lint_named("incoherent", "incoherent-specific");
+  const auto hits = find_all(result, "WN006");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0]->severity, lint::Severity::kError);
+  EXPECT_FALSE(hits[0]->location.channels.empty());
+}
+
+TEST(LintRules, EnhancedRelaxedTrueCycleIsError) {
+  const lint::LintResult result =
+      lint_named("hypercube:3:2", "enhanced-relaxed");
+  EXPECT_EQ(find_all(result, "WN006").size(), 1u);
+  // The restricted original stays error-free.
+  EXPECT_TRUE(lint_named("hypercube:3:2", "enhanced").clean(
+      lint::Severity::kError));
+}
+
+// ------------------------------------------------------------------- WN010
+
+TEST(LintRules, DatelineIdleVc1ChannelsReported) {
+  const lint::LintResult result = lint_named("ring:8:2", "dateline");
+  const auto hits = find_all(result, "WN010");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0]->severity, lint::Severity::kWarning);
+  EXPECT_FALSE(hits[0]->location.channels.empty());
+}
+
+// ------------------------------------------------------------------- WN011
+
+TEST(LintRules, UnrestrictedRingKeepsWrapCycleBothDirections) {
+  const lint::LintResult result = lint_named("ring:8", "unrestricted");
+  EXPECT_EQ(find_all(result, "WN011").size(), 2u);  // + and - direction
+}
+
+TEST(LintRules, DatelineCutsTheWrapCycle) {
+  const lint::LintResult result = lint_named("ring:8:2", "dateline");
+  EXPECT_TRUE(find_all(result, "WN011").empty());
+}
+
+// ------------------------------------------------------------------- WN020
+
+TEST(LintRules, SingleVcWrapTopologyWarned) {
+  const lint::LintResult result = lint_named("ring:8", "unrestricted");
+  EXPECT_EQ(find_all(result, "WN020").size(), 1u);
+}
+
+// ----------------------------------------------------- synthetic WN001/3/5
+
+TEST(LintRules, DeadEndRoutingTriggersWN001) {
+  // Table relation on a 1-D mesh that never routes leftward: node 1 cannot
+  // reach node 0, a connectivity hole with a concrete witness.
+  const topology::Topology topo = topology::make_mesh({4}, 1);
+  std::map<routing::TableRouting::Key, routing::ChannelSet> table;
+  for (topology::NodeId n = 0; n < topo.num_nodes(); ++n) {
+    for (topology::NodeId d = 0; d < topo.num_nodes(); ++d) {
+      if (d <= n) continue;
+      const auto next = topo.neighbor(n, 0, topology::Direction::kPos);
+      ASSERT_TRUE(next.has_value());
+      table[{topology::kInvalidChannel, n, d}] = {
+          topo.find_channel(n, *next)};
+    }
+  }
+  const routing::TableRouting routing(topo, "rightward-only",
+                                      std::move(table));
+  const lint::LintResult result = lint::run_lint(topo, routing);
+  const auto hits = find_all(result, "WN001");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0]->severity, lint::Severity::kError);
+}
+
+// ------------------------------------------------------------- rule filter
+
+TEST(LintEngine, RuleFilterRunsOnlySelection) {
+  const topology::Topology topo = core::make_topology("ring:8");
+  const auto routing = core::make_algorithm("unrestricted", topo);
+  lint::LintOptions options;
+  options.rules = {"WN020", "vc-count-sanity"};
+  const lint::LintResult result = lint::run_lint(topo, *routing, options);
+  EXPECT_EQ(result.timings.size(), 2u);
+  for (const lint::Diagnostic& d : result.diagnostics) {
+    EXPECT_EQ(d.rule_id, "WN020");
+  }
+  EXPECT_THROW(
+      (void)lint::run_lint(topo, *routing, {.rules = {"WN999"}}),
+      std::invalid_argument);
+}
+
+// -------------------------------------------------------------- the matrix
+
+TEST(LintExamples, MatrixCoversEveryRegisteredAlgorithm) {
+  for (const core::AlgorithmEntry& entry : core::all_algorithms()) {
+    const bool covered = std::any_of(
+        lint::example_matrix().begin(), lint::example_matrix().end(),
+        [&](const lint::ExampleExpectation& row) {
+          return row.algorithm == entry.name;
+        });
+    EXPECT_TRUE(covered) << "no lint example row for " << entry.name;
+  }
+}
+
+TEST(LintExamples, EveryRowMeetsItsExpectation) {
+  for (const lint::ExampleRun& run : lint::run_examples()) {
+    EXPECT_TRUE(run.passed) << run.subject << ": " << run.failure;
+  }
+}
+
+TEST(LintExamples, EveryRuleFiresSomewhereInTheCorpusOrSynthetics) {
+  // Guards against a rule silently never applying: each catalog id must be
+  // exercised by the matrix or by the synthetic cases above.
+  std::vector<std::string> fired;
+  for (const lint::ExampleRun& run : lint::run_examples()) {
+    for (const lint::Diagnostic& d : run.result.diagnostics) {
+      fired.push_back(d.rule_id);
+    }
+  }
+  for (const char* id : {"WN002", "WN004", "WN006", "WN010", "WN011",
+                         "WN020"}) {
+    EXPECT_TRUE(std::find(fired.begin(), fired.end(), id) != fired.end())
+        << id << " never fired across the example matrix";
+  }
+}
+
+}  // namespace
+}  // namespace wormnet
