@@ -1,0 +1,213 @@
+// wormnet-sweep: the parallel experiment engine CLI.
+//
+//   wormnet-sweep --grid "topo=mesh:4x4:2;routing=e-cube,duato;load=0.05:0.45:0.10;reps=4"
+//   wormnet-sweep --grid "topo=torus:8x8:3;routing=dateline,duato;pattern=uniform,tornado"
+//                 --threads 8 --out csv --output sweep.csv --progress
+//   wormnet-sweep --grid "..." --metrics-out metrics.json --cwg
+//
+// Output (stdout or --output FILE) is byte-identical for any --threads
+// value, including 1 — the determinism contract the test suite pins.
+//
+// Exit status: 0 = sweep ran (deadlocks on *uncertified* configs are data,
+//                  not errors),
+//              1 = a Duato-certified configuration deadlocked (the library
+//                  contradicting the theorem — always a bug),
+//              2 = usage or configuration error.
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "wormnet/exp/sweep_io.hpp"
+#include "wormnet/exp/sweep_runner.hpp"
+#include "wormnet/obs/metrics.hpp"
+
+namespace {
+
+using namespace wormnet;
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " --grid SPEC [options]\n"
+      << "\n"
+      << "grid spec: ';'-separated key=value clauses\n"
+      << "  topo=mesh:4x4:2,ring:8      topology specs (required)\n"
+      << "  routing=e-cube,duato        registry names / aliases (required)\n"
+      << "  pattern=uniform,transpose   traffic patterns (default uniform)\n"
+      << "  load=0.05,0.2 or lo:hi:step offered loads (default 0.1)\n"
+      << "  reps=N                      replications per cell (default 1)\n"
+      << "  seed=N                      base seed of the jump chain\n"
+      << "\n"
+      << "options:\n"
+      << "  --threads N        worker threads (default hardware, 1 = inline)\n"
+      << "  --out FORMAT       jsonl (default) | csv\n"
+      << "  --output FILE      write rows to FILE instead of stdout\n"
+      << "  --progress         live done/total counter on stderr\n"
+      << "  --cwg              also compute the CWG verdict per pair\n"
+      << "  --metrics-out FILE dump sweep.* metrics as JSON\n"
+      << "  --warmup/--measure/--drain N   sim methodology cycles\n"
+      << "  --packet-length N  flits per packet (default 8)\n"
+      << "  --buffer-depth N   flits per VC FIFO (default 4)\n"
+      << "  --summary          print the aggregate + timing to stderr\n";
+  return 2;
+}
+
+std::uint64_t parse_u64_arg(const char* argv0, const std::string& flag,
+                            const char* text, bool& ok) {
+  try {
+    std::size_t used = 0;
+    const unsigned long long v = std::stoull(text, &used);
+    if (used != std::string(text).size()) throw std::invalid_argument(text);
+    return v;
+  } catch (const std::exception&) {
+    std::cerr << argv0 << ": bad value for " << flag << ": " << text << "\n";
+    ok = false;
+    return 0;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string grid;
+  std::string out_format = "jsonl";
+  std::string output_path;
+  std::string metrics_path;
+  exp::RunnerOptions runner;
+  sim::SimConfig base;
+  bool progress = false;
+  bool summary = false;
+  bool ok = true;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << argv[0] << ": " << arg << " needs a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--grid") {
+      const char* v = value();
+      if (v == nullptr) return 2;
+      grid = v;
+    } else if (arg == "--threads") {
+      const char* v = value();
+      if (v == nullptr) return 2;
+      runner.threads = parse_u64_arg(argv[0], arg, v, ok);
+    } else if (arg == "--out") {
+      const char* v = value();
+      if (v == nullptr) return 2;
+      out_format = v;
+    } else if (arg == "--output") {
+      const char* v = value();
+      if (v == nullptr) return 2;
+      output_path = v;
+    } else if (arg == "--metrics-out") {
+      const char* v = value();
+      if (v == nullptr) return 2;
+      metrics_path = v;
+    } else if (arg == "--warmup") {
+      const char* v = value();
+      if (v == nullptr) return 2;
+      base.warmup_cycles = parse_u64_arg(argv[0], arg, v, ok);
+    } else if (arg == "--measure") {
+      const char* v = value();
+      if (v == nullptr) return 2;
+      base.measure_cycles = parse_u64_arg(argv[0], arg, v, ok);
+    } else if (arg == "--drain") {
+      const char* v = value();
+      if (v == nullptr) return 2;
+      base.drain_cycles = parse_u64_arg(argv[0], arg, v, ok);
+    } else if (arg == "--packet-length") {
+      const char* v = value();
+      if (v == nullptr) return 2;
+      base.packet_length =
+          static_cast<std::uint32_t>(parse_u64_arg(argv[0], arg, v, ok));
+    } else if (arg == "--buffer-depth") {
+      const char* v = value();
+      if (v == nullptr) return 2;
+      base.buffer_depth =
+          static_cast<std::uint32_t>(parse_u64_arg(argv[0], arg, v, ok));
+    } else if (arg == "--progress") {
+      progress = true;
+    } else if (arg == "--cwg") {
+      runner.with_cwg = true;
+    } else if (arg == "--summary") {
+      summary = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::cerr << argv[0] << ": unknown option " << arg << "\n";
+      return usage(argv[0]);
+    }
+  }
+  if (!ok) return 2;
+  if (grid.empty()) return usage(argv[0]);
+  if (out_format != "jsonl" && out_format != "csv") {
+    std::cerr << argv[0] << ": unknown --out format " << out_format << "\n";
+    return 2;
+  }
+
+  obs::MetricsRegistry metrics;
+  if (!metrics_path.empty()) runner.metrics = &metrics;
+  if (progress) {
+    runner.progress = [](std::size_t done, std::size_t total) {
+      std::cerr << "\r" << done << "/" << total << std::flush;
+      if (done == total) std::cerr << "\n";
+    };
+  }
+
+  exp::SweepOutcome outcome;
+  try {
+    exp::SweepSpec spec = exp::parse_grid(grid);
+    spec.base = base;
+    outcome = exp::run_sweep(spec, runner);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << argv[0] << ": " << e.what() << "\n";
+    return 2;
+  }
+
+  if (output_path.empty()) {
+    if (out_format == "jsonl") {
+      exp::write_jsonl(std::cout, outcome);
+    } else {
+      exp::write_csv(std::cout, outcome);
+    }
+  } else {
+    std::ofstream file(output_path, std::ios::binary);
+    if (!file) {
+      std::cerr << argv[0] << ": cannot open " << output_path << "\n";
+      return 2;
+    }
+    if (out_format == "jsonl") {
+      exp::write_jsonl(file, outcome);
+    } else {
+      exp::write_csv(file, outcome);
+    }
+  }
+
+  if (!metrics_path.empty()) {
+    std::ofstream file(metrics_path, std::ios::binary);
+    if (!file) {
+      std::cerr << argv[0] << ": cannot open " << metrics_path << "\n";
+      return 2;
+    }
+    metrics.write_json(file);
+    file << "\n";
+  }
+
+  if (summary) {
+    std::cerr << outcome.aggregate.points << " points ("
+              << outcome.cache_misses << " analysed pairs, "
+              << outcome.skipped.size() << " skipped combos) in "
+              << outcome.wall_ms << " ms; " << outcome.aggregate.deadlocks
+              << " deadlocks (" << outcome.aggregate.certified_deadlocks
+              << " on certified configs)\n";
+  }
+  for (const std::string& skip : outcome.skipped) {
+    std::cerr << argv[0] << ": note: skipped inapplicable " << skip << "\n";
+  }
+  return outcome.aggregate.certified_deadlocks == 0 ? 0 : 1;
+}

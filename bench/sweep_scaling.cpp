@@ -1,0 +1,109 @@
+// EXP-SWEEP — thread-scaling of the parallel sweep engine.
+//
+// Runs the reference grid (3 algorithms × 4 loads × 4 replications on an
+// 8x8 2-VC mesh = 48 points) at 1, 2, 4, ... threads up to the hardware,
+// checks the engine's determinism contract on the fly (every thread count
+// must render byte-identical JSONL), and writes the speedup curve to
+// BENCH_sweep.json.  The acceptance bar for the engine is >= 3x at 8
+// threads; shard-level parallelism with a memoized AnalysisCache should
+// clear it comfortably since points are embarrassingly parallel.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "wormnet/exp/sweep_io.hpp"
+#include "wormnet/exp/sweep_runner.hpp"
+#include "wormnet/obs/json.hpp"
+
+namespace {
+
+using namespace wormnet;
+
+constexpr const char* kGrid =
+    "topo=mesh:8x8:2;routing=e-cube,west-first,duato;"
+    "load=0.10:0.40:0.10;reps=4;seed=7";
+
+exp::SweepSpec reference_spec() {
+  exp::SweepSpec spec = exp::parse_grid(kGrid);
+  spec.base.warmup_cycles = 300;
+  spec.base.measure_cycles = 1500;
+  spec.base.drain_cycles = 6000;
+  return spec;
+}
+
+std::string render(const exp::SweepOutcome& outcome) {
+  std::ostringstream os;
+  exp::write_jsonl(os, outcome);
+  return os.str();
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "EXP-SWEEP: sweep engine thread scaling\n";
+  const exp::SweepSpec spec = reference_spec();
+
+  std::size_t hardware = std::thread::hardware_concurrency();
+  if (hardware == 0) hardware = 1;
+  // Always sweep 1..8 threads even when the host has fewer cores: the
+  // byte-identical check must hold under oversubscription too, and
+  // hardware_threads in the JSON tells a reader how to interpret the
+  // speedup column (expect ~1x beyond the core count).
+  std::vector<std::size_t> thread_counts{1, 2, 4, 8};
+  for (std::size_t t = 16; t <= hardware; t *= 2) thread_counts.push_back(t);
+
+  struct Row {
+    std::size_t threads;
+    double wall_ms;
+    std::size_t points;
+  };
+  std::vector<Row> rows;
+  std::string reference_render;
+  bool deterministic = true;
+
+  for (const std::size_t threads : thread_counts) {
+    exp::RunnerOptions options;
+    options.threads = threads;
+    const exp::SweepOutcome outcome = exp::run_sweep(spec, options);
+    const std::string rendered = render(outcome);
+    if (reference_render.empty()) {
+      reference_render = rendered;
+    } else if (rendered != reference_render) {
+      deterministic = false;
+      std::cerr << "DETERMINISM VIOLATION at " << threads << " threads\n";
+    }
+    rows.push_back({threads, outcome.wall_ms, outcome.results.size()});
+    std::cout << "  threads=" << threads << "  wall=" << outcome.wall_ms
+              << " ms  speedup=" << rows.front().wall_ms / outcome.wall_ms
+              << "\n";
+  }
+
+  std::ofstream file("BENCH_sweep.json", std::ios::binary);
+  obs::JsonWriter w(file);
+  w.begin_object();
+  w.field("bench", "sweep_scaling");
+  w.field("grid", kGrid);
+  w.field("points", static_cast<std::uint64_t>(rows.front().points));
+  w.field("hardware_threads", static_cast<std::uint64_t>(hardware));
+  w.field("byte_identical", deterministic);
+  w.key("results");
+  w.begin_array();
+  for (const Row& row : rows) {
+    w.begin_object();
+    w.field("threads", static_cast<std::uint64_t>(row.threads));
+    w.field("wall_ms", row.wall_ms);
+    w.field("speedup", rows.front().wall_ms / row.wall_ms);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  file << "\n";
+
+  std::cout << "wrote BENCH_sweep.json ("
+            << (deterministic ? "outputs byte-identical across thread counts"
+                              : "DETERMINISM VIOLATION")
+            << ")\n";
+  return deterministic ? 0 : 1;
+}

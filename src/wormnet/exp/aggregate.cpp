@@ -1,0 +1,80 @@
+#include "wormnet/exp/aggregate.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "wormnet/obs/json.hpp"
+
+namespace wormnet::exp {
+
+void Aggregate::add(const sim::SimStats& stats, bool certified) {
+  ++points;
+  if (stats.deadlocked) ++deadlocks;
+  if (stats.saturated) ++saturated;
+  if (certified) ++certified_points;
+  if (certified && stats.deadlocked) ++certified_deadlocks;
+
+  packets_created += stats.packets_created;
+  packets_delivered += stats.packets_delivered;
+  measured_delivered += stats.measured_delivered;
+  cycles_run += stats.cycles_run;
+
+  const double weight = static_cast<double>(stats.measured_delivered);
+  latency_weight += weight;
+  latency_sum += stats.avg_latency * weight;
+  throughput_sum += stats.accepted_throughput;
+  offered_sum += stats.offered_load;
+  worst_p99 = std::max(worst_p99, stats.p99_latency);
+  max_hops = std::max(max_hops, stats.max_hops);
+}
+
+void Aggregate::merge(const Aggregate& other) {
+  points += other.points;
+  deadlocks += other.deadlocks;
+  saturated += other.saturated;
+  certified_points += other.certified_points;
+  certified_deadlocks += other.certified_deadlocks;
+
+  packets_created += other.packets_created;
+  packets_delivered += other.packets_delivered;
+  measured_delivered += other.measured_delivered;
+  cycles_run += other.cycles_run;
+
+  latency_weight += other.latency_weight;
+  latency_sum += other.latency_sum;
+  throughput_sum += other.throughput_sum;
+  offered_sum += other.offered_sum;
+  worst_p99 = std::max(worst_p99, other.worst_p99);
+  max_hops = std::max(max_hops, other.max_hops);
+}
+
+void Aggregate::write_json(std::ostream& os) const {
+  obs::JsonWriter w(os);
+  w.begin_object();
+  write_fields(w);
+  w.end_object();
+}
+
+void Aggregate::write_fields(obs::JsonWriter& w) const {
+  w.field("points", points);
+  w.field("deadlocks", deadlocks);
+  w.field("saturated", saturated);
+  w.field("certified_points", certified_points);
+  w.field("certified_deadlocks", certified_deadlocks);
+  w.field("packets_created", packets_created);
+  w.field("packets_delivered", packets_delivered);
+  w.field("measured_delivered", measured_delivered);
+  w.field("cycles_run", cycles_run);
+  w.field("mean_latency", mean_latency());
+  w.field("mean_throughput", mean_throughput());
+  w.field("worst_p99", worst_p99);
+  w.field("max_hops", max_hops);
+}
+
+std::string Aggregate::to_json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+}  // namespace wormnet::exp

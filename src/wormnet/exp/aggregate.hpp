@@ -1,0 +1,68 @@
+// The sweep's deterministic reduction: a monoid over per-point results.
+//
+// merge() is associative with the default-constructed Aggregate as
+// identity — integer fields exactly, floating-point sums up to the usual
+// reordering rounding (the metamorphic tests pin this down).  The runner
+// therefore always folds results in canonical point order, which makes the
+// aggregate — like the per-point rows — independent of thread count and
+// completion order.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "wormnet/sim/stats.hpp"
+
+namespace wormnet::obs {
+class JsonWriter;
+}
+
+namespace wormnet::exp {
+
+struct Aggregate {
+  std::uint64_t points = 0;
+  std::uint64_t deadlocks = 0;
+  std::uint64_t saturated = 0;
+  std::uint64_t certified_points = 0;
+  /// Deadlocks observed on Duato-certified configurations.  Anything but
+  /// zero means the implementation contradicts the theorem.
+  std::uint64_t certified_deadlocks = 0;
+
+  std::uint64_t packets_created = 0;
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t measured_delivered = 0;
+  std::uint64_t cycles_run = 0;
+
+  // Per-point scalar sums (divide by `points` for grid means); latency is
+  // weighted by each point's measured deliveries so it reads as a latency
+  // over packets, not over grid cells.
+  double latency_weight = 0.0;
+  double latency_sum = 0.0;
+  double throughput_sum = 0.0;
+  double offered_sum = 0.0;
+  double worst_p99 = 0.0;
+  std::uint32_t max_hops = 0;
+
+  /// Folds one point's outcome in.
+  void add(const sim::SimStats& stats, bool certified);
+
+  /// Folds another aggregate in (associative; {} is the identity).
+  void merge(const Aggregate& other);
+
+  [[nodiscard]] double mean_latency() const {
+    return latency_weight > 0.0 ? latency_sum / latency_weight : 0.0;
+  }
+  [[nodiscard]] double mean_throughput() const {
+    return points > 0 ? throughput_sum / static_cast<double>(points) : 0.0;
+  }
+
+  /// One JSON object (deterministic field order and number formatting).
+  void write_json(std::ostream& os) const;
+  [[nodiscard]] std::string to_json() const;
+  /// Emits the fields into a writer whose enclosing object is already open
+  /// (lets callers nest the aggregate without a second writer).
+  void write_fields(obs::JsonWriter& w) const;
+};
+
+}  // namespace wormnet::exp

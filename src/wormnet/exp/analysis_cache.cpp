@@ -1,0 +1,51 @@
+#include "wormnet/exp/analysis_cache.hpp"
+
+#include "wormnet/core/registry.hpp"
+#include "wormnet/core/verifier.hpp"
+
+namespace wormnet::exp {
+
+const AnalysisEntry& AnalysisCache::get(const std::string& topo_spec,
+                                        const std::string& routing) {
+  const std::string key = topo_spec + "|" + routing;
+  Slot* slot = nullptr;
+  {
+    std::lock_guard lock(registry_mutex_);
+    auto& owned = slots_[key];
+    if (!owned) owned = std::make_unique<Slot>();
+    slot = owned.get();
+  }
+  // Fast path: already published (acquire pairs with the release below).
+  if (slot->ready.load(std::memory_order_acquire)) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return slot->entry;
+  }
+  std::lock_guard fill_lock(slot->fill);
+  if (slot->ready.load(std::memory_order_acquire)) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return slot->entry;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+
+  AnalysisEntry entry;
+  entry.topo = std::make_shared<const topology::Topology>(
+      core::make_topology(topo_spec));
+  entry.routing = core::canonical_algorithm_name(routing, *entry.topo);
+  const auto algorithm = core::make_algorithm(entry.routing, *entry.topo);
+
+  core::VerifyOptions options;
+  options.method = core::Method::kDuato;
+  entry.duato = core::verify(*entry.topo, *algorithm, options);
+  entry.certified =
+      entry.duato.conclusion == core::Conclusion::kDeadlockFree;
+  if (with_cwg_) {
+    options.method = core::Method::kCwg;
+    entry.cwg = core::verify(*entry.topo, *algorithm, options);
+  }
+
+  slot->entry = std::move(entry);
+  slot->ready.store(true, std::memory_order_release);
+  return slot->entry;
+}
+
+}  // namespace wormnet::exp

@@ -1,0 +1,68 @@
+// Memoized static analysis for sweep grids.
+//
+// A sweep visits each (topology, routing) pair once per pattern × load ×
+// replication, but CDG construction and the Duato / CWG verdicts depend
+// only on the pair itself.  The cache computes them once per key and shares
+// the result across every point and every worker thread; on the reference
+// grids this turns thousands of checker invocations into a handful.
+//
+// Thread safety: keyed slots are created under a registry mutex, then each
+// slot is filled under its own mutex — so two workers asking for the same
+// uncached key block on that key only, while different keys compute
+// concurrently.  Results are immutable once published.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "wormnet/core/verdict.hpp"
+#include "wormnet/topology/topology.hpp"
+
+namespace wormnet::exp {
+
+struct AnalysisEntry {
+  std::shared_ptr<const topology::Topology> topo;
+  std::string routing;  ///< canonical registry name
+  core::Verdict duato;  ///< Method::kDuato verdict
+  core::Verdict cwg;    ///< Method::kCwg verdict (kUnknown when disabled)
+  /// True iff the Duato checker proved the pair deadlock-free — the
+  /// certification the differential tests compare simulator behaviour
+  /// against (a deadlock on a certified pair falsifies the theorem or,
+  /// far more likely, the implementation).
+  bool certified = false;
+};
+
+class AnalysisCache {
+ public:
+  /// `with_cwg` additionally runs the channel-waiting-graph reduction per
+  /// key; off by default because sweeps only need the Duato certification.
+  explicit AnalysisCache(bool with_cwg = false) : with_cwg_(with_cwg) {}
+
+  /// Returns the entry for (topology spec, canonical routing name),
+  /// computing it on first use.  The reference stays valid for the cache's
+  /// lifetime.  Throws std::invalid_argument for specs/names that do not
+  /// resolve (expand() normally filters these out beforehand).
+  const AnalysisEntry& get(const std::string& topo_spec,
+                           const std::string& routing);
+
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+
+ private:
+  struct Slot {
+    std::mutex fill;
+    std::atomic<bool> ready{false};
+    AnalysisEntry entry;
+  };
+
+  bool with_cwg_;
+  std::mutex registry_mutex_;
+  std::map<std::string, std::unique_ptr<Slot>> slots_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace wormnet::exp

@@ -1,0 +1,95 @@
+#include "wormnet/exp/sweep_io.hpp"
+
+#include "wormnet/obs/json.hpp"
+#include "wormnet/sim/traffic.hpp"
+
+namespace wormnet::exp {
+
+void write_jsonl(std::ostream& os, const SweepOutcome& outcome) {
+  for (const SweepResult& r : outcome.results) {
+    obs::JsonWriter w(os);
+    w.begin_object();
+    w.field("i", static_cast<std::uint64_t>(r.point.index));
+    w.field("topology", r.point.topology);
+    w.field("routing", r.point.routing);
+    w.field("pattern", sim::to_string(r.point.pattern));
+    w.field("load", r.point.load);
+    w.field("rep", r.point.replication);
+    w.field("seed", r.point.seed);
+    w.field("certified", r.certified);
+    w.field("duato", core::to_string(r.duato));
+    w.field("cwg", core::to_string(r.cwg));
+    w.field("deadlocked", r.stats.deadlocked);
+    if (r.stats.deadlocked) {
+      w.field("deadlock_cycle", r.stats.deadlock.cycle);
+      w.field("deadlock_watchdog", r.stats.deadlock.from_watchdog);
+    }
+    w.field("saturated", r.stats.saturated);
+    w.field("packets_created", r.stats.packets_created);
+    w.field("packets_delivered", r.stats.packets_delivered);
+    w.field("measured_delivered", r.stats.measured_delivered);
+    w.field("avg_latency", r.stats.avg_latency);
+    w.field("p50_latency", r.stats.p50_latency);
+    w.field("p99_latency", r.stats.p99_latency);
+    w.field("avg_network_latency", r.stats.avg_network_latency);
+    w.field("offered_load", r.stats.offered_load);
+    w.field("accepted_throughput", r.stats.accepted_throughput);
+    w.field("avg_channel_utilization", r.stats.avg_channel_utilization);
+    w.field("max_channel_utilization", r.stats.max_channel_utilization);
+    w.field("max_hops", r.stats.max_hops);
+    w.field("cycles_run", r.stats.cycles_run);
+    w.end_object();
+    os << "\n";
+  }
+  {
+    obs::JsonWriter w(os);
+    w.begin_object();
+    w.key("aggregate");
+    w.begin_object();
+    outcome.aggregate.write_fields(w);
+    w.end_object();
+    w.key("skipped");
+    w.begin_array();
+    for (const std::string& s : outcome.skipped) w.string(s);
+    w.end_array();
+    w.key("cache");
+    w.begin_object();
+    w.field("hits", outcome.cache_hits);
+    w.field("misses", outcome.cache_misses);
+    w.end_object();
+    w.end_object();
+    os << "\n";
+  }
+}
+
+void write_csv(std::ostream& os, const SweepOutcome& outcome) {
+  os << "i,topology,routing,pattern,load,rep,seed,certified,duato,cwg,"
+        "deadlocked,saturated,packets_created,packets_delivered,"
+        "measured_delivered,avg_latency,p50_latency,p99_latency,"
+        "avg_network_latency,offered_load,accepted_throughput,"
+        "avg_channel_utilization,max_channel_utilization,max_hops,"
+        "cycles_run\n";
+  for (const SweepResult& r : outcome.results) {
+    // Topology specs and registry names contain no commas/quotes, so plain
+    // comma joining is RFC-4180 safe.
+    os << r.point.index << ',' << r.point.topology << ',' << r.point.routing
+       << ',' << sim::to_string(r.point.pattern) << ','
+       << obs::json_double(r.point.load) << ',' << r.point.replication << ','
+       << r.point.seed << ',' << (r.certified ? 1 : 0) << ','
+       << core::to_string(r.duato) << ',' << core::to_string(r.cwg) << ','
+       << (r.stats.deadlocked ? 1 : 0) << ',' << (r.stats.saturated ? 1 : 0)
+       << ',' << r.stats.packets_created << ',' << r.stats.packets_delivered
+       << ',' << r.stats.measured_delivered << ','
+       << obs::json_double(r.stats.avg_latency) << ','
+       << obs::json_double(r.stats.p50_latency) << ','
+       << obs::json_double(r.stats.p99_latency) << ','
+       << obs::json_double(r.stats.avg_network_latency) << ','
+       << obs::json_double(r.stats.offered_load) << ','
+       << obs::json_double(r.stats.accepted_throughput) << ','
+       << obs::json_double(r.stats.avg_channel_utilization) << ','
+       << obs::json_double(r.stats.max_channel_utilization) << ','
+       << r.stats.max_hops << ',' << r.stats.cycles_run << "\n";
+  }
+}
+
+}  // namespace wormnet::exp

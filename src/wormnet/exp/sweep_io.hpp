@@ -1,0 +1,25 @@
+// Sweep output writers: JSONL and CSV, both deterministic.
+//
+// Rows appear in canonical point order with obs-style number formatting
+// (shortest round-trip doubles), so two runs of the same spec — at any
+// thread counts — produce byte-identical files.  Wall-clock time and other
+// environment-dependent values are deliberately excluded; cache hit/miss
+// counts are included because they are spec-determined (one miss per unique
+// (topology, routing) key, hits = points - misses).
+#pragma once
+
+#include <ostream>
+
+#include "wormnet/exp/sweep_runner.hpp"
+
+namespace wormnet::exp {
+
+/// One JSON object per point, then one trailing summary object
+/// ({"aggregate":…,"skipped":…,"cache":…}).
+void write_jsonl(std::ostream& os, const SweepOutcome& outcome);
+
+/// RFC-4180-style CSV: a header row then one row per point.  The aggregate
+/// is not embedded (CSV consumers recompute or read the JSONL).
+void write_csv(std::ostream& os, const SweepOutcome& outcome);
+
+}  // namespace wormnet::exp

@@ -1,0 +1,72 @@
+// The parallel sweep engine.
+//
+// run_sweep() expands a SweepSpec, shards the points in contiguous chunks
+// across a util::ThreadPool, runs one flit-level simulation per point, and
+// reduces the results deterministically:
+//
+//   * every point's simulation seed comes from its canonical index (a
+//     jump()-derived Xoshiro256 stream, see sweep_spec.hpp) — never from
+//     the executing thread;
+//   * per-point results land in a pre-sized vector slot, so completion
+//     order is irrelevant;
+//   * the Aggregate is folded in canonical point order after the pool
+//     drains — never concurrently.
+//
+// Consequence (pinned by tests/test_sweep_determinism.cpp): the outcome of
+// a sweep — every row and the aggregate — is byte-identical for any thread
+// count, including 1.
+//
+// Static analysis (Duato certification, optionally CWG) is memoized per
+// (topology, routing) key in an AnalysisCache shared by all workers, so the
+// checkers run once per pair instead of once per point.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "wormnet/core/verdict.hpp"
+#include "wormnet/exp/aggregate.hpp"
+#include "wormnet/exp/analysis_cache.hpp"
+#include "wormnet/exp/sweep_spec.hpp"
+#include "wormnet/obs/metrics.hpp"
+
+namespace wormnet::exp {
+
+struct SweepResult {
+  SweepPoint point;
+  sim::SimStats stats;
+  core::Conclusion duato = core::Conclusion::kUnknown;
+  core::Conclusion cwg = core::Conclusion::kUnknown;
+  bool certified = false;  ///< Duato proved the pair deadlock-free
+};
+
+struct RunnerOptions {
+  /// Worker threads; 0 = hardware concurrency, 1 = run inline (no pool).
+  std::size_t threads = 0;
+  /// Points per pool task; 0 picks a chunk size that gives each worker
+  /// several chunks (tail-latency smoothing without per-point overhead).
+  std::size_t chunk = 0;
+  /// Run the CWG reduction per (topology, routing) key as well.
+  bool with_cwg = false;
+  /// Borrowed; populated after the parallel phase (counters `sweep.*`).
+  /// Null = disabled.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Progress callback, invoked from worker threads under a mutex as each
+  /// point finishes.  Keep it cheap; null = disabled.
+  std::function<void(std::size_t done, std::size_t total)> progress;
+};
+
+struct SweepOutcome {
+  std::vector<SweepResult> results;    ///< canonical point order
+  std::vector<std::string> skipped;    ///< inapplicable grid combos
+  Aggregate aggregate;                 ///< canonical-order fold of results
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  double wall_ms = 0.0;  ///< not part of the deterministic surface
+};
+
+[[nodiscard]] SweepOutcome run_sweep(const SweepSpec& spec,
+                                     const RunnerOptions& options = {});
+
+}  // namespace wormnet::exp

@@ -1,0 +1,193 @@
+#include "wormnet/exp/sweep_spec.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "wormnet/core/registry.hpp"
+#include "wormnet/util/rng.hpp"
+
+namespace wormnet::exp {
+namespace {
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::istringstream stream(text);
+  std::string part;
+  while (std::getline(stream, part, sep)) {
+    if (!part.empty()) out.push_back(part);
+  }
+  return out;
+}
+
+double parse_double(const std::string& text, const std::string& what) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("sweep grid: bad " + what + " '" + text +
+                                "'");
+  }
+}
+
+std::uint64_t parse_u64(const std::string& text, const std::string& what) {
+  try {
+    std::size_t used = 0;
+    const unsigned long long v = std::stoull(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("sweep grid: bad " + what + " '" + text +
+                                "'");
+  }
+}
+
+/// "0.05:0.45:0.10" -> {0.05, 0.15, ..., 0.45}; "a,b,c" -> {a, b, c}.
+std::vector<double> parse_loads(const std::string& clause) {
+  const auto range = split(clause, ':');
+  if (range.size() == 3) {
+    const double lo = parse_double(range[0], "load");
+    const double hi = parse_double(range[1], "load");
+    const double step = parse_double(range[2], "load step");
+    if (step <= 0.0 || hi < lo) {
+      throw std::invalid_argument("sweep grid: bad load range '" + clause +
+                                  "'");
+    }
+    std::vector<double> out;
+    // Integer stepping avoids drift deciding whether `hi` itself is hit.
+    const auto steps = static_cast<std::size_t>((hi - lo) / step + 1e-9);
+    for (std::size_t i = 0; i <= steps; ++i) {
+      out.push_back(lo + static_cast<double>(i) * step);
+    }
+    return out;
+  }
+  std::vector<double> out;
+  for (const auto& part : split(clause, ',')) {
+    out.push_back(parse_double(part, "load"));
+  }
+  if (out.empty()) throw std::invalid_argument("sweep grid: empty load list");
+  return out;
+}
+
+}  // namespace
+
+ExpandedSweep expand(const SweepSpec& spec) {
+  if (spec.topologies.empty()) {
+    throw std::invalid_argument("sweep: no topologies");
+  }
+  if (spec.routings.empty()) {
+    throw std::invalid_argument("sweep: no routings");
+  }
+  if (spec.loads.empty()) throw std::invalid_argument("sweep: no loads");
+  if (spec.patterns.empty()) throw std::invalid_argument("sweep: no patterns");
+  if (spec.replications == 0) {
+    throw std::invalid_argument("sweep: replications must be >= 1");
+  }
+
+  ExpandedSweep out;
+  // The seed stream: point i uses the first output of the i-times-jumped
+  // generator.  Jumps are cumulative, so expansion is O(points), and the
+  // assignment depends only on canonical order — not on sharding.
+  util::Xoshiro256 stream(spec.seed);
+  for (const auto& topo_spec : spec.topologies) {
+    const topology::Topology topo = core::make_topology(topo_spec);
+    for (const auto& routing : spec.routings) {
+      std::string canonical;
+      try {
+        canonical = core::canonical_algorithm_name(routing, topo);
+      } catch (const std::invalid_argument&) {
+        // Alias with no applicable construction here (e.g. "duato" on a
+        // topology without a duato-* variant): a skip, not an error.
+        out.skipped.push_back(topo_spec + " × " + routing);
+        continue;
+      }
+      const auto& algorithms = core::all_algorithms();
+      const auto entry = std::find_if(
+          algorithms.begin(), algorithms.end(),
+          [&](const core::AlgorithmEntry& e) { return e.name == canonical; });
+      if (entry == algorithms.end()) {
+        throw std::invalid_argument("sweep: unknown routing '" + routing +
+                                    "'");
+      }
+      if (!entry->applicable(topo)) {
+        out.skipped.push_back(topo_spec + " × " + routing);
+        continue;
+      }
+      for (const sim::Pattern pattern : spec.patterns) {
+        for (const double load : spec.loads) {
+          for (std::uint32_t rep = 0; rep < spec.replications; ++rep) {
+            SweepPoint point;
+            point.index = out.points.size();
+            point.topology = topo_spec;
+            point.routing = canonical;
+            point.pattern = pattern;
+            point.load = load;
+            point.replication = rep;
+            point.seed = util::Xoshiro256(stream)();  // copy; stream stays
+            stream.jump();
+            out.points.push_back(std::move(point));
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+SweepSpec parse_grid(const std::string& text) {
+  SweepSpec spec;
+  spec.patterns.clear();
+  spec.loads.clear();
+  for (const auto& clause : split(text, ';')) {
+    const auto eq = clause.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("sweep grid: clause '" + clause +
+                                  "' is not key=value");
+    }
+    const std::string key = clause.substr(0, eq);
+    const std::string value = clause.substr(eq + 1);
+    if (value.empty()) {
+      throw std::invalid_argument("sweep grid: empty value for '" + key +
+                                  "'");
+    }
+    if (key == "topo" || key == "topology") {
+      spec.topologies = split(value, ',');
+    } else if (key == "routing") {
+      spec.routings = split(value, ',');
+    } else if (key == "pattern") {
+      for (const auto& name : split(value, ',')) {
+        const auto pattern = sim::pattern_from_string(name);
+        if (!pattern) {
+          throw std::invalid_argument("sweep grid: unknown pattern '" + name +
+                                      "'");
+        }
+        spec.patterns.push_back(*pattern);
+      }
+    } else if (key == "load") {
+      spec.loads = parse_loads(value);
+    } else if (key == "reps") {
+      spec.replications =
+          static_cast<std::uint32_t>(parse_u64(value, "reps"));
+      if (spec.replications == 0) {
+        throw std::invalid_argument("sweep grid: reps must be >= 1");
+      }
+    } else if (key == "seed") {
+      spec.seed = parse_u64(value, "seed");
+    } else {
+      throw std::invalid_argument("sweep grid: unknown key '" + key + "'");
+    }
+  }
+  if (spec.patterns.empty()) spec.patterns = {sim::Pattern::kUniform};
+  if (spec.loads.empty()) spec.loads = {0.1};
+  if (spec.topologies.empty()) {
+    throw std::invalid_argument("sweep grid: missing topo=");
+  }
+  if (spec.routings.empty()) {
+    throw std::invalid_argument("sweep grid: missing routing=");
+  }
+  return spec;
+}
+
+}  // namespace wormnet::exp

@@ -13,6 +13,11 @@ void LatencyAccumulator::add(double total, double network) {
   network_sum_ += network;
 }
 
+void LatencyAccumulator::merge(const LatencyAccumulator& other) {
+  total_.insert(total_.end(), other.total_.begin(), other.total_.end());
+  network_sum_ += other.network_sum_;
+}
+
 void LatencyAccumulator::finalize(SimStats& stats) {
   if (total_.empty()) {
     // No delivered measured packets (deadlock before delivery, zero offered

@@ -65,6 +65,13 @@ struct SimStats {
 class LatencyAccumulator {
  public:
   void add(double total, double network);
+  /// Absorbs another accumulator's samples.  Because finalize() sorts, the
+  /// merge is exactly order-independent: splitting a sample set into any
+  /// partition, merging, and finalizing is bit-identical to accumulating the
+  /// whole set in one pass — the property the parallel sweep reduction and
+  /// its metamorphic tests rely on.  The default-constructed accumulator is
+  /// the merge identity.
+  void merge(const LatencyAccumulator& other);
   [[nodiscard]] std::size_t count() const noexcept { return total_.size(); }
   /// Computes avg/percentiles into `stats` (sorts internally).  Percentiles
   /// use linear interpolation between closest ranks; with zero samples all

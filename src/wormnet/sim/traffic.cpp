@@ -6,6 +6,17 @@
 
 namespace wormnet::sim {
 
+std::optional<Pattern> pattern_from_string(const std::string& name) {
+  static constexpr Pattern kAll[] = {
+      Pattern::kUniform,  Pattern::kTranspose, Pattern::kBitComplement,
+      Pattern::kBitReverse, Pattern::kShuffle, Pattern::kTornado,
+      Pattern::kHotspot};
+  for (Pattern p : kAll) {
+    if (name == to_string(p)) return p;
+  }
+  return std::nullopt;
+}
+
 const char* to_string(Pattern pattern) {
   switch (pattern) {
     case Pattern::kUniform:

@@ -31,6 +31,11 @@ enum class Pattern : std::uint8_t {
 
 [[nodiscard]] const char* to_string(Pattern pattern);
 
+/// Inverse of to_string (exact names: "uniform", "transpose", ...);
+/// nullopt for unknown names.  Used by CLI / sweep-grid parsing.
+[[nodiscard]] std::optional<Pattern> pattern_from_string(
+    const std::string& name);
+
 class TrafficGenerator {
  public:
   TrafficGenerator(const Topology& topo, Pattern pattern, std::uint64_t seed,

@@ -24,12 +24,18 @@ ThreadPool::~ThreadPool() {
   for (auto& worker : workers_) worker.join();
 }
 
-void ThreadPool::submit(std::function<void()> task) {
+bool ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard lock(mutex_);
+    // Once the destructor has flagged shutdown, workers are only draining
+    // what is already queued; accepting more work here would race the join
+    // (the task might or might not run depending on scheduling).  Reject
+    // instead, so late submitters get a deterministic answer.
+    if (stop_) return false;
     queue_.push(std::move(task));
   }
   cv_work_.notify_one();
+  return true;
 }
 
 void ThreadPool::wait_idle() {

@@ -21,14 +21,18 @@ class ThreadPool {
   /// Spawns `threads` workers (defaults to hardware concurrency, min 1).
   explicit ThreadPool(std::size_t threads = 0);
 
-  /// Drains outstanding work, then joins all workers.
+  /// Drains outstanding work, then joins all workers.  Tasks submitted
+  /// after destruction begins are rejected (submit returns false), never
+  /// silently dropped or raced against the worker join.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task.  Tasks must not throw; exceptions terminate.
-  void submit(std::function<void()> task);
+  /// Returns false — deterministically, without enqueueing — once shutdown
+  /// has begun; a task observing false must not expect the work to run.
+  [[nodiscard]] bool submit(std::function<void()> task);
 
   /// Blocks until every submitted task has finished executing.
   void wait_idle();

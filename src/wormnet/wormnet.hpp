@@ -10,6 +10,10 @@
 //   obs       — structured event tracing (JSONL / Chrome trace_event),
 //               metrics registry, checker phase timers and work counters
 //   analysis  — degree of adaptiveness, path counting
+//   exp       — deterministic parallel sweep engine: cartesian experiment
+//               grids sharded over the thread pool with jump-derived RNG
+//               streams, memoized checker verdicts, order-independent
+//               reduction, JSONL/CSV export
 //   lint      — wormnet-lint: compiler-style static diagnostics (WN0xx
 //               rules) over (topology, routing) pairs, with human/JSONL/
 //               SARIF renderers and a golden example matrix
@@ -31,6 +35,11 @@
 #include "wormnet/core/verifier.hpp"
 #include "wormnet/core/witness.hpp"
 #include "wormnet/cwg/cwg_builder.hpp"
+#include "wormnet/exp/aggregate.hpp"
+#include "wormnet/exp/analysis_cache.hpp"
+#include "wormnet/exp/sweep_io.hpp"
+#include "wormnet/exp/sweep_runner.hpp"
+#include "wormnet/exp/sweep_spec.hpp"
 #include "wormnet/cwg/cycle_classify.hpp"
 #include "wormnet/cwg/reduction.hpp"
 #include "wormnet/graph/cycles.hpp"

@@ -3,8 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
+#include <map>
 #include <memory>
 #include <string>
+#include <variant>
+#include <vector>
 
 #include "wormnet/wormnet.hpp"
 
@@ -13,6 +17,165 @@ namespace wormnet::test {
 using topology::ChannelId;
 using topology::NodeId;
 using topology::Topology;
+
+// ------------------------------------------------------- minimal JSON DOM
+//
+// A tiny recursive-descent JSON reader shared by every test that checks a
+// renderer (lint SARIF/JSONL, sweep JSONL, metrics dumps).  Deliberately a
+// test-only tool: the library itself only ever *writes* JSON.
+
+struct JsonValue;
+using JsonObject = std::map<std::string, std::shared_ptr<JsonValue>>;
+using JsonArray = std::vector<std::shared_ptr<JsonValue>>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
+               JsonObject>
+      v;
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  std::shared_ptr<JsonValue> parse() {
+    auto value = parse_value();
+    skip_ws();
+    EXPECT_EQ(pos_, text_.size()) << "trailing bytes after JSON document";
+    return value;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    EXPECT_LT(pos_, text_.size()) << "unexpected end of JSON";
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  void expect(char c) {
+    EXPECT_EQ(peek(), c);
+    ++pos_;
+  }
+
+  std::shared_ptr<JsonValue> parse_value() {
+    auto out = std::make_shared<JsonValue>();
+    switch (peek()) {
+      case '{': {
+        JsonObject obj;
+        expect('{');
+        if (peek() != '}') {
+          do {
+            std::string key = parse_string();
+            expect(':');
+            obj[key] = parse_value();
+          } while (consume_comma('}'));
+        }
+        expect('}');
+        out->v = std::move(obj);
+        break;
+      }
+      case '[': {
+        JsonArray arr;
+        expect('[');
+        if (peek() != ']') {
+          do {
+            arr.push_back(parse_value());
+          } while (consume_comma(']'));
+        }
+        expect(']');
+        out->v = std::move(arr);
+        break;
+      }
+      case '"':
+        out->v = parse_string();
+        break;
+      case 't':
+        pos_ += 4;
+        out->v = true;
+        break;
+      case 'f':
+        pos_ += 5;
+        out->v = false;
+        break;
+      case 'n':
+        pos_ += 4;
+        out->v = nullptr;
+        break;
+      default: {
+        std::size_t end = pos_;
+        while (end < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[end])) ||
+                text_[end] == '-' || text_[end] == '+' || text_[end] == '.' ||
+                text_[end] == 'e' || text_[end] == 'E')) {
+          ++end;
+        }
+        out->v = std::stod(std::string(text_.substr(pos_, end - pos_)));
+        pos_ = end;
+        break;
+      }
+    }
+    return out;
+  }
+
+  bool consume_comma(char closer) {
+    if (peek() == ',') {
+      ++pos_;
+      return true;
+    }
+    EXPECT_EQ(peek(), closer);
+    return false;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'u':
+            pos_ += 4;  // tests never need the code point itself
+            out += '?';
+            break;
+          default: out += esc; break;
+        }
+      } else {
+        out += c;
+      }
+    }
+    expect('"');
+    return out;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+inline const JsonObject& as_object(const std::shared_ptr<JsonValue>& v) {
+  return std::get<JsonObject>(v->v);
+}
+inline const JsonArray& as_array(const std::shared_ptr<JsonValue>& v) {
+  return std::get<JsonArray>(v->v);
+}
+inline const std::string& as_string(const std::shared_ptr<JsonValue>& v) {
+  return std::get<std::string>(v->v);
+}
+inline double as_number(const std::shared_ptr<JsonValue>& v) {
+  return std::get<double>(v->v);
+}
+inline bool as_bool(const std::shared_ptr<JsonValue>& v) {
+  return std::get<bool>(v->v);
+}
 
 /// Checks that `routing` delivers every (src, dst) pair: from every reachable
 /// state the destination is reachable in the state graph, and every state

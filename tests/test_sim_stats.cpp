@@ -107,6 +107,73 @@ TEST(LatencyAccumulator, PercentilesInterpolateBetweenClosestRanks) {
   EXPECT_DOUBLE_EQ(five.p99_latency, 4.96);  // rank 3.96
 }
 
+// Metamorphic property behind the sweep engine's deterministic reduction:
+// accumulating a sample set in one pass and accumulating any partition of it
+// then merging must finalize to bit-identical statistics (finalize sorts, so
+// sample order cancels out).  Exercised across the PR 1 edge cases: empty +
+// empty, empty + one, one + one, and a general split.
+TEST(LatencyAccumulator, MergeOfPartitionsEqualsSinglePass) {
+  const std::vector<std::pair<double, double>> samples{
+      {20.0, 18.0}, {10.0, 9.0}, {5.0, 5.0}, {30.0, 24.0}, {15.0, 12.0}};
+  for (std::size_t split = 0; split <= samples.size(); ++split) {
+    LatencyAccumulator full;
+    LatencyAccumulator left;
+    LatencyAccumulator right;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      full.add(samples[i].first, samples[i].second);
+      (i < split ? left : right).add(samples[i].first, samples[i].second);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), full.count());
+    SimStats merged_stats;
+    SimStats full_stats;
+    left.finalize(merged_stats);
+    full.finalize(full_stats);
+    EXPECT_EQ(merged_stats.avg_latency, full_stats.avg_latency);
+    EXPECT_EQ(merged_stats.p50_latency, full_stats.p50_latency);
+    EXPECT_EQ(merged_stats.p99_latency, full_stats.p99_latency);
+    EXPECT_EQ(merged_stats.avg_network_latency,
+              full_stats.avg_network_latency);
+  }
+}
+
+TEST(LatencyAccumulator, MergeEdgeCasesEmptyAndSingle) {
+  {  // empty + empty = empty: every field zeroed (the n=0 edge case)
+    LatencyAccumulator a;
+    LatencyAccumulator b;
+    a.merge(b);
+    SimStats stats;
+    stats.avg_latency = 7.0;
+    a.finalize(stats);
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_EQ(stats.avg_latency, 0.0);
+    EXPECT_EQ(stats.p99_latency, 0.0);
+  }
+  {  // empty + one = one: every percentile is that sample (the n=1 case)
+    LatencyAccumulator a;
+    LatencyAccumulator b;
+    b.add(10.0, 8.0);
+    a.merge(b);
+    SimStats stats;
+    a.finalize(stats);
+    EXPECT_DOUBLE_EQ(stats.avg_latency, 10.0);
+    EXPECT_DOUBLE_EQ(stats.p50_latency, 10.0);
+    EXPECT_DOUBLE_EQ(stats.p99_latency, 10.0);
+    EXPECT_DOUBLE_EQ(stats.avg_network_latency, 8.0);
+  }
+  {  // one + one: interpolation kicks in exactly as a two-sample single pass
+    LatencyAccumulator a;
+    LatencyAccumulator b;
+    a.add(20.0, 18.0);
+    b.add(10.0, 9.0);
+    a.merge(b);
+    SimStats stats;
+    a.finalize(stats);
+    EXPECT_DOUBLE_EQ(stats.p50_latency, 15.0);
+    EXPECT_DOUBLE_EQ(stats.p99_latency, 10.0 + 0.99 * 10.0);
+  }
+}
+
 TEST(SimStatsExtra, ToJsonCoversEveryField) {
   const topology::Topology topo = make_mesh({3, 3});
   const routing::DimensionOrder routing(topo);

@@ -1,0 +1,141 @@
+// The sweep engine's headline guarantee: a sweep's entire observable
+// outcome — every JSONL/CSV byte — is independent of thread count, chunk
+// size, and completion order.  These tests run the same spec through the
+// inline path (threads=1, the reference), the pooled path at several
+// widths, and adversarial chunking, and require byte equality throughout.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "test_helpers.hpp"
+#include "wormnet/exp/sweep_io.hpp"
+#include "wormnet/exp/sweep_runner.hpp"
+
+namespace wormnet::exp {
+namespace {
+
+SweepSpec reference_spec() {
+  SweepSpec spec;
+  spec.topologies = {"mesh:4x4:2", "ring:8"};
+  spec.routings = {"e-cube", "duato", "unrestricted"};
+  spec.loads = {0.1, 0.35};
+  spec.patterns = {sim::Pattern::kUniform, sim::Pattern::kTranspose};
+  spec.replications = 2;
+  spec.seed = 2026;
+  spec.base.warmup_cycles = 100;
+  spec.base.measure_cycles = 600;
+  spec.base.drain_cycles = 2500;
+  return spec;
+}
+
+std::string render_jsonl(const SweepOutcome& outcome) {
+  std::ostringstream os;
+  write_jsonl(os, outcome);
+  return os.str();
+}
+
+std::string render_csv(const SweepOutcome& outcome) {
+  std::ostringstream os;
+  write_csv(os, outcome);
+  return os.str();
+}
+
+TEST(SweepDeterminism, OutputByteIdenticalAcrossThreadCounts) {
+  const SweepSpec spec = reference_spec();
+
+  RunnerOptions inline_options;
+  inline_options.threads = 1;
+  const SweepOutcome reference = run_sweep(spec, inline_options);
+  ASSERT_FALSE(reference.results.empty());
+  const std::string reference_jsonl = render_jsonl(reference);
+  const std::string reference_csv = render_csv(reference);
+
+  for (const std::size_t threads : {2u, 3u, 8u}) {
+    RunnerOptions options;
+    options.threads = threads;
+    const SweepOutcome outcome = run_sweep(spec, options);
+    EXPECT_EQ(render_jsonl(outcome), reference_jsonl)
+        << "JSONL diverged at " << threads << " threads";
+    EXPECT_EQ(render_csv(outcome), reference_csv)
+        << "CSV diverged at " << threads << " threads";
+  }
+}
+
+TEST(SweepDeterminism, OutputByteIdenticalAcrossChunkSizes) {
+  const SweepSpec spec = reference_spec();
+
+  RunnerOptions one_point_chunks;  // maximal interleaving
+  one_point_chunks.threads = 4;
+  one_point_chunks.chunk = 1;
+  RunnerOptions giant_chunks;  // degenerate: one worker does everything
+  giant_chunks.threads = 4;
+  giant_chunks.chunk = 1000000;
+
+  const std::string a = render_jsonl(run_sweep(spec, one_point_chunks));
+  const std::string b = render_jsonl(run_sweep(spec, giant_chunks));
+  EXPECT_EQ(a, b);
+}
+
+TEST(SweepDeterminism, RepeatedRunsAreIdentical) {
+  const SweepSpec spec = reference_spec();
+  RunnerOptions options;
+  options.threads = 6;
+  const std::string first = render_jsonl(run_sweep(spec, options));
+  const std::string second = render_jsonl(run_sweep(spec, options));
+  EXPECT_EQ(first, second);
+}
+
+TEST(SweepDeterminism, SeedsDependOnCanonicalIndexOnly) {
+  const SweepSpec spec = reference_spec();
+  const ExpandedSweep a = expand(spec);
+  const ExpandedSweep b = expand(spec);
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_EQ(a.points[i].index, i);
+    EXPECT_EQ(a.points[i].seed, b.points[i].seed);
+  }
+  // Jump-derived streams: all per-point seeds distinct.
+  std::set<std::uint64_t> seeds;
+  for (const SweepPoint& p : a.points) seeds.insert(p.seed);
+  EXPECT_EQ(seeds.size(), a.points.size());
+}
+
+TEST(SweepDeterminism, BaseSeedChangesEveryPointSeed) {
+  SweepSpec spec = reference_spec();
+  const ExpandedSweep a = expand(spec);
+  spec.seed += 1;
+  const ExpandedSweep b = expand(spec);
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_NE(a.points[i].seed, b.points[i].seed) << "point " << i;
+  }
+}
+
+TEST(SweepDeterminism, SkippedCombosAreDeterministicAndReported) {
+  const SweepSpec spec = reference_spec();
+  RunnerOptions options;
+  options.threads = 4;
+  const SweepOutcome outcome = run_sweep(spec, options);
+  // ring:8 has no e-cube (needs a cube topology) and no duato-* variant.
+  const std::vector<std::string> expected{"ring:8 × e-cube",
+                                          "ring:8 × duato"};
+  EXPECT_EQ(outcome.skipped, expected);
+}
+
+TEST(SweepDeterminism, CacheCountsAreSpecDetermined) {
+  const SweepSpec spec = reference_spec();
+  RunnerOptions options;
+  options.threads = 8;
+  const SweepOutcome outcome = run_sweep(spec, options);
+  // Unique applicable (topology, routing) pairs: mesh × {e-cube, duato,
+  // unrestricted} + ring × {unrestricted} = 4, regardless of scheduling.
+  EXPECT_EQ(outcome.cache_misses, 4u);
+  EXPECT_EQ(outcome.cache_hits + outcome.cache_misses,
+            outcome.results.size());
+}
+
+}  // namespace
+}  // namespace wormnet::exp

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <numeric>
 #include <vector>
 
@@ -13,7 +14,7 @@ TEST(ThreadPool, RunsAllSubmittedTasks) {
   ThreadPool pool(4);
   std::atomic<int> counter{0};
   for (int i = 0; i < 100; ++i) {
-    pool.submit([&counter] { counter.fetch_add(1); });
+    ASSERT_TRUE(pool.submit([&counter] { counter.fetch_add(1); }));
   }
   pool.wait_idle();
   EXPECT_EQ(counter.load(), 100);
@@ -29,12 +30,44 @@ TEST(ThreadPool, TasksCanSubmitResults) {
   ThreadPool pool(3);
   std::vector<int> results(50, 0);
   for (int i = 0; i < 50; ++i) {
-    pool.submit([&results, i] { results[i] = i * i; });
+    ASSERT_TRUE(pool.submit([&results, i] { results[i] = i * i; }));
   }
   pool.wait_idle();
   for (int i = 0; i < 50; ++i) {
     EXPECT_EQ(results[i], i * i);
   }
+}
+
+// Regression: submitting from a still-running task while the pool is being
+// destroyed must be rejected deterministically (submit returns false), not
+// race the worker join.  The in-flight task keeps resubmitting until the
+// destructor flags shutdown; because the destructor drains the queue before
+// joining, the loop terminates exactly when submit first returns false.
+TEST(ThreadPool, SubmitDuringDestructionIsRejected) {
+  std::atomic<bool> saw_rejection{false};
+  {
+    ThreadPool pool(2);
+    ASSERT_TRUE(pool.submit([&pool, &saw_rejection] {
+      while (pool.submit([] {})) {
+        std::this_thread::yield();
+      }
+      saw_rejection = true;
+    }));
+    // Destructor runs here while the task above is still spinning.
+  }
+  EXPECT_TRUE(saw_rejection.load());
+}
+
+TEST(ThreadPool, QueuedTasksStillDrainOnDestruction) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 32; ++i) {
+      ASSERT_TRUE(pool.submit([&counter] { counter.fetch_add(1); }));
+    }
+  }
+  // ~ThreadPool drains outstanding work before joining.
+  EXPECT_EQ(counter.load(), 32);
 }
 
 TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
