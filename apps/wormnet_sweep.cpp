@@ -4,13 +4,17 @@
 //   wormnet-sweep --grid "topo=torus:8x8:3;routing=dateline,duato;pattern=uniform,tornado"
 //                 --threads 8 --out csv --output sweep.csv --progress
 //   wormnet-sweep --grid "..." --metrics-out metrics.json --cwg
+//   wormnet-sweep --grid "topo=mesh:4x4:2;routing=duato;fault=kill:5-6@500"
+//                 --recovery abort-retry --retry-budget 4
 //
 // Output (stdout or --output FILE) is byte-identical for any --threads
 // value, including 1 — the determinism contract the test suite pins.
 //
 // Exit status: 0 = sweep ran (deadlocks on *uncertified* configs are data,
-//                  not errors),
-//              1 = a Duato-certified configuration deadlocked (the library
+//                  not errors; so are drops on uncertified fault epochs),
+//              1 = a certified configuration deadlocked — certified meaning
+//                  the pristine pair passed the Duato check AND every fault
+//                  epoch's degraded relation re-certified (the library
 //                  contradicting the theorem — always a bug),
 //              2 = usage or configuration error.
 #include <fstream>
@@ -19,6 +23,7 @@
 
 #include "wormnet/exp/sweep_io.hpp"
 #include "wormnet/exp/sweep_runner.hpp"
+#include "wormnet/ft/recovery.hpp"
 #include "wormnet/obs/metrics.hpp"
 
 namespace {
@@ -32,6 +37,9 @@ int usage(const char* argv0) {
       << "grid spec: ';'-separated key=value clauses\n"
       << "  topo=mesh:4x4:2,ring:8      topology specs (required)\n"
       << "  routing=e-cube,duato        registry names / aliases (required)\n"
+      << "  fault=none,kill:5-6@250     fault plans (default none); events\n"
+      << "                              joined by '+': kill/repair:SRC-DST@C,\n"
+      << "                              killch/repairch:CH@C, rand:N/SEED@C\n"
       << "  pattern=uniform,transpose   traffic patterns (default uniform)\n"
       << "  load=0.05,0.2 or lo:hi:step offered loads (default 0.1)\n"
       << "  reps=N                      replications per cell (default 1)\n"
@@ -47,6 +55,13 @@ int usage(const char* argv0) {
       << "  --warmup/--measure/--drain N   sim methodology cycles\n"
       << "  --packet-length N  flits per packet (default 8)\n"
       << "  --buffer-depth N   flits per VC FIFO (default 4)\n"
+      << "  --fault-plan PLAN  shorthand for a single-plan fault axis\n"
+      << "                     (equivalent to fault=PLAN in the grid)\n"
+      << "  --recovery POLICY  halt (default) | abort-retry | drain\n"
+      << "  --retry-budget N   aborts per packet before dropping (default 8)\n"
+      << "  --packet-timeout N per-packet no-progress cycles before abort\n"
+      << "                     (default 0 = inherit --watchdog)\n"
+      << "  --watchdog N       global no-progress threshold (default 4000)\n"
       << "  --summary          print the aggregate + timing to stderr\n";
   return 2;
 }
@@ -69,6 +84,7 @@ std::uint64_t parse_u64_arg(const char* argv0, const std::string& flag,
 
 int main(int argc, char** argv) {
   std::string grid;
+  std::string fault_plan;
   std::string out_format = "jsonl";
   std::string output_path;
   std::string metrics_path;
@@ -129,6 +145,33 @@ int main(int argc, char** argv) {
       if (v == nullptr) return 2;
       base.buffer_depth =
           static_cast<std::uint32_t>(parse_u64_arg(argv[0], arg, v, ok));
+    } else if (arg == "--fault-plan") {
+      const char* v = value();
+      if (v == nullptr) return 2;
+      fault_plan = v;
+    } else if (arg == "--recovery") {
+      const char* v = value();
+      if (v == nullptr) return 2;
+      const auto policy = ft::recovery_from_string(v);
+      if (!policy) {
+        std::cerr << argv[0] << ": unknown --recovery policy " << v
+                  << " (expected halt | abort-retry | drain)\n";
+        return 2;
+      }
+      base.recovery.policy = *policy;
+    } else if (arg == "--retry-budget") {
+      const char* v = value();
+      if (v == nullptr) return 2;
+      base.recovery.retry_budget =
+          static_cast<std::uint32_t>(parse_u64_arg(argv[0], arg, v, ok));
+    } else if (arg == "--packet-timeout") {
+      const char* v = value();
+      if (v == nullptr) return 2;
+      base.recovery.packet_timeout = parse_u64_arg(argv[0], arg, v, ok);
+    } else if (arg == "--watchdog") {
+      const char* v = value();
+      if (v == nullptr) return 2;
+      base.watchdog_cycles = parse_u64_arg(argv[0], arg, v, ok);
     } else if (arg == "--progress") {
       progress = true;
     } else if (arg == "--cwg") {
@@ -162,6 +205,7 @@ int main(int argc, char** argv) {
   exp::SweepOutcome outcome;
   try {
     exp::SweepSpec spec = exp::parse_grid(grid);
+    if (!fault_plan.empty()) spec.fault_plans = {fault_plan};
     spec.base = base;
     outcome = exp::run_sweep(spec, runner);
   } catch (const std::invalid_argument& e) {
@@ -204,7 +248,15 @@ int main(int argc, char** argv) {
               << outcome.skipped.size() << " skipped combos) in "
               << outcome.wall_ms << " ms; " << outcome.aggregate.deadlocks
               << " deadlocks (" << outcome.aggregate.certified_deadlocks
-              << " on certified configs)\n";
+              << " on certified configs)";
+    if (outcome.aggregate.packets_aborted > 0 ||
+        outcome.aggregate.packets_dropped > 0) {
+      std::cerr << "; recovery: " << outcome.aggregate.packets_aborted
+                << " aborts, " << outcome.aggregate.recovered_packets
+                << " recovered, " << outcome.aggregate.packets_dropped
+                << " dropped";
+    }
+    std::cerr << "\n";
   }
   for (const std::string& skip : outcome.skipped) {
     std::cerr << argv[0] << ": note: skipped inapplicable " << skip << "\n";

@@ -19,6 +19,12 @@ void Aggregate::add(const sim::SimStats& stats, bool certified) {
   measured_delivered += stats.measured_delivered;
   cycles_run += stats.cycles_run;
 
+  fault_epochs += stats.fault_epochs;
+  packets_aborted += stats.packets_aborted;
+  packets_retried += stats.packets_retried;
+  packets_dropped += stats.packets_dropped;
+  recovered_packets += stats.recovered_packets;
+
   const double weight = static_cast<double>(stats.measured_delivered);
   latency_weight += weight;
   latency_sum += stats.avg_latency * weight;
@@ -39,6 +45,12 @@ void Aggregate::merge(const Aggregate& other) {
   packets_delivered += other.packets_delivered;
   measured_delivered += other.measured_delivered;
   cycles_run += other.cycles_run;
+
+  fault_epochs += other.fault_epochs;
+  packets_aborted += other.packets_aborted;
+  packets_retried += other.packets_retried;
+  packets_dropped += other.packets_dropped;
+  recovered_packets += other.recovered_packets;
 
   latency_weight += other.latency_weight;
   latency_sum += other.latency_sum;
@@ -65,6 +77,11 @@ void Aggregate::write_fields(obs::JsonWriter& w) const {
   w.field("packets_delivered", packets_delivered);
   w.field("measured_delivered", measured_delivered);
   w.field("cycles_run", cycles_run);
+  w.field("fault_epochs", fault_epochs);
+  w.field("packets_aborted", packets_aborted);
+  w.field("packets_retried", packets_retried);
+  w.field("packets_dropped", packets_dropped);
+  w.field("recovered_packets", recovered_packets);
   w.field("mean_latency", mean_latency());
   w.field("mean_throughput", mean_throughput());
   w.field("worst_p99", worst_p99);

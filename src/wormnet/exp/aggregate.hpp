@@ -34,6 +34,13 @@ struct Aggregate {
   std::uint64_t measured_delivered = 0;
   std::uint64_t cycles_run = 0;
 
+  // Resilience sums (all zero on fault-free sweeps under the halt policy).
+  std::uint64_t fault_epochs = 0;
+  std::uint64_t packets_aborted = 0;
+  std::uint64_t packets_retried = 0;
+  std::uint64_t packets_dropped = 0;
+  std::uint64_t recovered_packets = 0;
+
   // Per-point scalar sums (divide by `points` for grid means); latency is
   // weighted by each point's measured deliveries so it reads as a latency
   // over packets, not over grid cells.

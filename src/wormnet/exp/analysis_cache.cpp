@@ -2,6 +2,8 @@
 
 #include "wormnet/core/registry.hpp"
 #include "wormnet/core/verifier.hpp"
+#include "wormnet/ft/fault_plan.hpp"
+#include "wormnet/routing/fault.hpp"
 
 namespace wormnet::exp {
 
@@ -42,6 +44,51 @@ const AnalysisEntry& AnalysisCache::get(const std::string& topo_spec,
     options.method = core::Method::kCwg;
     entry.cwg = core::verify(*entry.topo, *algorithm, options);
   }
+
+  slot->entry = std::move(entry);
+  slot->ready.store(true, std::memory_order_release);
+  return slot->entry;
+}
+
+const AnalysisEntry& AnalysisCache::get_degraded(
+    const std::string& topo_spec, const std::string& routing,
+    const std::vector<bool>& mask) {
+  const std::string key =
+      topo_spec + "|" + routing + "|" + ft::mask_to_hex(mask);
+  Slot* slot = nullptr;
+  {
+    std::lock_guard lock(registry_mutex_);
+    auto& owned = slots_[key];
+    if (!owned) owned = std::make_unique<Slot>();
+    slot = owned.get();
+  }
+  if (slot->ready.load(std::memory_order_acquire)) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return slot->entry;
+  }
+  std::lock_guard fill_lock(slot->fill);
+  if (slot->ready.load(std::memory_order_acquire)) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return slot->entry;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+
+  // The pristine entry shares the topology and resolves the canonical name;
+  // get() is safe to call here (it only ever takes registry_mutex_ and its
+  // own slot's fill mutex, never this one).
+  const AnalysisEntry& base = get(topo_spec, routing);
+
+  AnalysisEntry entry;
+  entry.topo = base.topo;
+  entry.routing = base.routing;
+  routing::FaultAwareRouting degraded(
+      *entry.topo, core::make_algorithm(entry.routing, *entry.topo), mask);
+
+  core::VerifyOptions options;
+  options.method = core::Method::kDuato;
+  entry.duato = core::verify(*entry.topo, degraded, options);
+  entry.certified =
+      entry.duato.conclusion == core::Conclusion::kDeadlockFree;
 
   slot->entry = std::move(entry);
   slot->ready.store(true, std::memory_order_release);

@@ -17,6 +17,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "wormnet/core/verdict.hpp"
 #include "wormnet/topology/topology.hpp"
@@ -47,6 +48,16 @@ class AnalysisCache {
   /// resolve (expand() normally filters these out beforehand).
   const AnalysisEntry& get(const std::string& topo_spec,
                            const std::string& routing);
+
+  /// Like get(), but for the relation degraded by a fault mask (`mask[c]`
+  /// marks channel c dead): the verdict of FaultAwareRouting over the base
+  /// algorithm.  Keyed by (topo spec, routing, mask), so a sweep re-verifies
+  /// each distinct fault epoch exactly once no matter how many points —
+  /// or threads — pass through it.  CWG analysis is never run for degraded
+  /// relations (epoch certification only needs the Duato verdict).
+  const AnalysisEntry& get_degraded(const std::string& topo_spec,
+                                    const std::string& routing,
+                                    const std::vector<bool>& mask);
 
   [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
   [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }

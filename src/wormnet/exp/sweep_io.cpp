@@ -16,9 +16,12 @@ void write_jsonl(std::ostream& os, const SweepOutcome& outcome) {
     w.field("load", r.point.load);
     w.field("rep", r.point.replication);
     w.field("seed", r.point.seed);
+    w.field("fault", r.point.fault_plan.empty() ? "none" : r.point.fault_plan);
     w.field("certified", r.certified);
     w.field("duato", core::to_string(r.duato));
     w.field("cwg", core::to_string(r.cwg));
+    w.field("fault_epochs", r.fault_epochs);
+    w.field("uncertified_epochs", r.uncertified_epochs);
     w.field("deadlocked", r.stats.deadlocked);
     if (r.stats.deadlocked) {
       w.field("deadlock_cycle", r.stats.deadlock.cycle);
@@ -28,6 +31,10 @@ void write_jsonl(std::ostream& os, const SweepOutcome& outcome) {
     w.field("packets_created", r.stats.packets_created);
     w.field("packets_delivered", r.stats.packets_delivered);
     w.field("measured_delivered", r.stats.measured_delivered);
+    w.field("packets_aborted", r.stats.packets_aborted);
+    w.field("packets_retried", r.stats.packets_retried);
+    w.field("packets_dropped", r.stats.packets_dropped);
+    w.field("recovered_packets", r.stats.recovered_packets);
     w.field("avg_latency", r.stats.avg_latency);
     w.field("p50_latency", r.stats.p50_latency);
     w.field("p99_latency", r.stats.p99_latency);
@@ -63,23 +70,31 @@ void write_jsonl(std::ostream& os, const SweepOutcome& outcome) {
 }
 
 void write_csv(std::ostream& os, const SweepOutcome& outcome) {
-  os << "i,topology,routing,pattern,load,rep,seed,certified,duato,cwg,"
-        "deadlocked,saturated,packets_created,packets_delivered,"
-        "measured_delivered,avg_latency,p50_latency,p99_latency,"
+  os << "i,topology,routing,pattern,load,rep,seed,fault,certified,duato,cwg,"
+        "fault_epochs,uncertified_epochs,deadlocked,saturated,"
+        "packets_created,packets_delivered,measured_delivered,"
+        "packets_aborted,packets_retried,packets_dropped,recovered_packets,"
+        "avg_latency,p50_latency,p99_latency,"
         "avg_network_latency,offered_load,accepted_throughput,"
         "avg_channel_utilization,max_channel_utilization,max_hops,"
         "cycles_run\n";
   for (const SweepResult& r : outcome.results) {
-    // Topology specs and registry names contain no commas/quotes, so plain
-    // comma joining is RFC-4180 safe.
+    // Topology specs, registry names, and fault-plan texts contain no
+    // commas/quotes ('+' joins plan events precisely so the grid and CSV
+    // grammars stay comma-free), so plain comma joining is RFC-4180 safe.
     os << r.point.index << ',' << r.point.topology << ',' << r.point.routing
        << ',' << sim::to_string(r.point.pattern) << ','
        << obs::json_double(r.point.load) << ',' << r.point.replication << ','
-       << r.point.seed << ',' << (r.certified ? 1 : 0) << ','
+       << r.point.seed << ','
+       << (r.point.fault_plan.empty() ? "none" : r.point.fault_plan) << ','
+       << (r.certified ? 1 : 0) << ','
        << core::to_string(r.duato) << ',' << core::to_string(r.cwg) << ','
+       << r.fault_epochs << ',' << r.uncertified_epochs << ','
        << (r.stats.deadlocked ? 1 : 0) << ',' << (r.stats.saturated ? 1 : 0)
        << ',' << r.stats.packets_created << ',' << r.stats.packets_delivered
        << ',' << r.stats.measured_delivered << ','
+       << r.stats.packets_aborted << ',' << r.stats.packets_retried << ','
+       << r.stats.packets_dropped << ',' << r.stats.recovered_packets << ','
        << obs::json_double(r.stats.avg_latency) << ','
        << obs::json_double(r.stats.p50_latency) << ','
        << obs::json_double(r.stats.p99_latency) << ','

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "wormnet/core/registry.hpp"
+#include "wormnet/ft/fault_plan.hpp"
 #include "wormnet/util/thread_pool.hpp"
 
 namespace wormnet::exp {
@@ -30,10 +31,34 @@ SweepResult run_point(const SweepSpec& spec, const SweepPoint& point,
 
   SweepResult result;
   result.point = point;
+
+  // Fault axis: compile the plan against this point's topology (expand()
+  // already validated it) and certify every degraded epoch before running.
+  // The compiled plan is borrowed by the config, so it must outlive the
+  // sim::run call below.
+  ft::CompiledFaultPlan compiled;
+  if (point.fault_plan != "none" && !point.fault_plan.empty()) {
+    compiled =
+        ft::compile(ft::parse_fault_plan(point.fault_plan), *analysis.topo);
+    if (!compiled.empty()) {
+      cfg.fault_plan = &compiled;
+      const auto masks = compiled.epoch_masks();
+      // masks[0] is the pristine network — that verdict is `analysis`
+      // itself; only the degraded epochs need a re-check.
+      for (std::size_t e = 1; e < masks.size(); ++e) {
+        const AnalysisEntry& epoch =
+            cache.get_degraded(point.topology, point.routing, masks[e]);
+        ++result.fault_epochs;
+        if (!epoch.certified) ++result.uncertified_epochs;
+      }
+      result.epochs_certified = result.uncertified_epochs == 0;
+    }
+  }
+
   result.stats = sim::run(*analysis.topo, *routing, cfg);
   result.duato = analysis.duato.conclusion;
   result.cwg = analysis.cwg.conclusion;
-  result.certified = analysis.certified;
+  result.certified = analysis.certified && result.epochs_certified;
   return result;
 }
 
@@ -48,6 +73,20 @@ void export_metrics(obs::MetricsRegistry& metrics, const SweepOutcome& out) {
       .set(out.aggregate.certified_deadlocks);
   metrics.counter("sweep.cache_hits").set(out.cache_hits);
   metrics.counter("sweep.cache_misses").set(out.cache_misses);
+  // Resilience counters only appear on sweeps that exercised faults or
+  // recovery; fault-free metric dumps stay byte-identical to pre-ft ones.
+  if (out.aggregate.fault_epochs > 0 || out.aggregate.packets_aborted > 0 ||
+      out.aggregate.packets_dropped > 0) {
+    metrics.counter("sweep.fault_epochs").set(out.aggregate.fault_epochs);
+    metrics.counter("sweep.packets_aborted")
+        .set(out.aggregate.packets_aborted);
+    metrics.counter("sweep.packets_retried")
+        .set(out.aggregate.packets_retried);
+    metrics.counter("sweep.packets_dropped")
+        .set(out.aggregate.packets_dropped);
+    metrics.counter("sweep.recovered_packets")
+        .set(out.aggregate.recovered_packets);
+  }
   metrics.gauge("sweep.wall_ms").set(out.wall_ms);
   metrics.gauge("sweep.mean_latency").set(out.aggregate.mean_latency());
   metrics.gauge("sweep.mean_throughput")

@@ -38,7 +38,20 @@ struct SweepResult {
   sim::SimStats stats;
   core::Conclusion duato = core::Conclusion::kUnknown;
   core::Conclusion cwg = core::Conclusion::kUnknown;
-  bool certified = false;  ///< Duato proved the pair deadlock-free
+  /// Per-epoch re-verification (fault-plan points only): every distinct
+  /// degraded relation the plan produces is re-checked by the Duato
+  /// condition, memoized by fault mask in the AnalysisCache.  A plan whose
+  /// faults disconnect the escape subfunction yields uncertified epochs —
+  /// the sweep then expects losses under recovery rather than flagging a
+  /// theorem violation.
+  std::uint32_t fault_epochs = 0;        ///< degraded epochs checked
+  std::uint32_t uncertified_epochs = 0;  ///< of those, failed re-check
+  bool epochs_certified = true;          ///< all degraded epochs certified
+  /// Duato proved the pristine pair deadlock-free AND every fault epoch's
+  /// degraded relation re-certified.  This is the bit the differential
+  /// harness trusts: a deadlock on a certified point falsifies the theorem
+  /// or (far more likely) the implementation.
+  bool certified = false;
 };
 
 struct RunnerOptions {

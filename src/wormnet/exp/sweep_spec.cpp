@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "wormnet/core/registry.hpp"
+#include "wormnet/ft/fault_plan.hpp"
 #include "wormnet/util/rng.hpp"
 
 namespace wormnet::exp {
@@ -82,6 +83,9 @@ ExpandedSweep expand(const SweepSpec& spec) {
   }
   if (spec.loads.empty()) throw std::invalid_argument("sweep: no loads");
   if (spec.patterns.empty()) throw std::invalid_argument("sweep: no patterns");
+  if (spec.fault_plans.empty()) {
+    throw std::invalid_argument("sweep: no fault plans (use \"none\")");
+  }
   if (spec.replications == 0) {
     throw std::invalid_argument("sweep: replications must be >= 1");
   }
@@ -115,19 +119,27 @@ ExpandedSweep expand(const SweepSpec& spec) {
         out.skipped.push_back(topo_spec + " × " + routing);
         continue;
       }
-      for (const sim::Pattern pattern : spec.patterns) {
-        for (const double load : spec.loads) {
-          for (std::uint32_t rep = 0; rep < spec.replications; ++rep) {
-            SweepPoint point;
-            point.index = out.points.size();
-            point.topology = topo_spec;
-            point.routing = canonical;
-            point.pattern = pattern;
-            point.load = load;
-            point.replication = rep;
-            point.seed = util::Xoshiro256(stream)();  // copy; stream stays
-            stream.jump();
-            out.points.push_back(std::move(point));
+      for (const auto& plan_text : spec.fault_plans) {
+        // Parse + compile eagerly: a malformed plan or one that names links
+        // absent from this topology throws here, not mid-run on a worker.
+        const ft::FaultPlan plan = ft::parse_fault_plan(plan_text);
+        (void)ft::compile(plan, topo);
+        const std::string normalized = plan.empty() ? "none" : plan.to_string();
+        for (const sim::Pattern pattern : spec.patterns) {
+          for (const double load : spec.loads) {
+            for (std::uint32_t rep = 0; rep < spec.replications; ++rep) {
+              SweepPoint point;
+              point.index = out.points.size();
+              point.topology = topo_spec;
+              point.routing = canonical;
+              point.fault_plan = normalized;
+              point.pattern = pattern;
+              point.load = load;
+              point.replication = rep;
+              point.seed = util::Xoshiro256(stream)();  // copy; stream stays
+              stream.jump();
+              out.points.push_back(std::move(point));
+            }
           }
         }
       }
@@ -156,6 +168,10 @@ SweepSpec parse_grid(const std::string& text) {
       spec.topologies = split(value, ',');
     } else if (key == "routing") {
       spec.routings = split(value, ',');
+    } else if (key == "fault") {
+      // Plan syntax uses '+' between events precisely because ',' and ';'
+      // are taken by the grid grammar, so a plain comma split is safe here.
+      spec.fault_plans = split(value, ',');
     } else if (key == "pattern") {
       for (const auto& name : split(value, ',')) {
         const auto pattern = sim::pattern_from_string(name);

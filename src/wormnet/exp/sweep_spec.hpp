@@ -28,6 +28,10 @@ namespace wormnet::exp {
 struct SweepSpec {
   std::vector<std::string> topologies;          ///< specs for make_topology()
   std::vector<std::string> routings;            ///< registry names / aliases
+  /// Fault-plan axis (ft::parse_fault_plan syntax; "none" = no faults).
+  /// The default single "none" keeps fault-free grids' canonical order and
+  /// seed derivation identical to pre-ft sweeps.
+  std::vector<std::string> fault_plans{"none"};
   std::vector<sim::Pattern> patterns{sim::Pattern::kUniform};
   std::vector<double> loads{0.1};               ///< flits/node/cycle offered
   std::uint32_t replications = 1;
@@ -46,6 +50,7 @@ struct SweepPoint {
   std::size_t index = 0;  ///< canonical position, 0-based
   std::string topology;
   std::string routing;
+  std::string fault_plan;  ///< normalized plan text ("none" = no faults)
   sim::Pattern pattern = sim::Pattern::kUniform;
   double load = 0.0;
   std::uint32_t replication = 0;
@@ -70,6 +75,8 @@ struct ExpandedSweep {
 ///
 ///   topo=mesh:4x4:2,ring:8        (required, comma list of topology specs)
 ///   routing=e-cube,duato          (required, comma list of names/aliases)
+///   fault=none,kill:5-6@250       (fault plans, default none; '+'-joined
+///                                  events per plan, see ft/fault_plan.hpp)
 ///   pattern=uniform,transpose     (default uniform)
 ///   load=0.05,0.2 | load=0.05:0.45:0.10   (list or lo:hi:step range)
 ///   reps=3                        (default 1)

@@ -1,0 +1,104 @@
+// Deterministic fault-injection plans for the wormhole simulator.
+//
+// A FaultPlan is a symbolic schedule of channel/link kill and repair events
+// ("at cycle 250, the physical link 5->6 dies; at cycle 800 it comes back"),
+// plus seeded random campaigns.  Plans are parsed from a compact text form
+// (so they can ride in sweep grids and CLI flags), then *compiled* against a
+// concrete topology into per-cycle channel-id batches the Simulator applies
+// between cycles.  Compilation is where every error surfaces: unknown nodes,
+// non-adjacent link pairs, and out-of-range channel ids all throw before any
+// simulation starts.
+//
+// Text grammar ('+'-joined events; ',' and ';' are reserved by the sweep
+// grid syntax, so plans embed cleanly as grid axis values):
+//
+//   none                      the empty plan (placeholder axis value)
+//   kill:SRC-DST@CYCLE        all VCs of physical link SRC->DST die
+//   repair:SRC-DST@CYCLE      ... and come back
+//   killch:C@CYCLE            one virtual channel (by ChannelId) dies
+//   repairch:C@CYCLE          ... and comes back
+//   rand:N/SEED@CYCLE         N distinct random physical links die (the
+//                             choice is a pure function of SEED)
+//
+// Example: "kill:5-6@250+repair:5-6@800+rand:2/7@1200".
+//
+// Everything here is deterministic: the same plan text compiled against the
+// same topology yields the same steps, and random campaigns draw from their
+// own seed, never from the simulation RNG.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "wormnet/topology/topology.hpp"
+
+namespace wormnet::ft {
+
+using topology::ChannelId;
+using topology::NodeId;
+using topology::Topology;
+
+/// One symbolic plan event (pre-compilation).
+struct FaultEvent {
+  enum class Kind : std::uint8_t {
+    kLinkDown,     ///< all VCs of the physical link src -> dst die
+    kLinkUp,       ///< ... are repaired
+    kChannelDown,  ///< one virtual channel dies
+    kChannelUp,    ///< ... is repaired
+    kRandomLinks,  ///< `count` distinct random physical links die
+  };
+  Kind kind = Kind::kLinkDown;
+  std::uint64_t cycle = 0;
+  NodeId src = 0;  ///< link events
+  NodeId dst = 0;
+  ChannelId channel = topology::kInvalidChannel;  ///< channel events
+  std::size_t count = 0;    ///< random campaigns
+  std::uint64_t seed = 1;   ///< random campaigns
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+  [[nodiscard]] bool empty() const noexcept { return events.empty(); }
+  /// Round-trips through parse_fault_plan ("none" for the empty plan).
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Parses the text grammar above.  "none", "" and whitespace-only all mean
+/// the empty plan.  Throws std::invalid_argument on malformed input.
+[[nodiscard]] FaultPlan parse_fault_plan(const std::string& text);
+
+/// All events of one cycle, resolved to channel ids.  Within a step, downs
+/// apply before ups (a kill+repair of the same channel at the same cycle is
+/// a repair).
+struct CompiledStep {
+  std::uint64_t cycle = 0;
+  std::vector<ChannelId> down;
+  std::vector<ChannelId> up;
+};
+
+/// A plan bound to a topology: steps sorted by strictly ascending cycle.
+struct CompiledFaultPlan {
+  std::size_t num_channels = 0;  ///< of the topology compiled against
+  std::vector<CompiledStep> steps;
+
+  [[nodiscard]] bool empty() const noexcept { return steps.empty(); }
+
+  /// Cumulative fault masks, one per epoch: masks[0] is the pristine
+  /// network, masks[k] the state after steps[k-1].  size() == steps + 1.
+  /// This is what per-epoch re-verification certifies.
+  [[nodiscard]] std::vector<std::vector<bool>> epoch_masks() const;
+};
+
+/// Resolves `plan` against `topo`.  Throws std::invalid_argument when a
+/// node id is out of range, a link's endpoints are not adjacent, a channel
+/// id does not exist, or a random campaign asks for zero links.
+[[nodiscard]] CompiledFaultPlan compile(const FaultPlan& plan,
+                                        const Topology& topo);
+
+/// Renders a fault mask as lowercase hex (4 bits per character, channel 0 in
+/// the least-significant bit of the last character) — the AnalysisCache key
+/// suffix for degraded-relation verdicts.
+[[nodiscard]] std::string mask_to_hex(const std::vector<bool>& mask);
+
+}  // namespace wormnet::ft

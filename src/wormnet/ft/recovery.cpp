@@ -1,0 +1,24 @@
+#include "wormnet/ft/recovery.hpp"
+
+namespace wormnet::ft {
+
+const char* to_string(RecoveryPolicy policy) noexcept {
+  switch (policy) {
+    case RecoveryPolicy::kHalt: return "halt";
+    case RecoveryPolicy::kAbortRetry: return "abort-retry";
+    case RecoveryPolicy::kDrain: return "drain";
+  }
+  return "?";
+}
+
+std::optional<RecoveryPolicy> recovery_from_string(
+    std::string_view name) noexcept {
+  if (name == "halt") return RecoveryPolicy::kHalt;
+  if (name == "abort-retry" || name == "abort_retry" || name == "retry") {
+    return RecoveryPolicy::kAbortRetry;
+  }
+  if (name == "drain") return RecoveryPolicy::kDrain;
+  return std::nullopt;
+}
+
+}  // namespace wormnet::ft

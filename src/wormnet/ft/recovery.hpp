@@ -1,0 +1,59 @@
+// Deadlock / no-progress recovery policies.
+//
+// When the detector reports a wait-for cycle, or a packet makes no progress
+// past its timeout, the simulator consults the RecoveryConfig:
+//
+//   halt        — stop the run and report the deadlock (the pre-ft status
+//                 quo; byte-for-byte identical behaviour).
+//   abort-retry — the victim packet aborts: it releases every channel it
+//                 owns (flushing its flits), returns to its source, and
+//                 re-injects after a deterministic exponential backoff.  A
+//                 retry budget bounds the attempts; exhausting it drops the
+//                 packet (counted, never silently).
+//   drain       — graceful degradation: on the first recovery action the
+//                 network stops accepting new packets, victims are dropped
+//                 rather than retried, and in-flight traffic drains.
+//
+// All recovery choices are deterministic: victim selection is a pure
+// function of the reported cycle, backoff is seeded by the attempt count
+// alone, and retry re-injection preserves source-queue order.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace wormnet::ft {
+
+enum class RecoveryPolicy : std::uint8_t { kHalt, kAbortRetry, kDrain };
+
+[[nodiscard]] const char* to_string(RecoveryPolicy policy) noexcept;
+[[nodiscard]] std::optional<RecoveryPolicy> recovery_from_string(
+    std::string_view name) noexcept;
+
+struct RecoveryConfig {
+  RecoveryPolicy policy = RecoveryPolicy::kHalt;
+  /// Aborts a packet may survive before it is dropped (abort-retry only).
+  std::uint32_t retry_budget = 8;
+  /// Cycles before the first re-injection; doubles per attempt.
+  std::uint64_t backoff_base = 32;
+  /// Ceiling of the exponential backoff.
+  std::uint64_t backoff_cap = 1024;
+  /// Per-packet no-progress threshold in cycles; 0 = inherit the global
+  /// watchdog threshold (SimConfig::watchdog_cycles).  Only consulted when
+  /// the policy is not halt.
+  std::uint64_t packet_timeout = 0;
+
+  /// Backoff before re-injection number `attempt` (1-based).
+  [[nodiscard]] std::uint64_t backoff(std::uint32_t attempt) const {
+    std::uint64_t delay = backoff_base;
+    for (std::uint32_t i = 1; i < attempt && delay < backoff_cap; ++i) {
+      delay *= 2;
+    }
+    return std::min(delay, backoff_cap);
+  }
+};
+
+}  // namespace wormnet::ft

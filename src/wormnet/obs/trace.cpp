@@ -17,6 +17,11 @@ const char* to_string(EventKind kind) noexcept {
     case EventKind::kPacketDone: return "done";
     case EventKind::kDeadlockCheck: return "dl_check";
     case EventKind::kDeadlockDetected: return "deadlock";
+    case EventKind::kFault: return "fault";
+    case EventKind::kRepair: return "repair";
+    case EventKind::kAbort: return "abort";
+    case EventKind::kRetry: return "retry";
+    case EventKind::kRecovered: return "recovered";
   }
   return "?";
 }
@@ -86,6 +91,27 @@ void JsonlTraceSink::emit(const TraceEvent& ev) {
       w.begin_array();
       for (const std::uint32_t p : ev.list) w.number(std::uint64_t{p});
       w.end_array();
+      break;
+    case EventKind::kFault:
+    case EventKind::kRepair:
+      w.field("epoch", ev.value);
+      w.key("chs");
+      w.begin_array();
+      for (const std::uint32_t c : ev.list) w.number(std::uint64_t{c});
+      w.end_array();
+      break;
+    case EventKind::kAbort:
+      w.field("node", ev.node);
+      w.field("attempt", ev.value);
+      w.field("retry", ev.flag);
+      break;
+    case EventKind::kRetry:
+      w.field("node", ev.node);
+      w.field("attempt", ev.value);
+      break;
+    case EventKind::kRecovered:
+      w.field("node", ev.node);
+      w.field("attempts", ev.value);
       break;
   }
   w.end_object();
@@ -230,6 +256,50 @@ void ChromeTraceSink::emit(const TraceEvent& ev) {
       os_ << "]}}";
       break;
     }
+    case EventKind::kFault:
+    case EventKind::kRepair: {
+      event_prefix("i", ev.kind == EventKind::kFault ? "FAULT" : "repair",
+                   "fault", ts, kPacketTrack);
+      os_ << ",\"s\":\"g\",\"args\":{\"epoch\":" << ev.value
+          << ",\"channels\":[";
+      for (std::size_t i = 0; i < ev.list.size(); ++i) {
+        if (i) os_ << ',';
+        os_ << ev.list[i];
+      }
+      os_ << "]}}";
+      break;
+    }
+    case EventKind::kAbort: {
+      event_prefix("i", "abort pkt" + std::to_string(ev.packet), "recovery",
+                   ts, kPacketTrack);
+      os_ << ",\"s\":\"t\",\"args\":{\"pkt\":" << ev.packet
+          << ",\"attempt\":" << ev.value
+          << ",\"retry\":" << (ev.flag ? "true" : "false") << "}}";
+      if (!ev.flag) {
+        // No retry scheduled: the packet is dropped, so close its span the
+        // way kPacketDone would — otherwise it dangles to trace end.
+        const auto it = packet_labels_.find(ev.packet);
+        const std::string label =
+            it != packet_labels_.end() ? it->second
+                                       : "pkt" + std::to_string(ev.packet);
+        event_prefix("e", label, "packet", ts, kPacketTrack);
+        os_ << ",\"id\":" << ev.packet << ",\"args\":{\"dropped\":true}}";
+        if (it != packet_labels_.end()) packet_labels_.erase(it);
+      }
+      break;
+    }
+    case EventKind::kRetry:
+      event_prefix("i", "retry pkt" + std::to_string(ev.packet), "recovery",
+                   ts, kPacketTrack);
+      os_ << ",\"s\":\"t\",\"args\":{\"pkt\":" << ev.packet
+          << ",\"attempt\":" << ev.value << "}}";
+      break;
+    case EventKind::kRecovered:
+      event_prefix("i", "recovered pkt" + std::to_string(ev.packet),
+                   "recovery", ts, kPacketTrack);
+      os_ << ",\"s\":\"t\",\"args\":{\"pkt\":" << ev.packet
+          << ",\"attempts\":" << ev.value << "}}";
+      break;
   }
 }
 

@@ -41,6 +41,11 @@ enum class EventKind : std::uint8_t {
   kPacketDone,        ///< tail flit consumed; packet complete
   kDeadlockCheck,     ///< periodic wait-for-graph probe ran
   kDeadlockDetected,  ///< wait-for cycle (or watchdog) fired
+  kFault,             ///< fault epoch: channels transitioned to faulty
+  kRepair,            ///< channels transitioned back to healthy
+  kAbort,             ///< victim packet aborted (recovery)
+  kRetry,             ///< aborted packet re-entered its source queue
+  kRecovered,         ///< packet delivered after at least one abort
 };
 
 [[nodiscard]] const char* to_string(EventKind kind) noexcept;

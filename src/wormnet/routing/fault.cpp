@@ -34,10 +34,43 @@ ChannelSet FaultAwareRouting::waiting(ChannelId input, NodeId current,
   return filter(base_->waiting(input, current, dest));
 }
 
-void mark_link_faulty(const Topology& topo, NodeId src, NodeId dst,
-                      std::vector<bool>& faulty) {
+DynamicFaultRouting::DynamicFaultRouting(const Topology& topo,
+                                         const RoutingFunction& base,
+                                         const std::vector<bool>& mask)
+    : RoutingFunction(topo), base_(&base), mask_(&mask) {
+  if (mask.size() != topo.num_channels()) {
+    throw std::invalid_argument("fault mask size mismatch");
+  }
+}
+
+std::string DynamicFaultRouting::name() const {
+  return base_->name() + "+overlay";
+}
+
+ChannelSet DynamicFaultRouting::filter(ChannelSet set) const {
+  std::erase_if(set, [this](ChannelId c) { return (*mask_)[c]; });
+  return set;
+}
+
+ChannelSet DynamicFaultRouting::route(ChannelId input, NodeId current,
+                                      NodeId dest) const {
+  return filter(base_->route(input, current, dest));
+}
+
+ChannelSet DynamicFaultRouting::waiting(ChannelId input, NodeId current,
+                                        NodeId dest) const {
+  return filter(base_->waiting(input, current, dest));
+}
+
+std::size_t mark_link_faulty(const Topology& topo, NodeId src, NodeId dst,
+                             std::vector<bool>& faulty) {
   faulty.resize(topo.num_channels(), false);
-  for (ChannelId c : topo.channels_between(src, dst)) faulty[c] = true;
+  std::size_t marked = 0;
+  for (ChannelId c : topo.channels_between(src, dst)) {
+    if (!faulty[c]) ++marked;
+    faulty[c] = true;
+  }
+  return marked;
 }
 
 std::vector<bool> random_link_faults(const Topology& topo, std::size_t links,
@@ -56,7 +89,8 @@ std::vector<bool> random_link_faults(const Topology& topo, std::size_t links,
   for (std::size_t i = 0; i < links; ++i) {
     const std::size_t pick = i + rng.below(pool.size() - i);
     std::swap(pool[i], pool[pick]);
-    mark_link_faulty(topo, pool[i].first, pool[i].second, faulty);
+    // Pool entries come from real channels, so every pick marks something.
+    (void)mark_link_faulty(topo, pool[i].first, pool[i].second, faulty);
   }
   return faulty;
 }

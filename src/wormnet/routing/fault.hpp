@@ -48,6 +48,36 @@ class FaultAwareRouting final : public RoutingFunction {
   std::size_t count_ = 0;
 };
 
+/// A fault wrapper over a *borrowed* mutable mask: the live counterpart of
+/// FaultAwareRouting, used by the simulator's fault overlay.  The wrapper
+/// borrows both the base relation and the mask; the mask's contents may
+/// change between calls (fault epochs) and every route()/waiting() call
+/// filters through the mask's current state.  Callers keep base and mask
+/// alive for the wrapper's lifetime.
+class DynamicFaultRouting final : public RoutingFunction {
+ public:
+  DynamicFaultRouting(const Topology& topo, const RoutingFunction& base,
+                      const std::vector<bool>& mask);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] RelationForm form() const override { return base_->form(); }
+  [[nodiscard]] WaitMode wait_mode() const override {
+    return base_->wait_mode();
+  }
+  [[nodiscard]] bool minimal() const override { return base_->minimal(); }
+
+  [[nodiscard]] ChannelSet route(ChannelId input, NodeId current,
+                                 NodeId dest) const override;
+  [[nodiscard]] ChannelSet waiting(ChannelId input, NodeId current,
+                                   NodeId dest) const override;
+
+ private:
+  [[nodiscard]] ChannelSet filter(ChannelSet set) const;
+
+  const RoutingFunction* base_;
+  const std::vector<bool>* mask_;
+};
+
 /// Marks every virtual channel of `links` randomly chosen physical links
 /// (both directions) faulty.  Deterministic given the seed.
 [[nodiscard]] std::vector<bool> random_link_faults(const Topology& topo,
@@ -55,8 +85,11 @@ class FaultAwareRouting final : public RoutingFunction {
                                                    std::uint64_t seed);
 
 /// Marks all virtual channels of the physical link src -> dst faulty in
-/// `faulty` (single direction).
-void mark_link_faulty(const Topology& topo, NodeId src, NodeId dst,
-                      std::vector<bool>& faulty);
+/// `faulty` (single direction) and returns how many channels were marked.
+/// Zero means src and dst are not adjacent — callers must not assume a
+/// fault was injected (the silent no-op this guards against).
+[[nodiscard]] std::size_t mark_link_faulty(const Topology& topo, NodeId src,
+                                           NodeId dst,
+                                           std::vector<bool>& faulty);
 
 }  // namespace wormnet::routing

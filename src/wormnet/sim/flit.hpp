@@ -54,6 +54,16 @@ struct Packet {
   /// the deadlock reporter and by tests asserting path legality.
   std::vector<ChannelId> path;
 
+  // --- resilience bookkeeping (ft) ---------------------------------------
+  std::uint64_t last_progress = 0;  ///< last cycle any flit of this packet
+                                    ///< moved (or the packet was created /
+                                    ///< aborted / retried)
+  std::uint64_t first_abort = 0;    ///< cycle of the first abort, if any
+  std::uint32_t attempts = 0;       ///< aborts suffered so far
+  bool aborted = false;             ///< aborted, waiting out its backoff
+  bool dropped = false;             ///< gave up: retry budget exhausted or
+                                    ///< refused by a draining network
+
   // --- trace bookkeeping (obs) -------------------------------------------
   // Only read/written when a TraceSink is attached; never influences
   // routing, arbitration, or RNG state.

@@ -8,10 +8,11 @@ RouteAllocator::RouteAllocator(const Topology& topo,
                                WaitOverride wait_override,
                                std::uint32_t buffer_depth, std::uint64_t seed,
                                obs::TraceSink* trace,
-                               const std::uint64_t* clock)
+                               const std::uint64_t* clock,
+                               const std::vector<bool>* faulty)
     : topo_(&topo), routing_(&routing), selection_(selection),
       wait_override_(wait_override), buffer_depth_(buffer_depth), rng_(seed),
-      trace_(trace), clock_(clock) {}
+      trace_(trace), clock_(clock), faulty_(faulty) {}
 
 WaitMode RouteAllocator::effective_wait_mode() const {
   switch (wait_override_) {
@@ -28,16 +29,20 @@ WaitMode RouteAllocator::effective_wait_mode() const {
 routing::ChannelSet RouteAllocator::candidates(const Packet& pkt,
                                                ChannelId input,
                                                NodeId current) const {
+  routing::ChannelSet set;
   if (!pkt.forced_path.empty()) {
     if (pkt.forced_next < pkt.forced_path.size()) {
-      return {pkt.forced_path[pkt.forced_next]};
+      set = {pkt.forced_path[pkt.forced_next]};
     }
-    return {};
+  } else if (pkt.committed_wait != kInvalidChannel) {
+    set = {pkt.committed_wait};
+  } else {
+    set = routing_->route(input, current, pkt.dst);
   }
-  if (pkt.committed_wait != kInvalidChannel) {
-    return {pkt.committed_wait};
+  if (faulty_ != nullptr) {
+    std::erase_if(set, [this](ChannelId c) { return (*faulty_)[c]; });
   }
-  return routing_->route(input, current, pkt.dst);
+  return set;
 }
 
 std::optional<ChannelId> RouteAllocator::attempt(Packet& pkt, ChannelId input,

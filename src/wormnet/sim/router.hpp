@@ -30,12 +30,16 @@ class RouteAllocator {
  public:
   /// `trace`/`clock`, when set, emit route-compute and VC-allocate events
   /// stamped with `*clock` (the simulator's cycle counter).  Tracing never
-  /// alters allocation behaviour or RNG state.
+  /// alters allocation behaviour or RNG state.  `faulty`, when set, is a
+  /// borrowed live fault mask (the simulator's ft overlay): faulty channels
+  /// are removed from every candidate set — including forced paths and
+  /// wait commitments, which bypass the routing relation's own filter.
   RouteAllocator(const Topology& topo, const RoutingFunction& routing,
                  SelectionPolicy selection, WaitOverride wait_override,
                  std::uint32_t buffer_depth, std::uint64_t seed,
                  obs::TraceSink* trace = nullptr,
-                 const std::uint64_t* clock = nullptr);
+                 const std::uint64_t* clock = nullptr,
+                 const std::vector<bool>* faulty = nullptr);
 
   /// Attempts to allocate the next channel for `pkt`, whose header sits at
   /// node `current` having arrived on `input` (kInvalidChannel at the
@@ -67,6 +71,7 @@ class RouteAllocator {
   util::Xoshiro256 rng_;
   obs::TraceSink* trace_;
   const std::uint64_t* clock_;
+  const std::vector<bool>* faulty_;
 };
 
 }  // namespace wormnet::sim

@@ -8,16 +8,28 @@ namespace wormnet::sim {
 
 Simulator::Simulator(const Topology& topo,
                      const routing::RoutingFunction& routing, SimConfig config)
-    : topo_(&topo), routing_(&routing), config_(std::move(config)), net_(topo),
-      allocator_(topo, routing, config_.selection, config_.wait_override,
-                 config_.buffer_depth, config_.seed ^ 0xa5a5a5a5ULL,
-                 config_.trace, &cycle_),
+    : topo_(&topo), routing_(&routing), config_(std::move(config)),
+      overlay_(topo.num_channels()),
+      degraded_(config_.fault_plan != nullptr
+                    ? std::make_unique<routing::DynamicFaultRouting>(
+                          topo, routing, overlay_.mask())
+                    : nullptr),
+      net_(topo),
+      allocator_(topo, degraded_ ? *degraded_ : routing, config_.selection,
+                 config_.wait_override, config_.buffer_depth,
+                 config_.seed ^ 0xa5a5a5a5ULL, config_.trace, &cycle_,
+                 degraded_ ? &overlay_.mask() : nullptr),
       traffic_(topo, config_.pattern, config_.seed, config_.hotspot_fraction,
                config_.hotspots),
       rng_(config_.seed ^ 0x5a5a5a5aULL), sources_(topo.num_nodes()),
       script_by_node_(topo.num_nodes()),
       channel_moves_(topo.num_channels(), 0), trace_(config_.trace),
       metrics_(config_.metrics) {
+  if (config_.fault_plan != nullptr &&
+      config_.fault_plan->num_channels != topo.num_channels()) {
+    throw std::invalid_argument(
+        "fault plan was compiled against a different topology");
+  }
   for (const ScriptedPacket& sp : config_.script) {
     script_by_node_[sp.src].push_back(sp);
   }
@@ -54,6 +66,7 @@ PacketId Simulator::create_packet(NodeId src, NodeId dst, std::uint32_t length,
   pkt.dst = dst;
   pkt.length = std::max<std::uint32_t>(length, 1);
   pkt.created = cycle_;
+  pkt.last_progress = cycle_;
   pkt.forced_path = std::move(forced);
   pkt.measured = cycle_ >= config_.warmup_cycles &&
                  cycle_ < config_.warmup_cycles + config_.measure_cycles;
@@ -77,6 +90,9 @@ PacketId Simulator::create_packet(NodeId src, NodeId dst, std::uint32_t length,
 }
 
 void Simulator::generate_traffic() {
+  // A draining network accepts nothing: neither stochastic arrivals nor
+  // scripted injections enter after the drain policy engages.
+  if (draining_) return;
   // Scripted packets on their schedule.
   for (NodeId node = 0; node < topo_->num_nodes(); ++node) {
     auto& src = sources_[node];
@@ -117,6 +133,7 @@ void Simulator::allocate_outputs() {
     if (allocator_.attempt(pkt, kInvalidChannel, node, net_)) {
       pkt.injecting = true;
       pkt.first_injected = cycle_;
+      pkt.last_progress = cycle_;
       trace_block_transition(pkt, kInvalidChannel, node, /*acquired=*/true);
     } else {
       trace_block_transition(pkt, kInvalidChannel, node, /*acquired=*/false);
@@ -141,6 +158,7 @@ void Simulator::allocate_outputs() {
     if (auto acquired = allocator_.attempt(pkt, c, here, net_)) {
       vc.out = *acquired;
       vc.out_assigned = true;
+      pkt.last_progress = cycle_;
       trace_block_transition(pkt, c, here, /*acquired=*/true);
     } else {
       trace_block_transition(pkt, c, here, /*acquired=*/false);
@@ -202,6 +220,9 @@ void Simulator::move_flits() {
   for (ChannelId c = 0; c < channels; ++c) {
     VcState& vc = net_.vc(c);
     if (vc.queue.empty() || !vc.out_assigned || vc.out_eject) continue;
+    // A dead channel accepts no new flits; anything already queued beyond
+    // the dead link keeps draining toward its destination.
+    if (fault_active() && overlay_.is_faulty(vc.out)) continue;
     if (size_snapshot[vc.out] < config_.buffer_depth) {
       link_moves[net_.link_index(vc.out)].push_back(Move{c, 0, vc.out});
     }
@@ -212,6 +233,7 @@ void Simulator::move_flits() {
     Packet& pkt = packets_[src.queue.front()];
     if (!pkt.injecting || pkt.flits_injected >= pkt.length) continue;
     const ChannelId target = pkt.path.front();
+    if (fault_active() && overlay_.is_faulty(target)) continue;
     if (size_snapshot[target] < config_.buffer_depth) {
       link_moves[net_.link_index(target)].push_back(
           Move{kInvalidChannel, node, target});
@@ -235,6 +257,7 @@ void Simulator::move_flits() {
       flit.tail = pkt.flits_injected + 1 == pkt.length;
       net_.vc(m.to).queue.push_back(flit);
       ++pkt.flits_injected;
+      pkt.last_progress = cycle_;
       if (flit.tail) src.queue.pop_front();
       if (trace_) {
         obs::TraceEvent ev;
@@ -256,6 +279,7 @@ void Simulator::move_flits() {
       const Flit flit = from.queue.front();
       from.queue.pop_front();
       net_.vc(m.to).queue.push_back(flit);
+      packets_[flit.packet].last_progress = cycle_;
       if (flit.tail) {
         from.owner = kNoPacket;
         from.out = kInvalidChannel;
@@ -298,6 +322,7 @@ void Simulator::move_flits() {
     vc.queue.pop_front();
     Packet& pkt = packets_[flit.packet];
     ++pkt.flits_ejected;
+    pkt.last_progress = cycle_;
     if (in_window) ++stats_.flits_ejected_in_window;
     if (trace_) {
       obs::TraceEvent ev;
@@ -332,6 +357,10 @@ void Simulator::finish_packet(Packet& pkt) {
     latency_.add(static_cast<double>(pkt.finished - pkt.created),
                  static_cast<double>(pkt.finished - pkt.first_injected));
   }
+  if (pkt.attempts > 0) {
+    ++stats_.recovered_packets;
+    recovery_latency_sum_ += static_cast<double>(cycle_ - pkt.first_abort);
+  }
   if (trace_) {
     obs::TraceEvent ev;
     ev.kind = obs::EventKind::kPacketDone;
@@ -340,6 +369,15 @@ void Simulator::finish_packet(Packet& pkt) {
     ev.node = pkt.dst;
     ev.value = pkt.finished - pkt.created;
     trace_->emit(ev);
+    if (pkt.attempts > 0) {
+      obs::TraceEvent rec;
+      rec.kind = obs::EventKind::kRecovered;
+      rec.cycle = cycle_;
+      rec.packet = pkt.id;
+      rec.node = pkt.dst;
+      rec.value = pkt.attempts;
+      trace_->emit(rec);
+    }
   }
   if (metrics_ && pkt.measured) {
     metrics_->histogram("packet_latency").add(
@@ -349,8 +387,173 @@ void Simulator::finish_packet(Packet& pkt) {
   }
 }
 
+void Simulator::apply_fault_steps() {
+  const auto& steps = config_.fault_plan->steps;
+  while (next_fault_step_ < steps.size() &&
+         steps[next_fault_step_].cycle <= cycle_) {
+    const ft::FaultOverlay::Delta delta =
+        overlay_.apply(steps[next_fault_step_]);
+    ++next_fault_step_;
+    ++stats_.fault_epochs;
+    stats_.fault_events += delta.downed.size();
+    stats_.repair_events += delta.repaired.size();
+    if (!delta.downed.empty()) {
+      // A wait commitment to a dead channel can never be granted: void it
+      // so the header re-arbitrates over the surviving candidates.
+      for (Packet& pkt : packets_) {
+        if (!pkt.done && !pkt.dropped &&
+            pkt.committed_wait != kInvalidChannel &&
+            overlay_.is_faulty(pkt.committed_wait)) {
+          pkt.committed_wait = kInvalidChannel;
+        }
+      }
+    }
+    if (trace_) {
+      auto emit_epoch = [&](obs::EventKind kind,
+                            const std::vector<ChannelId>& channels) {
+        if (channels.empty()) return;
+        obs::TraceEvent ev;
+        ev.kind = kind;
+        ev.cycle = cycle_;
+        ev.value = overlay_.epoch();
+        ev.list.assign(channels.begin(), channels.end());
+        trace_->emit(ev);
+      };
+      emit_epoch(obs::EventKind::kFault, delta.downed);
+      emit_epoch(obs::EventKind::kRepair, delta.repaired);
+    }
+  }
+}
+
+void Simulator::inject_retries() {
+  std::size_t kept = 0;
+  for (const PendingRetry& retry : retries_) {
+    if (retry.cycle > cycle_) {
+      retries_[kept++] = retry;
+      continue;
+    }
+    Packet& pkt = packets_[retry.packet];
+    pkt.aborted = false;
+    pkt.last_progress = cycle_;
+    sources_[pkt.src].queue.push_back(pkt.id);
+    ++stats_.packets_retried;
+    if (trace_) {
+      obs::TraceEvent ev;
+      ev.kind = obs::EventKind::kRetry;
+      ev.cycle = cycle_;
+      ev.packet = pkt.id;
+      ev.node = pkt.src;
+      ev.value = pkt.attempts;
+      trace_->emit(ev);
+    }
+  }
+  retries_.resize(kept);
+}
+
+void Simulator::abort_packet(Packet& pkt) {
+  // Flush the worm: every channel the packet still owns holds only its own
+  // flits (Assumption 4), so clearing the queues releases exactly this
+  // packet's resources.
+  for (ChannelId c : pkt.path) {
+    VcState& vc = net_.vc(c);
+    if (vc.owner != pkt.id) continue;
+    vc.queue.clear();
+    vc.owner = kNoPacket;
+    vc.out = kInvalidChannel;
+    vc.out_assigned = false;
+    vc.out_eject = false;
+  }
+  // Present in its source queue iff injection had not finished.
+  std::erase(sources_[pkt.src].queue, pkt.id);
+  pkt.injecting = false;
+  pkt.flits_injected = 0;
+  pkt.flits_ejected = 0;
+  pkt.path.clear();
+  pkt.committed_wait = kInvalidChannel;
+  pkt.forced_next = 0;
+  pkt.trace_blocked = false;
+  ++pkt.attempts;
+  if (pkt.attempts == 1) pkt.first_abort = cycle_;
+  pkt.last_progress = cycle_;
+  last_progress_ = cycle_;  // recovery is progress: keep the watchdog quiet
+  ++stats_.packets_aborted;
+  const bool retry =
+      config_.recovery.policy == ft::RecoveryPolicy::kAbortRetry &&
+      pkt.attempts <= config_.recovery.retry_budget;
+  if (trace_) {
+    obs::TraceEvent ev;
+    ev.kind = obs::EventKind::kAbort;
+    ev.cycle = cycle_;
+    ev.packet = pkt.id;
+    ev.node = pkt.src;
+    ev.value = pkt.attempts;
+    ev.flag = retry;
+    trace_->emit(ev);
+  }
+  if (retry) {
+    pkt.aborted = true;
+    retries_.push_back(
+        PendingRetry{cycle_ + config_.recovery.backoff(pkt.attempts), pkt.id});
+  } else {
+    drop_packet(pkt);
+  }
+}
+
+void Simulator::drop_packet(Packet& pkt) {
+  pkt.dropped = true;
+  pkt.aborted = false;
+  --in_flight_;
+  ++stats_.packets_dropped;
+  if (pkt.measured) ++stats_.measured_dropped;
+}
+
+void Simulator::engage_drain() {
+  if (draining_) return;
+  draining_ = true;
+  // Stop accepting: packets that never started injecting are refused (and
+  // counted as drops); in-flight worms keep draining via the relation.
+  for (NodeId node = 0; node < topo_->num_nodes(); ++node) {
+    auto& queue = sources_[node].queue;
+    std::deque<PacketId> keep;
+    for (const PacketId id : queue) {
+      Packet& pkt = packets_[id];
+      if (pkt.injecting) {
+        keep.push_back(id);
+      } else {
+        drop_packet(pkt);
+      }
+    }
+    queue = std::move(keep);
+  }
+}
+
 void Simulator::check_deadlock() {
   if (deadlock_) return;
+  const bool recovering =
+      config_.recovery.policy != ft::RecoveryPolicy::kHalt;
+
+  if (recovering) {
+    // Per-packet no-progress timeout.  This catches what the wait-for graph
+    // cannot: a packet whose candidate set went *empty* after a fault (a
+    // disconnected degraded relation) waits on nothing and forms no cycle,
+    // yet will never move again.
+    const std::uint64_t timeout = config_.recovery.packet_timeout != 0
+                                      ? config_.recovery.packet_timeout
+                                      : config_.watchdog_cycles;
+    std::vector<PacketId> expired;
+    for (const Packet& pkt : packets_) {
+      if (pkt.done || pkt.dropped || pkt.aborted) continue;
+      if (cycle_ - pkt.last_progress > timeout) expired.push_back(pkt.id);
+    }
+    if (!expired.empty() &&
+        config_.recovery.policy == ft::RecoveryPolicy::kDrain) {
+      engage_drain();
+    }
+    for (const PacketId id : expired) {
+      // engage_drain may have dropped source-queued victims already.
+      if (!packets_[id].dropped) abort_packet(packets_[id]);
+    }
+  }
 
   std::vector<BlockedPacket> blocked;
   for (ChannelId c = 0; c < net_.num_channels(); ++c) {
@@ -381,7 +584,21 @@ void Simulator::check_deadlock() {
 
   auto owner_of = [this](ChannelId c) { return net_.vc(c).owner; };
   if (auto info = find_wait_cycle(blocked, owner_of, cycle_, trace_)) {
-    deadlock_ = std::move(info);
+    if (config_.recovery.policy == ft::RecoveryPolicy::kHalt) {
+      deadlock_ = std::move(info);
+      return;
+    }
+    if (config_.recovery.policy == ft::RecoveryPolicy::kDrain) {
+      engage_drain();
+    }
+    // Break the knot: abort the youngest packet of the reported cycle (the
+    // highest id — a pure function of the detector's deterministic output,
+    // and the victim with the least sunk progress on average).
+    PacketId victim = info->packet_cycle.front();
+    for (const PacketId p : info->packet_cycle) victim = std::max(victim, p);
+    abort_packet(packets_[victim]);
+    // The wait-for graph changed; the next check interval re-probes, and
+    // any residual knot selects its next victim then.
     return;
   }
   if (in_flight_ > 0 && cycle_ - last_progress_ > config_.watchdog_cycles) {
@@ -400,6 +617,8 @@ void Simulator::check_deadlock() {
 }
 
 void Simulator::step() {
+  if (fault_active()) apply_fault_steps();
+  if (!retries_.empty()) inject_retries();
   generate_traffic();
   allocate_outputs();
   move_flits();
@@ -458,6 +677,19 @@ void Simulator::export_final_metrics() {
   m.gauge("avg_channel_utilization").set(stats_.avg_channel_utilization);
   m.gauge("max_channel_utilization").set(stats_.max_channel_utilization);
   m.gauge("max_hops").set(static_cast<double>(stats_.max_hops));
+  // Resilience counters only exist for runs that could have used them, so
+  // pre-ft metric dumps stay byte-identical.
+  if (fault_active() ||
+      config_.recovery.policy != ft::RecoveryPolicy::kHalt) {
+    m.counter("fault_epochs").set(stats_.fault_epochs);
+    m.counter("fault_events").set(stats_.fault_events);
+    m.counter("repair_events").set(stats_.repair_events);
+    m.counter("packets_aborted").set(stats_.packets_aborted);
+    m.counter("packets_retried").set(stats_.packets_retried);
+    m.counter("packets_dropped").set(stats_.packets_dropped);
+    m.counter("recovered_packets").set(stats_.recovered_packets);
+    m.gauge("avg_recovery_latency").set(stats_.avg_recovery_latency);
+  }
 }
 
 SimStats Simulator::run() {
@@ -527,8 +759,21 @@ SimStats Simulator::run() {
           stats_.max_hops, static_cast<std::uint32_t>(pkt.path.size()));
     }
   }
+  // Dropped packets are accounted, not in flight: only undelivered AND
+  // undropped measured packets mean the network failed to keep up.
   stats_.saturated = !stats_.deadlocked &&
-                     stats_.measured_delivered < stats_.measured_created;
+                     stats_.measured_delivered + stats_.measured_dropped <
+                         stats_.measured_created;
+  stats_.watchdog_cycles = config_.watchdog_cycles;
+  stats_.packet_timeout_cycles = config_.recovery.packet_timeout != 0
+                                     ? config_.recovery.packet_timeout
+                                     : config_.watchdog_cycles;
+  stats_.recovery_policy = ft::to_string(config_.recovery.policy);
+  if (stats_.recovered_packets > 0) {
+    stats_.avg_recovery_latency =
+        recovery_latency_sum_ /
+        static_cast<double>(stats_.recovered_packets);
+  }
   latency_.finalize(stats_);
   export_final_metrics();
   if (trace_) trace_->flush();
@@ -555,6 +800,9 @@ void Simulator::validate_invariants() const {
     if (vc.owner != kNoPacket) {
       const Packet& pkt = packets_[vc.owner];
       if (pkt.done) fail("finished packet still owns a channel");
+      if (pkt.dropped || pkt.aborted) {
+        fail("aborted/dropped packet still owns a channel");
+      }
       // The owner must have this channel on its acquired path.
       bool on_path = false;
       for (ChannelId held : pkt.path) {

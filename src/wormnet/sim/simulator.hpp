@@ -20,8 +20,12 @@
 #include <memory>
 #include <optional>
 
+#include "wormnet/ft/fault_plan.hpp"
+#include "wormnet/ft/overlay.hpp"
+#include "wormnet/ft/recovery.hpp"
 #include "wormnet/obs/metrics.hpp"
 #include "wormnet/obs/trace.hpp"
+#include "wormnet/routing/fault.hpp"
 #include "wormnet/routing/routing_function.hpp"
 #include "wormnet/sim/deadlock_detector.hpp"
 #include "wormnet/sim/network.hpp"
@@ -63,6 +67,16 @@ struct SimConfig {
   std::uint64_t deadlock_check_interval = 128;
   std::uint64_t watchdog_cycles = 4000;  ///< no-progress threshold
   std::uint64_t seed = 1;
+
+  // Resilience (wormnet::ft).  `fault_plan` is a borrowed compiled plan
+  // (nullable; must be compiled against the same topology and outlive the
+  // run): its steps fire between cycles and re-filter the live routing
+  // relation through a mutable fault overlay.  `recovery` decides what the
+  // detector and the per-packet no-progress timeout do about the resulting
+  // stalls; the default halt policy is byte-identical to the pre-ft
+  // simulator.
+  const ft::CompiledFaultPlan* fault_plan = nullptr;
+  ft::RecoveryConfig recovery;
 
   // Observability (borrowed handles; callers own the sinks and must keep
   // them alive for the run).  Null = disabled; the disabled path costs one
@@ -121,6 +135,16 @@ class Simulator {
                          std::vector<ChannelId> forced);
   void finish_packet(Packet& pkt);
 
+  // --- resilience (ft; all no-ops without a fault plan / under halt) ------
+  [[nodiscard]] bool fault_active() const noexcept {
+    return config_.fault_plan != nullptr;
+  }
+  void apply_fault_steps();
+  void inject_retries();
+  void abort_packet(Packet& pkt);
+  void drop_packet(Packet& pkt);
+  void engage_drain();
+
   // --- observability (all no-ops when the handles are null) --------------
   void trace_block_transition(Packet& pkt, ChannelId input, NodeId node,
                               bool acquired);
@@ -128,8 +152,14 @@ class Simulator {
   void export_final_metrics();
 
   const Topology* topo_;
-  const routing::RoutingFunction* routing_;
+  const routing::RoutingFunction* routing_;  ///< base relation (borrowed)
   SimConfig config_;
+  // Fault overlay state.  `degraded_` wraps the base relation over the
+  // overlay's live mask when a fault plan is present; it is declared before
+  // allocator_ so the allocator can bind to the effective relation in the
+  // member-init list.
+  ft::FaultOverlay overlay_;
+  std::unique_ptr<routing::DynamicFaultRouting> degraded_;
   NetworkState net_;
   RouteAllocator allocator_;
   TrafficGenerator traffic_;
@@ -145,6 +175,16 @@ class Simulator {
   std::vector<std::uint64_t> channel_moves_;  ///< per-channel, in-window
   std::uint64_t last_progress_ = 0;
   std::optional<DeadlockInfo> deadlock_;
+
+  // Recovery state.
+  struct PendingRetry {
+    std::uint64_t cycle = 0;  ///< earliest re-injection cycle
+    PacketId packet = kNoPacket;
+  };
+  std::vector<PendingRetry> retries_;  ///< insertion order (deterministic)
+  std::size_t next_fault_step_ = 0;
+  bool draining_ = false;  ///< drain policy engaged: no new admissions
+  double recovery_latency_sum_ = 0.0;
 
   // Measurement.
   LatencyAccumulator latency_;

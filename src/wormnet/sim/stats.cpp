@@ -58,6 +58,11 @@ std::string SimStats::summary() const {
      << " measured packets, avg latency " << avg_latency << " cyc, p99 "
      << p99_latency << " cyc, accepted " << accepted_throughput
      << " flits/node/cyc (offered " << offered_load << ")";
+  if (packets_aborted > 0 || packets_dropped > 0) {
+    os << "; recovery[" << recovery_policy << "]: " << packets_aborted
+       << " aborts, " << packets_retried << " retries, " << packets_dropped
+       << " dropped, " << recovered_packets << " recovered";
+  }
   if (saturated) os << " [saturated]";
   return os.str();
 }
@@ -102,6 +107,18 @@ std::string SimStats::to_json() const {
   w.field("max_channel_utilization", max_channel_utilization);
   w.field("max_hops", max_hops);
   w.field("cycles_run", cycles_run);
+  w.field("fault_epochs", fault_epochs);
+  w.field("fault_events", fault_events);
+  w.field("repair_events", repair_events);
+  w.field("packets_aborted", packets_aborted);
+  w.field("packets_retried", packets_retried);
+  w.field("packets_dropped", packets_dropped);
+  w.field("measured_dropped", measured_dropped);
+  w.field("recovered_packets", recovered_packets);
+  w.field("avg_recovery_latency", avg_recovery_latency);
+  w.field("watchdog_cycles", watchdog_cycles);
+  w.field("packet_timeout_cycles", packet_timeout_cycles);
+  w.field("recovery", recovery_policy);
   w.end_object();
   return os.str();
 }

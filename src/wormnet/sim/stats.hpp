@@ -54,6 +54,24 @@ struct SimStats {
 
   std::uint64_t cycles_run = 0;
 
+  // Resilience accounting (wormnet::ft) — all zero for runs without a fault
+  // plan under the default halt policy.
+  std::uint64_t fault_epochs = 0;     ///< compiled fault-plan steps applied
+  std::uint64_t fault_events = 0;     ///< channels transitioned to faulty
+  std::uint64_t repair_events = 0;    ///< channels transitioned back
+  std::uint64_t packets_aborted = 0;  ///< abort events (packets may repeat)
+  std::uint64_t packets_retried = 0;  ///< re-injections after an abort
+  std::uint64_t packets_dropped = 0;  ///< budget exhausted / drain refusals
+  std::uint64_t measured_dropped = 0; ///< dropped packets from the window
+  std::uint64_t recovered_packets = 0;  ///< delivered after >= 1 abort
+  double avg_recovery_latency = 0.0;  ///< first abort -> delivery (cycles)
+
+  // Detector configuration echo: the effective thresholds and policy the
+  // run used (packet_timeout_cycles falls back to watchdog_cycles).
+  std::uint64_t watchdog_cycles = 0;
+  std::uint64_t packet_timeout_cycles = 0;
+  std::string recovery_policy = "halt";
+
   [[nodiscard]] std::string summary() const;
 
   /// Machine-readable form of every field above (one JSON object), used by

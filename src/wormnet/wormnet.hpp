@@ -7,6 +7,9 @@
 //   cwg       — [companion] channel waiting graphs, True/False Resource
 //               cycles, CWG' reduction
 //   sim       — flit-level wormhole network simulator
+//   ft        — runtime fault injection (deterministic FaultPlans, the live
+//               fault overlay) and deadlock recovery policies
+//               (halt / abort-retry / drain)
 //   obs       — structured event tracing (JSONL / Chrome trace_event),
 //               metrics registry, checker phase timers and work counters
 //   analysis  — degree of adaptiveness, path counting
@@ -40,6 +43,9 @@
 #include "wormnet/exp/sweep_io.hpp"
 #include "wormnet/exp/sweep_runner.hpp"
 #include "wormnet/exp/sweep_spec.hpp"
+#include "wormnet/ft/fault_plan.hpp"
+#include "wormnet/ft/overlay.hpp"
+#include "wormnet/ft/recovery.hpp"
 #include "wormnet/cwg/cycle_classify.hpp"
 #include "wormnet/cwg/reduction.hpp"
 #include "wormnet/graph/cycles.hpp"

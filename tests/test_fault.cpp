@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "test_helpers.hpp"
 
 namespace wormnet::routing {
@@ -11,7 +13,7 @@ using topology::make_torus;
 TEST(Fault, FilterRemovesFaultyChannels) {
   const Topology topo = make_mesh({4, 4}, 2);
   std::vector<bool> faulty(topo.num_channels(), false);
-  mark_link_faulty(topo, 0, 1, faulty);
+  EXPECT_EQ(mark_link_faulty(topo, 0, 1, faulty), 2u);
   FaultAwareRouting routing(topo, std::make_unique<UnrestrictedMinimal>(topo),
                             faulty);
   EXPECT_EQ(routing.fault_count(), 2u);  // both VCs of the link
@@ -29,7 +31,7 @@ TEST(Fault, DeterministicRelationLosesConnectivity) {
   const Topology topo = make_mesh({4, 4});
   std::vector<bool> faulty(topo.num_channels(), false);
   // Fault the first X-hop of e-cube's unique path from (0,0) eastward.
-  mark_link_faulty(topo, 0, 1, faulty);
+  EXPECT_EQ(mark_link_faulty(topo, 0, 1, faulty), 1u);
   FaultAwareRouting routing(topo, std::make_unique<DimensionOrder>(topo),
                             faulty);
   const cdg::StateGraph states(topo, routing);
@@ -94,6 +96,37 @@ TEST(Fault, RandomFaultsAreDeterministic) {
   EXPECT_EQ(count, 3u * 2u);  // 3 links x 2 VCs
 }
 
+TEST(Fault, MarkLinkFaultyReportsNonAdjacentPairs) {
+  const Topology topo = make_mesh({3, 3}, 2);
+  std::vector<bool> faulty;
+  // (0,0) and (1,1) share no link: zero channels marked, mask untouched.
+  EXPECT_EQ(mark_link_faulty(topo, 0, 4, faulty), 0u);
+  EXPECT_EQ(std::count(faulty.begin(), faulty.end(), true), 0);
+  // Marking an adjacent pair counts each channel once, even when repeated.
+  EXPECT_EQ(mark_link_faulty(topo, 0, 1, faulty), 2u);
+  EXPECT_EQ(mark_link_faulty(topo, 0, 1, faulty), 0u);
+}
+
+TEST(Fault, DynamicOverlayTracksMaskMutation) {
+  const Topology topo = make_mesh({4, 4}, 2);
+  UnrestrictedMinimal base(topo);
+  std::vector<bool> mask(topo.num_channels(), false);
+  DynamicFaultRouting routing(topo, base, mask);
+
+  const auto before = routing.route(topology::kInvalidChannel, 0, 1);
+  EXPECT_EQ(before, base.route(topology::kInvalidChannel, 0, 1));
+
+  // Kill the direct link mid-lifetime: the wrapper sees the new epoch with
+  // no rebuild, exactly what the simulator's fault overlay relies on.
+  EXPECT_EQ(mark_link_faulty(topo, 0, 1, mask), 2u);
+  EXPECT_TRUE(routing.route(topology::kInvalidChannel, 0, 1).empty());
+  EXPECT_TRUE(routing.waiting(topology::kInvalidChannel, 0, 1).empty());
+
+  // And a repair restores the original candidates.
+  std::fill(mask.begin(), mask.end(), false);
+  EXPECT_EQ(routing.route(topology::kInvalidChannel, 0, 1), before);
+}
+
 TEST(Fault, MaskSizeMismatchThrows) {
   const Topology topo = make_mesh({3, 3});
   EXPECT_THROW(FaultAwareRouting(topo,
@@ -111,7 +144,7 @@ TEST(Fault, NonminimalHplRoutesAroundFaults) {
   // Kill the eastward link in row 3 between (1,3) and (2,3).
   const NodeId a = topo.node_at(std::vector<std::uint32_t>{1, 3});
   const NodeId b = topo.node_at(std::vector<std::uint32_t>{2, 3});
-  mark_link_faulty(topo, a, b, faulty);
+  ASSERT_EQ(mark_link_faulty(topo, a, b, faulty), 1u);
   FaultAwareRouting hpl(topo, std::make_unique<HighestPositiveLast>(topo, true),
                         faulty);
   // A message from (0,3) to (3,0): needs +x, -y; p=1, so it may drop south
