@@ -17,14 +17,22 @@
 //                  epoch's degraded relation re-certified (the library
 //                  contradicting the theorem — always a bug),
 //              2 = usage or configuration error.
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <memory>
 #include <string>
 
+#include "wormnet/cdg/duato_checker.hpp"
+#include "wormnet/cdg/states.hpp"
+#include "wormnet/core/registry.hpp"
 #include "wormnet/exp/sweep_io.hpp"
 #include "wormnet/exp/sweep_runner.hpp"
 #include "wormnet/ft/recovery.hpp"
 #include "wormnet/obs/metrics.hpp"
+#include "wormnet/obs/postmortem.hpp"
+#include "wormnet/obs/profiler.hpp"
 
 namespace {
 
@@ -62,8 +70,40 @@ int usage(const char* argv0) {
       << "  --packet-timeout N per-packet no-progress cycles before abort\n"
       << "                     (default 0 = inherit --watchdog)\n"
       << "  --watchdog N       global no-progress threshold (default 4000)\n"
+      << "  --postmortem-dir D write one JSON per captured deadlock postmortem\n"
+      << "                     (postmortem_<point>_<n>.json, cross-referenced\n"
+      << "                     against the pair's static CDG; fault points are\n"
+      << "                     cross-referenced against the pristine relation)\n"
+      << "  --profile FILE     self-profile the sweep: per-phase wall-time\n"
+      << "                     histograms to FILE, plus a point_ms column in\n"
+      << "                     the row output (breaks byte-determinism)\n"
       << "  --summary          print the aggregate + timing to stderr\n";
   return 2;
+}
+
+/// Memoized static context for postmortem cross-referencing: one state graph
+/// and Duato search per (topology spec, routing name) that deadlocked.
+struct XrefContext {
+  topology::Topology topo;
+  std::unique_ptr<routing::RoutingFunction> routing;
+  std::unique_ptr<cdg::StateGraph> states;
+  cdg::SearchResult search;
+};
+
+const XrefContext& xref_context(
+    std::map<std::pair<std::string, std::string>,
+             std::unique_ptr<XrefContext>>& cache,
+    const std::string& topo_spec, const std::string& routing_name) {
+  auto& slot = cache[{topo_spec, routing_name}];
+  if (!slot) {
+    auto ctx = std::make_unique<XrefContext>(
+        XrefContext{core::make_topology(topo_spec), nullptr, nullptr, {}});
+    ctx->routing = core::make_algorithm(routing_name, ctx->topo);
+    ctx->states = std::make_unique<cdg::StateGraph>(ctx->topo, *ctx->routing);
+    ctx->search = cdg::search(*ctx->states);
+    slot = std::move(ctx);
+  }
+  return *slot;
 }
 
 std::uint64_t parse_u64_arg(const char* argv0, const std::string& flag,
@@ -88,6 +128,8 @@ int main(int argc, char** argv) {
   std::string out_format = "jsonl";
   std::string output_path;
   std::string metrics_path;
+  std::string postmortem_dir;
+  std::string profile_path;
   exp::RunnerOptions runner;
   sim::SimConfig base;
   bool progress = false;
@@ -123,6 +165,14 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return 2;
       metrics_path = v;
+    } else if (arg == "--postmortem-dir") {
+      const char* v = value();
+      if (v == nullptr) return 2;
+      postmortem_dir = v;
+    } else if (arg == "--profile") {
+      const char* v = value();
+      if (v == nullptr) return 2;
+      profile_path = v;
     } else if (arg == "--warmup") {
       const char* v = value();
       if (v == nullptr) return 2;
@@ -195,6 +245,8 @@ int main(int argc, char** argv) {
 
   obs::MetricsRegistry metrics;
   if (!metrics_path.empty()) runner.metrics = &metrics;
+  obs::Profiler profiler;
+  if (!profile_path.empty()) runner.profiler = &profiler;
   if (progress) {
     runner.progress = [](std::size_t done, std::size_t total) {
       std::cerr << "\r" << done << "/" << total << std::flush;
@@ -213,11 +265,13 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  exp::SweepIoOptions io;
+  io.timings = !profile_path.empty();
   if (output_path.empty()) {
     if (out_format == "jsonl") {
-      exp::write_jsonl(std::cout, outcome);
+      exp::write_jsonl(std::cout, outcome, io);
     } else {
-      exp::write_csv(std::cout, outcome);
+      exp::write_csv(std::cout, outcome, io);
     }
   } else {
     std::ofstream file(output_path, std::ios::binary);
@@ -226,10 +280,57 @@ int main(int argc, char** argv) {
       return 2;
     }
     if (out_format == "jsonl") {
-      exp::write_jsonl(file, outcome);
+      exp::write_jsonl(file, outcome, io);
     } else {
-      exp::write_csv(file, outcome);
+      exp::write_csv(file, outcome, io);
     }
+  }
+
+  if (!postmortem_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(postmortem_dir, ec);
+    if (ec) {
+      std::cerr << argv[0] << ": cannot create " << postmortem_dir << ": "
+                << ec.message() << "\n";
+      return 2;
+    }
+    std::map<std::pair<std::string, std::string>,
+             std::unique_ptr<XrefContext>> xrefs;
+    std::size_t written = 0;
+    for (const exp::SweepResult& r : outcome.results) {
+      for (std::size_t n = 0; n < r.postmortems.size(); ++n) {
+        const XrefContext& ctx =
+            xref_context(xrefs, r.point.topology, r.point.routing);
+        const obs::PostmortemReport report =
+            obs::cross_reference(*ctx.states, ctx.search, r.postmortems[n],
+                                 r.point.topology, r.point.routing);
+        const std::filesystem::path path =
+            std::filesystem::path(postmortem_dir) /
+            ("postmortem_" + std::to_string(r.point.index) + "_" +
+             std::to_string(n) + ".json");
+        std::ofstream file(path, std::ios::binary);
+        if (!file) {
+          std::cerr << argv[0] << ": cannot open " << path.string() << "\n";
+          return 2;
+        }
+        obs::write_postmortem_json(file, ctx.topo, report);
+        ++written;
+      }
+    }
+    if (summary) {
+      std::cerr << written << " postmortem(s) written to " << postmortem_dir
+                << "\n";
+    }
+  }
+
+  if (!profile_path.empty()) {
+    std::ofstream file(profile_path, std::ios::binary);
+    if (!file) {
+      std::cerr << argv[0] << ": cannot open " << profile_path << "\n";
+      return 2;
+    }
+    profiler.write_json(file);
+    file << "\n";
   }
 
   if (!metrics_path.empty()) {

@@ -9,7 +9,12 @@
 // The interesting number is baseline vs null-trace: that gap is what every
 // untraced user pays for the instrumentation existing at all, and it should
 // be indistinguishable from noise.
+// Results also land in BENCH_trace.json (google-benchmark JSON schema) so
+// the perf trajectory accumulates PR-over-PR next to BENCH_sweep.json.
 #include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
 
 #include "wormnet/wormnet.hpp"
 
@@ -71,4 +76,20 @@ BENCHMARK(BM_SimulateMetrics)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // google-benchmark only honours a JSON file reporter when --benchmark_out
+  // is set, so default it here; flags later in argv (user-supplied) win.
+  std::string out_flag = "--benchmark_out=BENCH_trace.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  args.push_back(out_flag.data());
+  args.push_back(fmt_flag.data());
+  for (int i = 1; i < argc; ++i) args.push_back(argv[i]);
+  int argn = static_cast<int>(args.size());
+  benchmark::Initialize(&argn, args.data());
+  if (benchmark::ReportUnrecognizedArguments(argn, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

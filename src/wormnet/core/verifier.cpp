@@ -1,11 +1,13 @@
 #include "wormnet/core/verifier.hpp"
 
+#include <optional>
 #include <sstream>
 
 #include "wormnet/cdg/cdg_builder.hpp"
 #include "wormnet/cdg/message_flow.hpp"
 #include "wormnet/cwg/cwg_builder.hpp"
 #include "wormnet/cwg/cycle_classify.hpp"
+#include "wormnet/obs/probe.hpp"
 
 namespace wormnet::core {
 namespace {
@@ -256,22 +258,53 @@ const char* to_string(Method method) {
 Verdict verify(const topology::Topology& topo,
                const routing::RoutingFunction& routing,
                const VerifyOptions& options) {
+  const std::string method_phase =
+      std::string("verify.") + to_string(options.method);
   if (options.method == Method::kSimulation) {
+    obs::Profiler::Scope timer(options.profiler, method_phase.c_str());
     return verify_sim(topo, routing, options.sim);
   }
-  const cdg::StateGraph states(topo, routing);
-  switch (options.method) {
-    case Method::kCdgAcyclic:
-      return verify_cdg(states);
-    case Method::kDuato:
-      return verify_duato(states, options.duato, routing);
-    case Method::kCwg:
-      return verify_cwg(states, options.cwg, routing);
-    case Method::kMessageFlow:
-      return verify_message_flow(states);
-    default:
-      return {};
+  // With a profiler attached, also install a checker probe for the duration
+  // so the static pipeline's fine-grained phases (cdg_build, search stages,
+  // cycle_enumeration, ...) surface as "checker.<phase>" samples.
+  std::optional<obs::CheckerStats> probe_stats;
+  std::optional<obs::ProbeScope> probe;
+  if (options.profiler != nullptr) {
+    probe_stats.emplace();
+    probe.emplace(*probe_stats);
   }
+  std::optional<cdg::StateGraph> states;
+  {
+    obs::Profiler::Scope timer(options.profiler, "verify.state_graph");
+    states.emplace(topo, routing);
+  }
+  Verdict verdict;
+  {
+    obs::Profiler::Scope timer(options.profiler, method_phase.c_str());
+    switch (options.method) {
+      case Method::kCdgAcyclic:
+        verdict = verify_cdg(*states);
+        break;
+      case Method::kDuato:
+        verdict = verify_duato(*states, options.duato, routing);
+        break;
+      case Method::kCwg:
+        verdict = verify_cwg(*states, options.cwg, routing);
+        break;
+      case Method::kMessageFlow:
+        verdict = verify_message_flow(*states);
+        break;
+      default:
+        break;
+    }
+  }
+  if (options.profiler != nullptr) {
+    probe.reset();
+    for (const auto& [phase, seconds] : probe_stats->phase_seconds) {
+      options.profiler->add("checker." + phase, seconds * 1000.0);
+    }
+  }
+  return verdict;
 }
 
 bool FullReport::consistent() const {

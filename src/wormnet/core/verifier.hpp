@@ -20,6 +20,7 @@
 #include "wormnet/cdg/duato_checker.hpp"
 #include "wormnet/core/verdict.hpp"
 #include "wormnet/cwg/reduction.hpp"
+#include "wormnet/obs/profiler.hpp"
 #include "wormnet/routing/routing_function.hpp"
 #include "wormnet/sim/simulator.hpp"
 
@@ -52,6 +53,12 @@ struct VerifyOptions {
   cdg::SearchOptions duato;
   cwg::ReductionOptions cwg;
   sim::SimConfig sim = default_verify_sim();  ///< used by kSimulation
+  /// Borrowed self-profiling registry (null = off).  When set, verify()
+  /// times the state-graph build and the method dispatch as
+  /// "verify.state_graph" / "verify.<method>", and additionally installs a
+  /// checker probe so the static pipeline's internal phases land as one
+  /// "checker.<phase>" sample each (the phase's total wall time).
+  obs::Profiler* profiler = nullptr;
 };
 
 [[nodiscard]] Verdict verify(const topology::Topology& topo,

@@ -28,6 +28,7 @@ const AnalysisEntry& AnalysisCache::get(const std::string& topo_spec,
     return slot->entry;
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
+  obs::Profiler::Scope miss_timer(profiler_, "sweep.analysis");
 
   AnalysisEntry entry;
   entry.topo = std::make_shared<const topology::Topology>(
@@ -37,6 +38,7 @@ const AnalysisEntry& AnalysisCache::get(const std::string& topo_spec,
 
   core::VerifyOptions options;
   options.method = core::Method::kDuato;
+  options.profiler = profiler_;
   entry.duato = core::verify(*entry.topo, *algorithm, options);
   entry.certified =
       entry.duato.conclusion == core::Conclusion::kDeadlockFree;
@@ -77,6 +79,7 @@ const AnalysisEntry& AnalysisCache::get_degraded(
   // get() is safe to call here (it only ever takes registry_mutex_ and its
   // own slot's fill mutex, never this one).
   const AnalysisEntry& base = get(topo_spec, routing);
+  obs::Profiler::Scope miss_timer(profiler_, "sweep.epoch_reverify");
 
   AnalysisEntry entry;
   entry.topo = base.topo;
@@ -86,6 +89,7 @@ const AnalysisEntry& AnalysisCache::get_degraded(
 
   core::VerifyOptions options;
   options.method = core::Method::kDuato;
+  options.profiler = profiler_;
   entry.duato = core::verify(*entry.topo, degraded, options);
   entry.certified =
       entry.duato.conclusion == core::Conclusion::kDeadlockFree;

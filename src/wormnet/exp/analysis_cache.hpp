@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "wormnet/core/verdict.hpp"
+#include "wormnet/obs/profiler.hpp"
 #include "wormnet/topology/topology.hpp"
 
 namespace wormnet::exp {
@@ -40,7 +41,12 @@ class AnalysisCache {
  public:
   /// `with_cwg` additionally runs the channel-waiting-graph reduction per
   /// key; off by default because sweeps only need the Duato certification.
-  explicit AnalysisCache(bool with_cwg = false) : with_cwg_(with_cwg) {}
+  /// `profiler` (borrowed, nullable) times each cache miss as
+  /// "sweep.analysis" / "sweep.epoch_reverify" and is passed down to the
+  /// verifier for its per-method phases; hits cost nothing.
+  explicit AnalysisCache(bool with_cwg = false,
+                         obs::Profiler* profiler = nullptr)
+      : with_cwg_(with_cwg), profiler_(profiler) {}
 
   /// Returns the entry for (topology spec, canonical routing name),
   /// computing it on first use.  The reference stays valid for the cache's
@@ -70,6 +76,7 @@ class AnalysisCache {
   };
 
   bool with_cwg_;
+  obs::Profiler* profiler_;
   std::mutex registry_mutex_;
   std::map<std::string, std::unique_ptr<Slot>> slots_;
   std::atomic<std::uint64_t> hits_{0};

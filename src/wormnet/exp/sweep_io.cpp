@@ -5,7 +5,8 @@
 
 namespace wormnet::exp {
 
-void write_jsonl(std::ostream& os, const SweepOutcome& outcome) {
+void write_jsonl(std::ostream& os, const SweepOutcome& outcome,
+                 const SweepIoOptions& options) {
   for (const SweepResult& r : outcome.results) {
     obs::JsonWriter w(os);
     w.begin_object();
@@ -45,6 +46,7 @@ void write_jsonl(std::ostream& os, const SweepOutcome& outcome) {
     w.field("max_channel_utilization", r.stats.max_channel_utilization);
     w.field("max_hops", r.stats.max_hops);
     w.field("cycles_run", r.stats.cycles_run);
+    if (options.timings) w.field("point_ms", r.point_ms);
     w.end_object();
     os << "\n";
   }
@@ -69,7 +71,8 @@ void write_jsonl(std::ostream& os, const SweepOutcome& outcome) {
   }
 }
 
-void write_csv(std::ostream& os, const SweepOutcome& outcome) {
+void write_csv(std::ostream& os, const SweepOutcome& outcome,
+               const SweepIoOptions& options) {
   os << "i,topology,routing,pattern,load,rep,seed,fault,certified,duato,cwg,"
         "fault_epochs,uncertified_epochs,deadlocked,saturated,"
         "packets_created,packets_delivered,measured_delivered,"
@@ -77,7 +80,9 @@ void write_csv(std::ostream& os, const SweepOutcome& outcome) {
         "avg_latency,p50_latency,p99_latency,"
         "avg_network_latency,offered_load,accepted_throughput,"
         "avg_channel_utilization,max_channel_utilization,max_hops,"
-        "cycles_run\n";
+        "cycles_run";
+  if (options.timings) os << ",point_ms";
+  os << "\n";
   for (const SweepResult& r : outcome.results) {
     // Topology specs, registry names, and fault-plan texts contain no
     // commas/quotes ('+' joins plan events precisely so the grid and CSV
@@ -103,7 +108,9 @@ void write_csv(std::ostream& os, const SweepOutcome& outcome) {
        << obs::json_double(r.stats.accepted_throughput) << ','
        << obs::json_double(r.stats.avg_channel_utilization) << ','
        << obs::json_double(r.stats.max_channel_utilization) << ','
-       << r.stats.max_hops << ',' << r.stats.cycles_run << "\n";
+       << r.stats.max_hops << ',' << r.stats.cycles_run;
+    if (options.timings) os << ',' << obs::json_double(r.point_ms);
+    os << "\n";
   }
 }
 

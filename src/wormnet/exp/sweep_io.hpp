@@ -14,12 +14,22 @@
 
 namespace wormnet::exp {
 
+struct SweepIoOptions {
+  /// Append the wall-clock timing column (`point_ms`) to every row.  Wall
+  /// time is environment-dependent, so this defaults to off: the default
+  /// outputs stay byte-identical across runs, hosts, and thread counts (the
+  /// property the golden tests pin).  `wormnet-sweep --profile` turns it on.
+  bool timings = false;
+};
+
 /// One JSON object per point, then one trailing summary object
 /// ({"aggregate":…,"skipped":…,"cache":…}).
-void write_jsonl(std::ostream& os, const SweepOutcome& outcome);
+void write_jsonl(std::ostream& os, const SweepOutcome& outcome,
+                 const SweepIoOptions& options = {});
 
 /// RFC-4180-style CSV: a header row then one row per point.  The aggregate
 /// is not embedded (CSV consumers recompute or read the JSONL).
-void write_csv(std::ostream& os, const SweepOutcome& outcome);
+void write_csv(std::ostream& os, const SweepOutcome& outcome,
+               const SweepIoOptions& options = {});
 
 }  // namespace wormnet::exp

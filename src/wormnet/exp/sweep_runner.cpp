@@ -16,7 +16,9 @@ namespace {
 /// one simulation.  Everything written is local to the point's result slot,
 /// so points are embarrassingly parallel.
 SweepResult run_point(const SweepSpec& spec, const SweepPoint& point,
-                      AnalysisCache& cache) {
+                      AnalysisCache& cache, obs::Profiler* profiler) {
+  const auto point_start = std::chrono::steady_clock::now();
+  obs::Profiler::Scope point_timer(profiler, "sweep.point");
   const AnalysisEntry& analysis = cache.get(point.topology, point.routing);
   // Routing functions are rebuilt per point: construction is cheap and it
   // sidesteps any question of sharing virtual dispatch state across threads.
@@ -55,10 +57,19 @@ SweepResult run_point(const SweepSpec& spec, const SweepPoint& point,
     }
   }
 
-  result.stats = sim::run(*analysis.topo, *routing, cfg);
+  {
+    // Direct Simulator (not the sim::run wrapper) so captured postmortems
+    // survive the run — they carry the forensics --postmortem-dir writes out.
+    sim::Simulator simulator(*analysis.topo, *routing, cfg);
+    result.stats = simulator.run();
+    result.postmortems = simulator.postmortems();
+  }
   result.duato = analysis.duato.conclusion;
   result.cwg = analysis.cwg.conclusion;
   result.certified = analysis.certified && result.epochs_certified;
+  result.point_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - point_start)
+                        .count();
   return result;
 }
 
@@ -105,7 +116,7 @@ SweepOutcome run_sweep(const SweepSpec& spec, const RunnerOptions& options) {
   const auto start = std::chrono::steady_clock::now();
 
   ExpandedSweep expanded = expand(spec);
-  AnalysisCache cache(options.with_cwg);
+  AnalysisCache cache(options.with_cwg, options.profiler);
 
   SweepOutcome out;
   out.skipped = std::move(expanded.skipped);
@@ -122,7 +133,8 @@ SweepOutcome run_sweep(const SweepSpec& spec, const RunnerOptions& options) {
   if (threads <= 1) {
     // Inline reference path: what the determinism tests compare against.
     for (std::size_t i = 0; i < total; ++i) {
-      out.results[i] = run_point(spec, expanded.points[i], cache);
+      out.results[i] =
+          run_point(spec, expanded.points[i], cache, options.profiler);
       if (options.progress) options.progress(i + 1, total);
     }
   } else {
@@ -138,7 +150,8 @@ SweepOutcome run_sweep(const SweepSpec& spec, const RunnerOptions& options) {
       const std::size_t end = std::min(begin + chunk, total);
       const bool accepted = pool.submit([&, begin, end] {
         for (std::size_t i = begin; i < end; ++i) {
-          out.results[i] = run_point(spec, expanded.points[i], cache);
+          out.results[i] =
+              run_point(spec, expanded.points[i], cache, options.profiler);
           if (options.progress) {
             std::lock_guard lock(progress_mutex);
             options.progress(++done, total);
@@ -162,7 +175,15 @@ SweepOutcome run_sweep(const SweepSpec& spec, const RunnerOptions& options) {
   out.wall_ms = std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - start)
                     .count();
-  if (options.metrics) export_metrics(*options.metrics, out);
+  if (options.metrics) {
+    export_metrics(*options.metrics, out);
+    std::uint64_t postmortems = 0;
+    for (const SweepResult& r : out.results) postmortems += r.postmortems.size();
+    if (postmortems > 0) {
+      options.metrics->counter("sweep.postmortems").set(postmortems);
+    }
+    if (options.profiler) options.profiler->export_to(*options.metrics);
+  }
   return out;
 }
 

@@ -30,6 +30,8 @@
 #include "wormnet/exp/analysis_cache.hpp"
 #include "wormnet/exp/sweep_spec.hpp"
 #include "wormnet/obs/metrics.hpp"
+#include "wormnet/obs/postmortem.hpp"
+#include "wormnet/obs/profiler.hpp"
 
 namespace wormnet::exp {
 
@@ -52,6 +54,12 @@ struct SweepResult {
   /// harness trusts: a deadlock on a certified point falsifies the theorem
   /// or (far more likely) the implementation.
   bool certified = false;
+  /// Postmortems the point's simulator captured (deadlock halt, watchdog,
+  /// retry exhaustion) — deterministic, part of the reproducible surface.
+  std::vector<obs::RuntimePostmortem> postmortems;
+  /// Wall time of this point (analysis + simulation).  NOT deterministic;
+  /// excluded from sweep rows unless timings are explicitly requested.
+  double point_ms = 0.0;
 };
 
 struct RunnerOptions {
@@ -65,6 +73,12 @@ struct RunnerOptions {
   /// Borrowed; populated after the parallel phase (counters `sweep.*`).
   /// Null = disabled.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Borrowed self-profiling registry (null = off): per-point wall time
+  /// lands as "sweep.point" samples, cache misses as "sweep.analysis" /
+  /// "sweep.epoch_reverify" (plus the verifier's own phases), and the whole
+  /// registry is copied into `metrics` as "profile.*" histograms at the end.
+  /// Timing values are wall clock — never part of the deterministic surface.
+  obs::Profiler* profiler = nullptr;
   /// Progress callback, invoked from worker threads under a mutex as each
   /// point finishes.  Keep it cheap; null = disabled.
   std::function<void(std::size_t done, std::size_t total)> progress;

@@ -54,6 +54,10 @@ LintResult run_lint(const Topology& topo, const RoutingFunction& routing,
       probe->add_phase((std::string("lint/") + rule->id).c_str(),
                        timing.seconds);
     }
+    if (options.profiler != nullptr) {
+      options.profiler->add(std::string("lint.") + rule->id,
+                            timing.seconds * 1000.0);
+    }
   }
   return result;
 }

@@ -14,6 +14,7 @@
 #include "wormnet/lint/context.hpp"
 #include "wormnet/lint/diagnostic.hpp"
 #include "wormnet/lint/rule.hpp"
+#include "wormnet/obs/profiler.hpp"
 
 namespace wormnet::lint {
 
@@ -22,6 +23,9 @@ struct LintOptions {
   std::vector<std::string> rules;
   /// Budget for the subfunction search behind WN002.
   cdg::SearchOptions duato_options = LintContext::default_search_options();
+  /// Borrowed self-profiling registry (null = off): each rule's wall time
+  /// lands as one "lint.WN0xx" sample.
+  obs::Profiler* profiler = nullptr;
 };
 
 struct RuleTiming {

@@ -1,0 +1,94 @@
+// The flight recorder: a fixed-capacity ring buffer of channel-level
+// lifecycle events inside the Simulator, cheap enough to leave on by default.
+//
+// Unlike the TraceSink stream (which narrates *everything* and costs a
+// virtual call plus serialization per event), the recorder keeps only the
+// most recent `capacity` compact 24-byte records in a preallocated ring:
+// recording is a bounds-free store + two counter increments, there is no
+// allocation after construction, and nothing is rendered until a postmortem
+// asks for the tail.  Drops by ring wraparound are counted, never silent
+// (SimStats::flight_events_dropped).
+//
+// Determinism contract (DESIGN 3.9): recording is driven exclusively by the
+// simulator's own deterministic event order and cycle counter — no wall
+// clock, no thread ids — so the recorded sequence is bit-identical across
+// runs, hosts, and any `--threads` value of the sweep engine (each sweep
+// point owns a private recorder).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace wormnet::obs {
+
+enum class FlightKind : std::uint8_t {
+  kAcquire,   ///< header acquired a virtual channel
+  kRelease,   ///< tail flit left a channel (or an abort cleared it)
+  kWait,      ///< header transitioned to blocked (edge-triggered)
+  kWaitVoid,  ///< a committed wait was voided (its channel went faulty)
+  kFault,     ///< channel transitioned to faulty
+  kRepair,    ///< channel transitioned back to healthy
+  kAbort,     ///< packet aborted (recovery victim or timeout)
+  kRetry,     ///< aborted packet re-entered its source queue
+  kDrop,      ///< packet gave up (budget exhausted / drain refusal)
+  kDeadlock,  ///< wait-for cycle detected
+  kWatchdog,  ///< global no-progress watchdog fired
+};
+
+[[nodiscard]] const char* to_string(FlightKind kind) noexcept;
+
+/// One compact record.  `aux` carries the kind-specific extra: the node for
+/// kWait, the fault epoch for kFault/kRepair, the attempt count for
+/// kAbort/kRetry, the knot size for kDeadlock.  Unused ids stay kNoId
+/// (declared in trace.hpp but redefined here to keep this header free).
+struct FlightEvent {
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+
+  std::uint64_t cycle = 0;
+  FlightKind kind = FlightKind::kAcquire;
+  std::uint32_t packet = kNone;
+  std::uint32_t channel = kNone;
+  std::uint32_t aux = kNone;
+};
+
+class FlightRecorder {
+ public:
+  /// `capacity` of 0 disables the recorder entirely (record() still safe).
+  explicit FlightRecorder(std::size_t capacity);
+
+  void record(const FlightEvent& event) noexcept {
+    if (ring_.empty()) return;
+    ring_[next_] = event;
+    next_ = next_ + 1 == ring_.size() ? 0 : next_ + 1;
+    if (size_ < ring_.size()) {
+      ++size_;
+    } else {
+      ++dropped_;
+    }
+    ++recorded_;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return ring_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  /// Events ever recorded (including those since overwritten).
+  [[nodiscard]] std::uint64_t recorded() const noexcept { return recorded_; }
+  /// Events lost to ring wraparound.
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+  /// The retained events in chronological order (oldest first).
+  [[nodiscard]] std::vector<FlightEvent> snapshot() const;
+
+  /// The most recent `n` events in chronological order.
+  [[nodiscard]] std::vector<FlightEvent> tail(std::size_t n) const;
+
+  void clear() noexcept;
+
+ private:
+  std::vector<FlightEvent> ring_;
+  std::size_t next_ = 0;  ///< slot the next record lands in
+  std::size_t size_ = 0;  ///< retained events (<= capacity)
+  std::uint64_t recorded_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace wormnet::obs

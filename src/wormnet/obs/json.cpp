@@ -7,9 +7,46 @@
 
 namespace wormnet::obs {
 
+namespace {
+
+/// Length of the valid UTF-8 sequence starting at text[pos], or 0 when the
+/// bytes there are not well-formed UTF-8 (truncated sequence, overlong
+/// encoding, surrogate code point, or a value past U+10FFFF).
+std::size_t utf8_sequence_length(std::string_view text, std::size_t pos) {
+  const auto byte = [&](std::size_t i) {
+    return static_cast<unsigned char>(text[i]);
+  };
+  const unsigned char lead = byte(pos);
+  std::size_t len = 0;
+  std::uint32_t code = 0;
+  std::uint32_t min = 0;
+  if ((lead & 0xe0u) == 0xc0u) {
+    len = 2; code = lead & 0x1fu; min = 0x80;
+  } else if ((lead & 0xf0u) == 0xe0u) {
+    len = 3; code = lead & 0x0fu; min = 0x800;
+  } else if ((lead & 0xf8u) == 0xf0u) {
+    len = 4; code = lead & 0x07u; min = 0x10000;
+  } else {
+    return 0;  // lone continuation byte or invalid lead (0xfe/0xff)
+  }
+  if (pos + len > text.size()) return 0;  // truncated at end of string
+  for (std::size_t i = 1; i < len; ++i) {
+    const unsigned char cont = byte(pos + i);
+    if ((cont & 0xc0u) != 0x80u) return 0;
+    code = (code << 6) | (cont & 0x3fu);
+  }
+  if (code < min) return 0;                         // overlong encoding
+  if (code >= 0xd800u && code <= 0xdfffu) return 0; // UTF-16 surrogate
+  if (code > 0x10ffffu) return 0;                   // beyond Unicode
+  return len;
+}
+
+}  // namespace
+
 void json_quote(std::ostream& os, std::string_view text) {
   os << '"';
-  for (const char ch : text) {
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char ch = text[i];
     switch (ch) {
       case '"': os << "\\\""; break;
       case '\\': os << "\\\\"; break;
@@ -18,15 +55,27 @@ void json_quote(std::ostream& os, std::string_view text) {
       case '\n': os << "\\n"; break;
       case '\r': os << "\\r"; break;
       case '\t': os << "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(ch) < 0x20) {
+      default: {
+        const unsigned char uc = static_cast<unsigned char>(ch);
+        if (uc < 0x20) {
           std::array<char, 8> buf{};
           std::snprintf(buf.data(), buf.size(), "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+                        static_cast<unsigned>(uc));
           os << buf.data();
-        } else {
+        } else if (uc < 0x80) {
           os << ch;
+        } else if (const std::size_t len = utf8_sequence_length(text, i);
+                   len != 0) {
+          // Well-formed multi-byte UTF-8 passes through raw (RFC 8259 only
+          // requires escaping quote, backslash and controls).
+          os << text.substr(i, len);
+          i += len - 1;
+        } else {
+          // Invalid byte: a raw copy would make the whole document illegal
+          // UTF-8, so substitute U+FFFD and keep the output parseable.
+          os << "\\ufffd";
         }
+      }
     }
   }
   os << '"';

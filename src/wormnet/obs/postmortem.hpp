@@ -1,0 +1,152 @@
+// Deadlock postmortems: structured artifacts tying an observed runtime
+// deadlock back to the static dependency graphs the paper reasons about.
+//
+// When the simulator halts on a wait-for cycle, trips its watchdog, or
+// exhausts a packet's retry budget, it captures a `RuntimePostmortem`: the
+// terminal wait-for graph, every wait cycle in the terminal knot (the live
+// detector reports just one), and the flight-recorder tail leading up to the
+// event.  `cross_reference()` then lifts each runtime cycle into the static
+// channel dependency graph — each blocked packet contributes its acquired
+// path suffix, each wait contributes one more dependency edge, and the
+// concatenation closes into a static channel cycle — and classifies every
+// edge against the Duato search result: part of the certified escape
+// subfunction's extended CDG ("escape", with its direct/indirect/cross
+// kind), or outside it ("adaptive").
+//
+// The punchline field is `contradiction`: a Duato-certified configuration
+// whose runtime cycle is confined to escape edges would witness the paper's
+// theorem failing (acyclic extended CDG yet a deadlock inside C1) — the
+// PR-3 differential property turned into an explainable artifact.  On
+// non-certified configurations the report instead *explains* the deadlock:
+// the concrete CDG cycle no escape structure breaks.
+//
+// Artifacts serialize via write_postmortem_json() (byte-deterministic,
+// channel names embedded so `wormnet-explain` needs no topology access).
+#pragma once
+
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "wormnet/cdg/duato_checker.hpp"
+#include "wormnet/obs/flight.hpp"
+#include "wormnet/sim/deadlock_detector.hpp"
+
+namespace wormnet::obs {
+
+enum class PostmortemReason : std::uint8_t {
+  kWaitCycle,       ///< the wait-for-graph detector found a knot
+  kWatchdog,        ///< global no-progress watchdog fired
+  kRetryExhausted,  ///< a packet ran out of abort-retry budget
+};
+
+[[nodiscard]] const char* to_string(PostmortemReason reason) noexcept;
+
+/// One blocked packet in the terminal wait-for graph.
+struct WaitForNode {
+  sim::PacketId packet = sim::kNoPacket;
+  topology::NodeId node = 0;  ///< where the blocked header sits
+  /// Last channel the packet acquired (kInvalidChannel while source-queued).
+  topology::ChannelId occupies = topology::kInvalidChannel;
+  std::vector<topology::ChannelId> waiting_on;
+  /// Owner of each waiting channel, parallel to waiting_on (kNoPacket=free).
+  std::vector<sim::PacketId> owners;
+};
+
+/// One packet's contribution to a runtime wait cycle.
+struct CycleHop {
+  sim::PacketId packet = sim::kNoPacket;
+  /// The channel this packet waits on — owned by the next hop's packet.
+  topology::ChannelId waits_for = topology::kInvalidChannel;
+  /// This packet's acquired-path suffix, from the channel the *previous*
+  /// hop waits on (which this packet owns) through its head channel.  The
+  /// concatenation of all hops' chains is a closed static channel cycle:
+  /// consecutive chain channels are path-contiguity dependencies, and each
+  /// chain end -> next chain start is the wait dependency.
+  std::vector<topology::ChannelId> chain;
+};
+
+struct RuntimeCycle {
+  std::vector<CycleHop> hops;
+
+  /// The induced static channel cycle (concatenated hop chains, in order).
+  [[nodiscard]] std::vector<topology::ChannelId> channel_cycle() const;
+};
+
+/// Everything the simulator knows at the moment of a terminal event.
+struct RuntimePostmortem {
+  PostmortemReason reason = PostmortemReason::kWaitCycle;
+  std::uint64_t cycle = 0;  ///< simulation cycle of the event
+  /// The packet a recovery policy aborted (kNoPacket under halt).
+  sim::PacketId victim = sim::kNoPacket;
+  std::vector<WaitForNode> wait_for;
+  std::vector<RuntimeCycle> cycles;
+  std::vector<FlightEvent> flight_tail;
+  std::uint64_t flight_recorded = 0;
+  std::uint64_t flight_dropped = 0;
+};
+
+/// Extracts EVERY wait cycle in the terminal knot of `blocked` (the live
+/// detector extracts one and stops).  `owner_of` maps a channel to its
+/// current owner; `path_of` returns a packet's acquired channel path.
+/// Deterministic: knot membership and walk order follow packet-id order.
+[[nodiscard]] std::vector<RuntimeCycle> extract_wait_cycles(
+    const std::vector<sim::BlockedPacket>& blocked,
+    const std::function<sim::PacketId(topology::ChannelId)>& owner_of,
+    const std::function<const std::vector<topology::ChannelId>&(
+        sim::PacketId)>& path_of);
+
+/// One static-CDG edge of a lifted runtime cycle, classified.
+struct EdgeXref {
+  topology::ChannelId from = topology::kInvalidChannel;
+  topology::ChannelId to = topology::kInvalidChannel;
+  /// True iff the edge exists in the plain CDG of the base relation.  A
+  /// correctly lifted cycle has this true on every edge — each hop is either
+  /// a path-contiguity dependency or a wait dependency.
+  bool in_cdg = false;
+  /// True iff the edge belongs to the certified escape subfunction's
+  /// extended CDG (both endpoints in C1 and the dependency survives there).
+  bool escape = false;
+  /// DepKind name for escape edges ("direct", "indirect", "direct-cross",
+  /// "indirect-cross"); "adaptive" for everything outside the escape ECDG.
+  std::string kind = "adaptive";
+};
+
+/// A runtime cycle lifted into the static graphs.
+struct CycleXref {
+  std::vector<sim::PacketId> packets;           ///< hop packets, in order
+  std::vector<topology::ChannelId> channels;    ///< the static channel cycle
+  std::vector<EdgeXref> edges;                  ///< edge i: channels[i] -> channels[(i+1)%n]
+  bool maps_to_cdg = false;      ///< every edge exists in the plain CDG
+  bool escape_confined = false;  ///< every edge is an escape edge
+  bool contradiction = false;    ///< certified AND escape_confined
+};
+
+struct PostmortemReport {
+  std::string topology;  ///< topology spec the run used
+  std::string routing;   ///< canonical routing name
+  /// Duato search verdict for the pair: a qualifying subfunction exists.
+  bool certified = false;
+  std::string subfunction;  ///< label of the certified escape set, if any
+  RuntimePostmortem runtime;
+  std::vector<CycleXref> cycles;  ///< parallel to runtime.cycles
+  bool contradiction = false;     ///< any cycle flagged the contradiction
+};
+
+/// Lifts every runtime cycle into the static CDG / extended CDG of the
+/// (states, search) pair and classifies the edges.  `search` is the Duato
+/// search result for the same topology and routing the simulation ran
+/// (search.found == certified); for failed searches every edge classifies
+/// as adaptive.
+[[nodiscard]] PostmortemReport cross_reference(
+    const cdg::StateGraph& states, const cdg::SearchResult& search,
+    const RuntimePostmortem& runtime, std::string topology,
+    std::string routing);
+
+/// Deterministic JSON rendering (channel names from `topo` are embedded so
+/// the artifact is self-contained for wormnet-explain).
+void write_postmortem_json(std::ostream& os, const topology::Topology& topo,
+                           const PostmortemReport& report);
+
+}  // namespace wormnet::obs

@@ -1,0 +1,63 @@
+#include "wormnet/obs/profiler.hpp"
+
+#include "wormnet/obs/json.hpp"
+
+namespace wormnet::obs {
+
+void Profiler::add(std::string_view name, double ms) {
+  std::lock_guard lock(mutex_);
+  auto it = phases_.find(name);
+  if (it == phases_.end()) {
+    it = phases_.emplace(std::string(name), Histogram{}).first;
+  }
+  it->second.add(ms);
+}
+
+std::uint64_t Profiler::samples(std::string_view name) const {
+  std::lock_guard lock(mutex_);
+  const auto it = phases_.find(name);
+  return it == phases_.end() ? 0 : it->second.count();
+}
+
+double Profiler::total_ms(std::string_view name) const {
+  std::lock_guard lock(mutex_);
+  const auto it = phases_.find(name);
+  return it == phases_.end() ? 0.0 : it->second.sum();
+}
+
+std::vector<std::string> Profiler::phases() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(phases_.size());
+  for (const auto& [name, hist] : phases_) names.push_back(name);
+  return names;
+}
+
+void Profiler::export_to(MetricsRegistry& registry) const {
+  std::lock_guard lock(mutex_);
+  for (const auto& [name, hist] : phases_) {
+    registry.histogram("profile." + name) = hist;
+  }
+}
+
+void Profiler::write_json(std::ostream& os) const {
+  std::lock_guard lock(mutex_);
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("profile");
+  w.begin_object();
+  for (const auto& [name, hist] : phases_) {
+    w.key(name);
+    w.begin_object();
+    w.field("count", hist.count());
+    w.field("total_ms", hist.sum());
+    w.field("min_ms", hist.min());
+    w.field("max_ms", hist.max());
+    w.field("mean_ms", hist.mean());
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace wormnet::obs

@@ -1,0 +1,86 @@
+// Self-profiling registry: named wall-time phases accumulated into
+// histograms, shared across threads.
+//
+// The existing obs::CheckerStats probe is a *thread-local* accumulator that
+// instruments checker internals without touching their signatures; the
+// Profiler is the complementary *shared* registry the long-lived drivers
+// (verifier façade, lint engine, analysis cache, sweep runner) thread a
+// borrowed handle through.  Every timed scope adds one sample to the phase's
+// histogram under a mutex — coarse-grained phases only, never per-flit hot
+// paths — so sweep workers on any number of threads aggregate into one
+// deterministic-shape report (sample *values* are wall clock and so
+// environment-dependent; sample *counts* and phase names are spec-derived).
+//
+//   obs::Profiler profiler;
+//   {
+//     obs::Profiler::Scope timer(&profiler, "verify.duato");
+//     ... work ...
+//   }
+//   profiler.write_json(std::cout);
+//
+// A null Profiler* makes Scope construction a no-op (not even a clock read),
+// mirroring the TraceSink/MetricsRegistry borrowed-handle convention.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "wormnet/obs/metrics.hpp"
+
+namespace wormnet::obs {
+
+class Profiler {
+ public:
+  /// Adds one sample (milliseconds of wall time) to phase `name`.
+  void add(std::string_view name, double ms);
+
+  [[nodiscard]] std::uint64_t samples(std::string_view name) const;
+  [[nodiscard]] double total_ms(std::string_view name) const;
+  /// Phase names seen so far, sorted (the map order).
+  [[nodiscard]] std::vector<std::string> phases() const;
+
+  /// Copies every phase histogram into `registry` as "profile.<name>", the
+  /// bridge to the existing metrics exporters (`--metrics-out` dumps).
+  void export_to(MetricsRegistry& registry) const;
+
+  /// One JSON object: {"profile":{"<phase>":{"count":..,"total_ms":..,
+  /// "min_ms":..,"max_ms":..,"mean_ms":..},...}} in phase-name order.
+  void write_json(std::ostream& os) const;
+
+  /// RAII wall-time scope.  Null profiler = no-op (no clock read).
+  class Scope {
+   public:
+    Scope(Profiler* profiler, const char* name) noexcept
+        : profiler_(profiler), name_(name) {
+      if (profiler_ != nullptr) {
+        start_ = std::chrono::steady_clock::now();
+      }
+    }
+    ~Scope() {
+      if (profiler_ != nullptr) {
+        const auto elapsed = std::chrono::steady_clock::now() - start_;
+        profiler_->add(
+            name_,
+            std::chrono::duration<double, std::milli>(elapsed).count());
+      }
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Profiler* profiler_;
+    const char* name_;
+    std::chrono::steady_clock::time_point start_;
+  };
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, Histogram, std::less<>> phases_;
+};
+
+}  // namespace wormnet::obs

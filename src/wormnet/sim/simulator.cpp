@@ -24,7 +24,7 @@ Simulator::Simulator(const Topology& topo,
       rng_(config_.seed ^ 0x5a5a5a5aULL), sources_(topo.num_nodes()),
       script_by_node_(topo.num_nodes()),
       channel_moves_(topo.num_channels(), 0), trace_(config_.trace),
-      metrics_(config_.metrics) {
+      metrics_(config_.metrics), flight_(config_.flight_capacity) {
   if (config_.fault_plan != nullptr &&
       config_.fault_plan->num_channels != topo.num_channels()) {
     throw std::invalid_argument(
@@ -134,9 +134,11 @@ void Simulator::allocate_outputs() {
       pkt.injecting = true;
       pkt.first_injected = cycle_;
       pkt.last_progress = cycle_;
-      trace_block_transition(pkt, kInvalidChannel, node, /*acquired=*/true);
+      flight_.record({cycle_, obs::FlightKind::kAcquire, pkt.id,
+                      pkt.path.back(), obs::FlightEvent::kNone});
+      note_block_transition(pkt, kInvalidChannel, node, /*acquired=*/true);
     } else {
-      trace_block_transition(pkt, kInvalidChannel, node, /*acquired=*/false);
+      note_block_transition(pkt, kInvalidChannel, node, /*acquired=*/false);
     }
   }
 
@@ -159,41 +161,53 @@ void Simulator::allocate_outputs() {
       vc.out = *acquired;
       vc.out_assigned = true;
       pkt.last_progress = cycle_;
-      trace_block_transition(pkt, c, here, /*acquired=*/true);
+      flight_.record({cycle_, obs::FlightKind::kAcquire, pkt.id, *acquired, c});
+      note_block_transition(pkt, c, here, /*acquired=*/true);
     } else {
-      trace_block_transition(pkt, c, here, /*acquired=*/false);
+      note_block_transition(pkt, c, here, /*acquired=*/false);
     }
   }
 }
 
-void Simulator::trace_block_transition(Packet& pkt, ChannelId input,
-                                       NodeId node, bool acquired) {
-  if (!trace_) return;
+void Simulator::note_block_transition(Packet& pkt, ChannelId input,
+                                      NodeId node, bool acquired) {
+  // Edge-triggered blocked/unblocked bookkeeping shared by the trace stream
+  // and the flight recorder.  The recorder logs the cheap edge only (packet,
+  // input channel, node) — never the waiting set, which would cost an
+  // allocator query per transition.
+  if (!trace_ && flight_.capacity() == 0) return;
   if (acquired) {
     if (pkt.trace_blocked) {
       pkt.trace_blocked = false;
-      obs::TraceEvent ev;
-      ev.kind = obs::EventKind::kUnblock;
-      ev.cycle = cycle_;
-      ev.packet = pkt.id;
-      ev.node = node;
-      ev.value = cycle_ - pkt.trace_block_start;
-      trace_->emit(ev);
+      if (trace_) {
+        obs::TraceEvent ev;
+        ev.kind = obs::EventKind::kUnblock;
+        ev.cycle = cycle_;
+        ev.packet = pkt.id;
+        ev.node = node;
+        ev.value = cycle_ - pkt.trace_block_start;
+        trace_->emit(ev);
+      }
     }
     return;
   }
   if (!pkt.trace_blocked) {
     pkt.trace_blocked = true;
     pkt.trace_block_start = cycle_;
-    obs::TraceEvent ev;
-    ev.kind = obs::EventKind::kBlock;
-    ev.cycle = cycle_;
-    ev.packet = pkt.id;
-    ev.node = node;
-    ev.channel2 = input == kInvalidChannel ? obs::kNoId : input;
-    const routing::ChannelSet waits = allocator_.blocked_on(pkt, input, node);
-    ev.list.assign(waits.begin(), waits.end());
-    trace_->emit(ev);
+    flight_.record({cycle_, obs::FlightKind::kWait, pkt.id,
+                    input == kInvalidChannel ? obs::FlightEvent::kNone : input,
+                    node});
+    if (trace_) {
+      obs::TraceEvent ev;
+      ev.kind = obs::EventKind::kBlock;
+      ev.cycle = cycle_;
+      ev.packet = pkt.id;
+      ev.node = node;
+      ev.channel2 = input == kInvalidChannel ? obs::kNoId : input;
+      const routing::ChannelSet waits = allocator_.blocked_on(pkt, input, node);
+      ev.list.assign(waits.begin(), waits.end());
+      trace_->emit(ev);
+    }
   }
 }
 
@@ -285,6 +299,8 @@ void Simulator::move_flits() {
         from.out = kInvalidChannel;
         from.out_assigned = false;
         from.out_eject = false;
+        flight_.record({cycle_, obs::FlightKind::kRelease, flit.packet, m.from,
+                        obs::FlightEvent::kNone});
       }
       if (trace_) {
         obs::TraceEvent ev;
@@ -339,6 +355,8 @@ void Simulator::move_flits() {
       vc.out = kInvalidChannel;
       vc.out_assigned = false;
       vc.out_eject = false;
+      flight_.record({cycle_, obs::FlightKind::kRelease, pkt.id, c,
+                      obs::FlightEvent::kNone});
       finish_packet(pkt);
     }
     ++flit_moves_;
@@ -397,6 +415,15 @@ void Simulator::apply_fault_steps() {
     ++stats_.fault_epochs;
     stats_.fault_events += delta.downed.size();
     stats_.repair_events += delta.repaired.size();
+    const std::uint32_t epoch = static_cast<std::uint32_t>(overlay_.epoch());
+    for (const ChannelId c : delta.downed) {
+      flight_.record({cycle_, obs::FlightKind::kFault,
+                      obs::FlightEvent::kNone, c, epoch});
+    }
+    for (const ChannelId c : delta.repaired) {
+      flight_.record({cycle_, obs::FlightKind::kRepair,
+                      obs::FlightEvent::kNone, c, epoch});
+    }
     if (!delta.downed.empty()) {
       // A wait commitment to a dead channel can never be granted: void it
       // so the header re-arbitrates over the surviving candidates.
@@ -404,6 +431,8 @@ void Simulator::apply_fault_steps() {
         if (!pkt.done && !pkt.dropped &&
             pkt.committed_wait != kInvalidChannel &&
             overlay_.is_faulty(pkt.committed_wait)) {
+          flight_.record({cycle_, obs::FlightKind::kWaitVoid, pkt.id,
+                          pkt.committed_wait, epoch});
           pkt.committed_wait = kInvalidChannel;
         }
       }
@@ -437,6 +466,8 @@ void Simulator::inject_retries() {
     pkt.last_progress = cycle_;
     sources_[pkt.src].queue.push_back(pkt.id);
     ++stats_.packets_retried;
+    flight_.record({cycle_, obs::FlightKind::kRetry, pkt.id,
+                    obs::FlightEvent::kNone, pkt.attempts});
     if (trace_) {
       obs::TraceEvent ev;
       ev.kind = obs::EventKind::kRetry;
@@ -451,6 +482,17 @@ void Simulator::inject_retries() {
 }
 
 void Simulator::abort_packet(Packet& pkt) {
+  const bool retry =
+      config_.recovery.policy == ft::RecoveryPolicy::kAbortRetry &&
+      pkt.attempts + 1 <= config_.recovery.retry_budget;
+  if (config_.recovery.policy == ft::RecoveryPolicy::kAbortRetry && !retry) {
+    // Retry budget exhausted: capture the forensics while the worm still
+    // holds its channels (the flush below erases the acquired path).
+    capture_postmortem(obs::PostmortemReason::kRetryExhausted, pkt.id,
+                       collect_blocked());
+  }
+  flight_.record({cycle_, obs::FlightKind::kAbort, pkt.id,
+                  obs::FlightEvent::kNone, pkt.attempts + 1});
   // Flush the worm: every channel the packet still owns holds only its own
   // flits (Assumption 4), so clearing the queues releases exactly this
   // packet's resources.
@@ -462,6 +504,8 @@ void Simulator::abort_packet(Packet& pkt) {
     vc.out = kInvalidChannel;
     vc.out_assigned = false;
     vc.out_eject = false;
+    flight_.record({cycle_, obs::FlightKind::kRelease, pkt.id, c,
+                    obs::FlightEvent::kNone});
   }
   // Present in its source queue iff injection had not finished.
   std::erase(sources_[pkt.src].queue, pkt.id);
@@ -477,9 +521,6 @@ void Simulator::abort_packet(Packet& pkt) {
   pkt.last_progress = cycle_;
   last_progress_ = cycle_;  // recovery is progress: keep the watchdog quiet
   ++stats_.packets_aborted;
-  const bool retry =
-      config_.recovery.policy == ft::RecoveryPolicy::kAbortRetry &&
-      pkt.attempts <= config_.recovery.retry_budget;
   if (trace_) {
     obs::TraceEvent ev;
     ev.kind = obs::EventKind::kAbort;
@@ -505,6 +546,8 @@ void Simulator::drop_packet(Packet& pkt) {
   --in_flight_;
   ++stats_.packets_dropped;
   if (pkt.measured) ++stats_.measured_dropped;
+  flight_.record({cycle_, obs::FlightKind::kDrop, pkt.id,
+                  obs::FlightEvent::kNone, obs::FlightEvent::kNone});
 }
 
 void Simulator::engage_drain() {
@@ -555,6 +598,53 @@ void Simulator::check_deadlock() {
     }
   }
 
+  const std::vector<BlockedPacket> blocked = collect_blocked();
+
+  auto owner_of = [this](ChannelId c) { return net_.vc(c).owner; };
+  if (auto info = find_wait_cycle(blocked, owner_of, cycle_, trace_)) {
+    flight_.record({cycle_, obs::FlightKind::kDeadlock,
+                    obs::FlightEvent::kNone, obs::FlightEvent::kNone,
+                    static_cast<std::uint32_t>(info->packet_cycle.size())});
+    if (config_.recovery.policy == ft::RecoveryPolicy::kHalt) {
+      capture_postmortem(obs::PostmortemReason::kWaitCycle, kNoPacket,
+                         blocked);
+      deadlock_ = std::move(info);
+      return;
+    }
+    if (config_.recovery.policy == ft::RecoveryPolicy::kDrain) {
+      engage_drain();
+    }
+    // Break the knot: abort the youngest packet of the reported cycle (the
+    // highest id — a pure function of the detector's deterministic output,
+    // and the victim with the least sunk progress on average).
+    PacketId victim = info->packet_cycle.front();
+    for (const PacketId p : info->packet_cycle) victim = std::max(victim, p);
+    capture_postmortem(obs::PostmortemReason::kWaitCycle, victim, blocked);
+    abort_packet(packets_[victim]);
+    // The wait-for graph changed; the next check interval re-probes, and
+    // any residual knot selects its next victim then.
+    return;
+  }
+  if (in_flight_ > 0 && cycle_ - last_progress_ > config_.watchdog_cycles) {
+    flight_.record({cycle_, obs::FlightKind::kWatchdog,
+                    obs::FlightEvent::kNone, obs::FlightEvent::kNone,
+                    static_cast<std::uint32_t>(blocked.size())});
+    capture_postmortem(obs::PostmortemReason::kWatchdog, kNoPacket, blocked);
+    DeadlockInfo info;
+    info.cycle = cycle_;
+    info.from_watchdog = true;
+    deadlock_ = std::move(info);
+    if (trace_) {
+      obs::TraceEvent ev;
+      ev.kind = obs::EventKind::kDeadlockDetected;
+      ev.cycle = cycle_;
+      ev.flag = true;  // watchdog, no explicit wait-for cycle
+      trace_->emit(ev);
+    }
+  }
+}
+
+std::vector<BlockedPacket> Simulator::collect_blocked() {
   std::vector<BlockedPacket> blocked;
   for (ChannelId c = 0; c < net_.num_channels(); ++c) {
     const VcState& vc = net_.vc(c);
@@ -581,39 +671,41 @@ void Simulator::check_deadlock() {
     bp.waiting_on = allocator_.blocked_on(pkt, kInvalidChannel, node);
     if (!bp.waiting_on.empty()) blocked.push_back(std::move(bp));
   }
+  return blocked;
+}
 
+void Simulator::capture_postmortem(obs::PostmortemReason reason,
+                                   PacketId victim,
+                                   const std::vector<BlockedPacket>& blocked) {
+  if (postmortems_.size() >= config_.max_postmortems) return;
+  obs::RuntimePostmortem pm;
+  pm.reason = reason;
+  pm.cycle = cycle_;
+  pm.victim = victim;
+  pm.wait_for.reserve(blocked.size());
+  for (const BlockedPacket& bp : blocked) {
+    const Packet& pkt = packets_[bp.packet];
+    obs::WaitForNode node;
+    node.packet = bp.packet;
+    node.occupies = pkt.path.empty() ? kInvalidChannel : pkt.path.back();
+    node.node = pkt.path.empty() ? pkt.src : topo_->channel(pkt.path.back()).dst;
+    node.waiting_on = bp.waiting_on;
+    node.owners.reserve(bp.waiting_on.size());
+    for (const ChannelId c : bp.waiting_on) {
+      node.owners.push_back(net_.vc(c).owner);
+    }
+    pm.wait_for.push_back(std::move(node));
+  }
   auto owner_of = [this](ChannelId c) { return net_.vc(c).owner; };
-  if (auto info = find_wait_cycle(blocked, owner_of, cycle_, trace_)) {
-    if (config_.recovery.policy == ft::RecoveryPolicy::kHalt) {
-      deadlock_ = std::move(info);
-      return;
-    }
-    if (config_.recovery.policy == ft::RecoveryPolicy::kDrain) {
-      engage_drain();
-    }
-    // Break the knot: abort the youngest packet of the reported cycle (the
-    // highest id — a pure function of the detector's deterministic output,
-    // and the victim with the least sunk progress on average).
-    PacketId victim = info->packet_cycle.front();
-    for (const PacketId p : info->packet_cycle) victim = std::max(victim, p);
-    abort_packet(packets_[victim]);
-    // The wait-for graph changed; the next check interval re-probes, and
-    // any residual knot selects its next victim then.
-    return;
-  }
-  if (in_flight_ > 0 && cycle_ - last_progress_ > config_.watchdog_cycles) {
-    DeadlockInfo info;
-    info.cycle = cycle_;
-    info.from_watchdog = true;
-    deadlock_ = std::move(info);
-    if (trace_) {
-      obs::TraceEvent ev;
-      ev.kind = obs::EventKind::kDeadlockDetected;
-      ev.cycle = cycle_;
-      ev.flag = true;  // watchdog, no explicit wait-for cycle
-      trace_->emit(ev);
-    }
-  }
+  auto path_of = [this](PacketId p) -> const std::vector<ChannelId>& {
+    return packets_[p].path;
+  };
+  pm.cycles = obs::extract_wait_cycles(blocked, owner_of, path_of);
+  pm.flight_tail = flight_.tail(config_.flight_tail);
+  pm.flight_recorded = flight_.recorded();
+  pm.flight_dropped = flight_.dropped();
+  ++stats_.postmortems_emitted;
+  postmortems_.push_back(std::move(pm));
 }
 
 void Simulator::step() {
@@ -723,6 +815,8 @@ SimStats Simulator::run() {
   }
 
   stats_.cycles_run = cycle_;
+  stats_.flight_events_recorded = flight_.recorded();
+  stats_.flight_events_dropped = flight_.dropped();
   if (deadlock_) {
     stats_.deadlocked = true;
     stats_.deadlock = *deadlock_;

@@ -23,7 +23,9 @@
 #include "wormnet/ft/fault_plan.hpp"
 #include "wormnet/ft/overlay.hpp"
 #include "wormnet/ft/recovery.hpp"
+#include "wormnet/obs/flight.hpp"
 #include "wormnet/obs/metrics.hpp"
+#include "wormnet/obs/postmortem.hpp"
 #include "wormnet/obs/trace.hpp"
 #include "wormnet/routing/fault.hpp"
 #include "wormnet/routing/routing_function.hpp"
@@ -84,6 +86,17 @@ struct SimConfig {
   obs::TraceSink* trace = nullptr;       ///< packet/flit lifecycle events
   obs::MetricsRegistry* metrics = nullptr;  ///< per-epoch channel time series
   std::uint64_t metrics_epoch = 256;     ///< cycles between series samples
+
+  // Flight recorder + postmortems (DESIGN 3.9).  The recorder is on by
+  // default: recording is a ring store + two counter increments, is driven
+  // only by the simulator's own cycle counter (bit-identical across runs,
+  // hosts and sweep thread counts), and never perturbs behaviour.  Terminal
+  // events (deadlock, watchdog, retry-budget exhaustion) each capture a
+  // RuntimePostmortem carrying the terminal wait-for graph, every wait cycle
+  // in the knot, and the last `flight_tail` recorder events.
+  std::size_t flight_capacity = 1024;  ///< recorder ring slots (0 disables)
+  std::size_t flight_tail = 64;        ///< events embedded per postmortem
+  std::size_t max_postmortems = 4;     ///< per-run capture cap
 };
 
 class Simulator {
@@ -115,6 +128,14 @@ class Simulator {
   [[nodiscard]] std::uint64_t total_flit_moves() const noexcept {
     return flit_moves_;
   }
+  [[nodiscard]] const obs::FlightRecorder& flight() const noexcept {
+    return flight_;
+  }
+  /// Postmortems captured so far (at most config.max_postmortems).
+  [[nodiscard]] const std::vector<obs::RuntimePostmortem>& postmortems()
+      const noexcept {
+    return postmortems_;
+  }
 
   /// Checks internal invariants (queue bounds, one packet per queue,
   /// ownership consistency, path contiguity); throws std::logic_error on
@@ -131,6 +152,9 @@ class Simulator {
   void allocate_outputs();
   void move_flits();
   void check_deadlock();
+  /// The wait-for graph right now: every header (or source-front packet)
+  /// with a non-empty waiting set.  Feeds both the detector and postmortems.
+  [[nodiscard]] std::vector<BlockedPacket> collect_blocked();
   PacketId create_packet(NodeId src, NodeId dst, std::uint32_t length,
                          std::vector<ChannelId> forced);
   void finish_packet(Packet& pkt);
@@ -146,8 +170,10 @@ class Simulator {
   void engage_drain();
 
   // --- observability (all no-ops when the handles are null) --------------
-  void trace_block_transition(Packet& pkt, ChannelId input, NodeId node,
-                              bool acquired);
+  void note_block_transition(Packet& pkt, ChannelId input, NodeId node,
+                             bool acquired);
+  void capture_postmortem(obs::PostmortemReason reason, PacketId victim,
+                          const std::vector<BlockedPacket>& blocked);
   void sample_metrics();
   void export_final_metrics();
 
@@ -195,6 +221,8 @@ class Simulator {
   obs::MetricsRegistry* metrics_ = nullptr;
   std::vector<std::uint32_t> epoch_moves_;   ///< per-channel, this epoch
   std::vector<std::uint32_t> epoch_stalls_;  ///< per-channel, this epoch
+  obs::FlightRecorder flight_;
+  std::vector<obs::RuntimePostmortem> postmortems_;
 };
 
 /// One-call convenience wrapper.

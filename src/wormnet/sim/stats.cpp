@@ -119,6 +119,9 @@ std::string SimStats::to_json() const {
   w.field("watchdog_cycles", watchdog_cycles);
   w.field("packet_timeout_cycles", packet_timeout_cycles);
   w.field("recovery", recovery_policy);
+  w.field("flight_events_recorded", flight_events_recorded);
+  w.field("flight_events_dropped", flight_events_dropped);
+  w.field("postmortems_emitted", postmortems_emitted);
   w.end_object();
   return os.str();
 }

@@ -72,6 +72,13 @@ struct SimStats {
   std::uint64_t packet_timeout_cycles = 0;
   std::string recovery_policy = "halt";
 
+  // Flight-recorder accounting (wormnet::obs) — recorded counts every event
+  // the ring saw, dropped counts those lost to wraparound, and
+  // postmortems_emitted the terminal-event captures (<= max_postmortems).
+  std::uint64_t flight_events_recorded = 0;
+  std::uint64_t flight_events_dropped = 0;
+  std::uint64_t postmortems_emitted = 0;
+
   [[nodiscard]] std::string summary() const;
 
   /// Machine-readable form of every field above (one JSON object), used by

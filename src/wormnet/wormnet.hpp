@@ -53,9 +53,12 @@
 #include "wormnet/lint/engine.hpp"
 #include "wormnet/lint/examples.hpp"
 #include "wormnet/lint/render.hpp"
+#include "wormnet/obs/flight.hpp"
 #include "wormnet/obs/json.hpp"
 #include "wormnet/obs/metrics.hpp"
+#include "wormnet/obs/postmortem.hpp"
 #include "wormnet/obs/probe.hpp"
+#include "wormnet/obs/profiler.hpp"
 #include "wormnet/obs/trace.hpp"
 #include "wormnet/routing/dateline.hpp"
 #include "wormnet/routing/dimension_order.hpp"

@@ -37,6 +37,10 @@ struct JsonValue {
 class JsonParser {
  public:
   explicit JsonParser(std::string_view text) : text_(text) {}
+  explicit JsonParser(const char* text) : text_(text) {}
+  // The parser only borrows its input; a temporary std::string would dangle
+  // before parse() runs.  Bind the document to a named string first.
+  explicit JsonParser(std::string&&) = delete;
 
   std::shared_ptr<JsonValue> parse() {
     auto value = parse_value();
@@ -133,6 +137,40 @@ class JsonParser {
     return false;
   }
 
+  /// Reads the 4 hex digits of a \u escape; ~0u on malformed input.
+  unsigned parse_hex4() {
+    if (pos_ + 4 > text_.size()) return ~0u;
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_ + static_cast<std::size_t>(i)];
+      code <<= 4;
+      if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+      else return ~0u;
+    }
+    pos_ += 4;
+    return code;
+  }
+
+  void append_utf8(std::string& out, unsigned code) {
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xc0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3f));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xe0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (code & 0x3f));
+    } else {
+      out += static_cast<char>(0xf0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3f));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (code & 0x3f));
+    }
+  }
+
   std::string parse_string() {
     expect('"');
     std::string out;
@@ -143,10 +181,31 @@ class JsonParser {
         switch (esc) {
           case 'n': out += '\n'; break;
           case 't': out += '\t'; break;
-          case 'u':
-            pos_ += 4;  // tests never need the code point itself
-            out += '?';
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'r': out += '\r'; break;
+          case 'u': {
+            unsigned code = parse_hex4();
+            if (code == ~0u) {
+              ADD_FAILURE() << "malformed \\u escape";
+              break;
+            }
+            // UTF-16 surrogate pair: a high surrogate must be followed by
+            // \uDC00..\uDFFF; combine into the supplementary code point.
+            if (code >= 0xd800 && code <= 0xdbff && pos_ + 1 < text_.size() &&
+                text_[pos_] == '\\' && text_[pos_ + 1] == 'u') {
+              const std::size_t save = pos_;
+              pos_ += 2;
+              const unsigned low = parse_hex4();
+              if (low >= 0xdc00 && low <= 0xdfff) {
+                code = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+              } else {
+                pos_ = save;  // not a low surrogate: leave it for next loop
+              }
+            }
+            append_utf8(out, code);
             break;
+          }
           default: out += esc; break;
         }
       } else {

@@ -1,0 +1,167 @@
+// FlightRecorder unit tests: ring semantics, wraparound accounting, and the
+// determinism contract (DESIGN 3.9) — the recorder's payload derives only
+// from simulation state, never from wall clock or thread identity.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "test_helpers.hpp"
+#include "wormnet/obs/flight.hpp"
+#include "wormnet/sim/simulator.hpp"
+#include "wormnet/topology/builders.hpp"
+#include "wormnet/routing/unrestricted.hpp"
+
+namespace wormnet::obs {
+namespace {
+
+FlightEvent event(std::uint64_t cycle, FlightKind kind,
+                  std::uint32_t packet = FlightEvent::kNone,
+                  std::uint32_t channel = FlightEvent::kNone) {
+  FlightEvent ev;
+  ev.cycle = cycle;
+  ev.kind = kind;
+  ev.packet = packet;
+  ev.channel = channel;
+  return ev;
+}
+
+TEST(ObsFlight, RecordsInOrderUpToCapacity) {
+  FlightRecorder recorder(4);
+  EXPECT_EQ(recorder.capacity(), 4u);
+  EXPECT_EQ(recorder.size(), 0u);
+
+  recorder.record(event(10, FlightKind::kAcquire, 1, 2));
+  recorder.record(event(11, FlightKind::kWait, 1, 3));
+  EXPECT_EQ(recorder.size(), 2u);
+  EXPECT_EQ(recorder.recorded(), 2u);
+  EXPECT_EQ(recorder.dropped(), 0u);
+
+  const auto events = recorder.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].cycle, 10u);
+  EXPECT_EQ(events[0].kind, FlightKind::kAcquire);
+  EXPECT_EQ(events[1].cycle, 11u);
+  EXPECT_EQ(events[1].kind, FlightKind::kWait);
+}
+
+TEST(ObsFlight, WraparoundKeepsNewestAndCountsDropped) {
+  FlightRecorder recorder(3);
+  for (std::uint64_t c = 0; c < 7; ++c) {
+    recorder.record(event(c, FlightKind::kRelease, 0, 0));
+  }
+  EXPECT_EQ(recorder.size(), 3u);
+  EXPECT_EQ(recorder.recorded(), 7u);
+  EXPECT_EQ(recorder.dropped(), 4u);
+
+  const auto events = recorder.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  // Oldest-first: the 4 oldest were overwritten.
+  EXPECT_EQ(events[0].cycle, 4u);
+  EXPECT_EQ(events[1].cycle, 5u);
+  EXPECT_EQ(events[2].cycle, 6u);
+}
+
+TEST(ObsFlight, TailSlicesTheNewest) {
+  FlightRecorder recorder(8);
+  for (std::uint64_t c = 0; c < 5; ++c) {
+    recorder.record(event(c, FlightKind::kAcquire, 0, 0));
+  }
+  const auto tail = recorder.tail(2);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0].cycle, 3u);
+  EXPECT_EQ(tail[1].cycle, 4u);
+  // Asking for more than recorded returns everything.
+  EXPECT_EQ(recorder.tail(100).size(), 5u);
+}
+
+TEST(ObsFlight, ZeroCapacityDisablesRecording) {
+  FlightRecorder recorder(0);
+  recorder.record(event(1, FlightKind::kDeadlock));
+  EXPECT_EQ(recorder.capacity(), 0u);
+  EXPECT_EQ(recorder.size(), 0u);
+  EXPECT_EQ(recorder.recorded(), 0u);
+  EXPECT_EQ(recorder.dropped(), 0u);
+  EXPECT_TRUE(recorder.snapshot().empty());
+}
+
+TEST(ObsFlight, ClearResetsEverything) {
+  FlightRecorder recorder(2);
+  recorder.record(event(1, FlightKind::kFault));
+  recorder.record(event(2, FlightKind::kRepair));
+  recorder.record(event(3, FlightKind::kDrop));
+  recorder.clear();
+  EXPECT_EQ(recorder.size(), 0u);
+  EXPECT_EQ(recorder.recorded(), 0u);
+  EXPECT_EQ(recorder.dropped(), 0u);
+  EXPECT_EQ(recorder.capacity(), 2u);  // capacity survives clear
+}
+
+TEST(ObsFlight, KindNamesAreStable) {
+  EXPECT_STREQ(to_string(FlightKind::kAcquire), "acquire");
+  EXPECT_STREQ(to_string(FlightKind::kRelease), "release");
+  EXPECT_STREQ(to_string(FlightKind::kWait), "wait");
+  EXPECT_STREQ(to_string(FlightKind::kWaitVoid), "wait_void");
+  EXPECT_STREQ(to_string(FlightKind::kFault), "fault");
+  EXPECT_STREQ(to_string(FlightKind::kRepair), "repair");
+  EXPECT_STREQ(to_string(FlightKind::kAbort), "abort");
+  EXPECT_STREQ(to_string(FlightKind::kRetry), "retry");
+  EXPECT_STREQ(to_string(FlightKind::kDrop), "drop");
+  EXPECT_STREQ(to_string(FlightKind::kDeadlock), "deadlock");
+  EXPECT_STREQ(to_string(FlightKind::kWatchdog), "watchdog");
+}
+
+/// The DESIGN 3.9 contract, observed end to end: two identical runs record
+/// byte-identical event streams, and the stream is identical whether or not
+/// a trace sink is also attached (instrumentation never perturbs behaviour).
+TEST(ObsFlight, SimulatorStreamIsDeterministic) {
+  const auto ring = topology::make_unidirectional_ring(4, 1);
+  const routing::UnrestrictedMinimal routing(ring);
+  sim::SimConfig cfg = test::stress_config(11);
+  cfg.injection_rate = 0.4;
+  cfg.measure_cycles = 2000;
+
+  auto run_stream = [&](bool with_trace) {
+    NullTraceSink sink;
+    sim::SimConfig local = cfg;
+    if (with_trace) local.trace = &sink;
+    sim::Simulator simulator(ring, routing, local);
+    (void)simulator.run();
+    std::ostringstream os;
+    for (const FlightEvent& ev : simulator.flight().snapshot()) {
+      os << ev.cycle << '/' << to_string(ev.kind) << '/' << ev.packet << '/'
+         << ev.channel << '/' << ev.aux << '\n';
+    }
+    return os.str();
+  };
+
+  const std::string first = run_stream(false);
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, run_stream(false));
+  EXPECT_EQ(first, run_stream(true));
+}
+
+TEST(ObsFlight, SimStatsCarryRecorderCounters) {
+  const auto ring = topology::make_unidirectional_ring(4, 1);
+  const routing::UnrestrictedMinimal routing(ring);
+  sim::SimConfig cfg = test::stress_config(3);
+  cfg.injection_rate = 0.4;
+  cfg.flight_capacity = 16;  // tiny ring: wraparound guaranteed
+
+  sim::Simulator simulator(ring, routing, cfg);
+  const sim::SimStats stats = simulator.run();
+  EXPECT_GT(stats.flight_events_recorded, 16u);
+  EXPECT_EQ(stats.flight_events_dropped,
+            stats.flight_events_recorded - 16u);
+  EXPECT_EQ(stats.flight_events_recorded, simulator.flight().recorded());
+
+  // Capacity 0 turns the recorder off entirely.
+  cfg.flight_capacity = 0;
+  sim::Simulator off(ring, routing, cfg);
+  const sim::SimStats off_stats = off.run();
+  EXPECT_EQ(off_stats.flight_events_recorded, 0u);
+  EXPECT_EQ(off_stats.flight_events_dropped, 0u);
+}
+
+}  // namespace
+}  // namespace wormnet::obs

@@ -1,0 +1,317 @@
+// Deadlock postmortems: wait-cycle extraction on fabricated wait-for graphs,
+// the end-to-end capture pipeline on the canonical non-certified ring, the
+// static cross-reference (including the theorem-contradiction flag), and a
+// byte-exact golden artifact.  Regenerate the golden with:
+//   WORMNET_UPDATE_GOLDEN=1 ./test_postmortem
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "test_helpers.hpp"
+#include "wormnet/cdg/duato_checker.hpp"
+#include "wormnet/core/registry.hpp"
+#include "wormnet/obs/postmortem.hpp"
+#include "wormnet/sim/simulator.hpp"
+
+namespace wormnet::obs {
+namespace {
+
+#ifndef WORMNET_GOLDEN_DIR
+#error "tests/CMakeLists.txt must define WORMNET_GOLDEN_DIR"
+#endif
+
+/// Fabricated wait-for world: channel ownership and acquired paths are
+/// plain maps, so extraction logic is tested in isolation from the sim.
+struct FakeWorld {
+  std::map<topology::ChannelId, sim::PacketId> owner;
+  std::map<sim::PacketId, std::vector<topology::ChannelId>> path;
+
+  std::vector<RuntimeCycle> extract(
+      const std::vector<sim::BlockedPacket>& blocked) const {
+    return extract_wait_cycles(
+        blocked,
+        [this](topology::ChannelId c) {
+          const auto it = owner.find(c);
+          return it == owner.end() ? sim::kNoPacket : it->second;
+        },
+        [this](sim::PacketId p) -> const std::vector<topology::ChannelId>& {
+          static const std::vector<topology::ChannelId> kEmpty;
+          const auto it = path.find(p);
+          return it == path.end() ? kEmpty : it->second;
+        });
+  }
+};
+
+TEST(Postmortem, ExtractsASimpleThreeCycle) {
+  // p0 holds c0 waits c1; p1 holds c1 waits c2; p2 holds c2 waits c0.
+  FakeWorld world;
+  world.owner = {{0, 0}, {1, 1}, {2, 2}};
+  world.path = {{0, {0}}, {1, {1}}, {2, {2}}};
+  const std::vector<sim::BlockedPacket> blocked = {
+      {0, {1}}, {1, {2}}, {2, {0}}};
+
+  const auto cycles = world.extract(blocked);
+  ASSERT_EQ(cycles.size(), 1u);
+  ASSERT_EQ(cycles[0].hops.size(), 3u);
+  EXPECT_EQ(cycles[0].hops[0].packet, 0u);
+  EXPECT_EQ(cycles[0].hops[0].waits_for, 1u);
+  EXPECT_EQ(cycles[0].hops[1].packet, 1u);
+  EXPECT_EQ(cycles[0].hops[2].packet, 2u);
+  // The lifted channel cycle is c0 -> c1 -> c2.
+  const auto channels = cycles[0].channel_cycle();
+  ASSERT_EQ(channels.size(), 3u);
+  EXPECT_EQ(channels[0], 0u);
+  EXPECT_EQ(channels[1], 1u);
+  EXPECT_EQ(channels[2], 2u);
+}
+
+TEST(Postmortem, ExtractsEveryDisjointCycle) {
+  // Two independent 2-cycles; the live detector would stop at the first.
+  FakeWorld world;
+  world.owner = {{0, 0}, {1, 1}, {10, 10}, {11, 11}};
+  world.path = {{0, {0}}, {1, {1}}, {10, {10}}, {11, {11}}};
+  const std::vector<sim::BlockedPacket> blocked = {
+      {0, {1}}, {1, {0}}, {10, {11}}, {11, {10}}};
+
+  const auto cycles = world.extract(blocked);
+  ASSERT_EQ(cycles.size(), 2u);
+  EXPECT_EQ(cycles[0].hops[0].packet, 0u);
+  EXPECT_EQ(cycles[1].hops[0].packet, 10u);
+}
+
+TEST(Postmortem, WaitTailsFunnelIntoOneReportedCycle) {
+  // p5 waits on a channel held by a cycle member: it is part of the knot
+  // but its walk rediscovers the same cycle, which must not be duplicated.
+  FakeWorld world;
+  world.owner = {{0, 0}, {1, 1}, {5, 5}};
+  world.path = {{0, {0}}, {1, {1}}, {5, {5}}};
+  const std::vector<sim::BlockedPacket> blocked = {
+      {0, {1}}, {1, {0}}, {5, {0}}};
+
+  const auto cycles = world.extract(blocked);
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0].hops.size(), 2u);
+}
+
+TEST(Postmortem, MultiHopChainCoversAcquiredSuffix) {
+  // p0 holds [c0]; p1 holds [c1, c2, c3] (acquired c1 first).  p0 waits on
+  // c3 (p1's head), p1 waits on c0.  p0's chain starts at the channel p0
+  // owns that the previous hop (p1) waits on: c0.  p1's chain runs from the
+  // channel p0 waits on (c3)... i.e. each hop's chain starts at the channel
+  // the previous hop waits for.
+  FakeWorld world;
+  world.owner = {{0, 0}, {1, 1}, {2, 1}, {3, 1}};
+  world.path = {{0, {0}}, {1, {1, 2, 3}}};
+  const std::vector<sim::BlockedPacket> blocked = {{0, {3}}, {1, {0}}};
+
+  const auto cycles = world.extract(blocked);
+  ASSERT_EQ(cycles.size(), 1u);
+  ASSERT_EQ(cycles[0].hops.size(), 2u);
+  // Hop for p1 carries the suffix from c3 (what p0 waits for) to its head.
+  const CycleHop& p1_hop =
+      cycles[0].hops[0].packet == 1 ? cycles[0].hops[0] : cycles[0].hops[1];
+  ASSERT_EQ(p1_hop.chain.size(), 1u);
+  EXPECT_EQ(p1_hop.chain[0], 3u);
+  const auto channels = cycles[0].channel_cycle();
+  ASSERT_EQ(channels.size(), 2u);
+}
+
+/// The canonical non-certified deadlock: a bidirectional ring under
+/// unrestricted minimal routing, wedged at high load (PR-3's differential
+/// scenario).  Deterministic: fixed seed, fixed config.
+sim::SimConfig ring_wedge_config() {
+  sim::SimConfig cfg;
+  cfg.injection_rate = 0.6;
+  cfg.packet_length = 8;
+  cfg.buffer_depth = 2;
+  cfg.warmup_cycles = 0;
+  cfg.measure_cycles = 10000;
+  cfg.drain_cycles = 5000;
+  cfg.deadlock_check_interval = 64;
+  cfg.seed = 13;
+  return cfg;
+}
+
+TEST(Postmortem, RingDeadlockCapturesAndCrossReferences) {
+  const topology::Topology topo = core::make_topology("ring:8");
+  const auto routing = core::make_algorithm("unrestricted", topo);
+  sim::Simulator simulator(topo, *routing, ring_wedge_config());
+  const sim::SimStats stats = simulator.run();
+  ASSERT_TRUE(stats.deadlocked);
+  ASSERT_EQ(simulator.postmortems().size(), 1u);
+  EXPECT_EQ(stats.postmortems_emitted, 1u);
+
+  const RuntimePostmortem& pm = simulator.postmortems().front();
+  EXPECT_EQ(pm.reason, PostmortemReason::kWaitCycle);
+  EXPECT_EQ(pm.victim, sim::kNoPacket);  // halt policy: no victim
+  EXPECT_FALSE(pm.wait_for.empty());
+  ASSERT_FALSE(pm.cycles.empty());
+  EXPECT_FALSE(pm.flight_tail.empty());
+  EXPECT_GT(pm.flight_recorded, 0u);
+
+  const cdg::StateGraph states(topo, *routing);
+  const cdg::SearchResult search = cdg::search(states);
+  EXPECT_FALSE(search.found);  // unrestricted ring is not certifiable
+
+  const PostmortemReport report =
+      cross_reference(states, search, pm, "ring:8", "unrestricted");
+  EXPECT_FALSE(report.certified);
+  EXPECT_FALSE(report.contradiction);
+  ASSERT_EQ(report.cycles.size(), pm.cycles.size());
+  for (const CycleXref& x : report.cycles) {
+    // The acceptance property: the runtime wait cycle maps onto a static
+    // CDG cycle containing no escape edge.
+    EXPECT_TRUE(x.maps_to_cdg);
+    EXPECT_FALSE(x.escape_confined);
+    for (const EdgeXref& e : x.edges) {
+      EXPECT_TRUE(e.in_cdg);
+      EXPECT_FALSE(e.escape);
+      EXPECT_EQ(e.kind, "adaptive");
+    }
+  }
+}
+
+TEST(Postmortem, CertifiedConfigEmitsNoPostmortems) {
+  const topology::Topology topo = core::make_topology("mesh:4x4:2");
+  const auto routing = core::make_algorithm("duato-mesh", topo);
+  sim::SimConfig cfg;
+  cfg.injection_rate = 0.3;
+  cfg.warmup_cycles = 100;
+  cfg.measure_cycles = 2000;
+  cfg.drain_cycles = 5000;
+  cfg.deadlock_check_interval = 64;
+  cfg.seed = 5;
+  sim::Simulator simulator(topo, *routing, cfg);
+  const sim::SimStats stats = simulator.run();
+  EXPECT_FALSE(stats.deadlocked);
+  EXPECT_TRUE(simulator.postmortems().empty());
+  EXPECT_EQ(stats.postmortems_emitted, 0u);
+}
+
+TEST(Postmortem, FabricatedEscapeConfinedCycleFlagsContradiction) {
+  // No real certified configuration can produce an escape-confined cycle
+  // (that is the theorem), so fabricate one: claim the FULL channel set is
+  // a certified escape subfunction of the unrestricted ring.  Its extended
+  // CDG then contains every dependency of the runtime cycle, each edge
+  // classifies as escape, and the contradiction flag must trip.
+  const topology::Topology topo = core::make_topology("ring:8");
+  const auto routing = core::make_algorithm("unrestricted", topo);
+  sim::Simulator simulator(topo, *routing, ring_wedge_config());
+  (void)simulator.run();
+  ASSERT_FALSE(simulator.postmortems().empty());
+
+  const cdg::StateGraph states(topo, *routing);
+  cdg::SearchResult fake;
+  fake.found = true;
+  fake.c1.assign(topo.num_channels(), true);
+  fake.report.subfunction_label = "full-set (fabricated)";
+
+  const PostmortemReport report = cross_reference(
+      states, fake, simulator.postmortems().front(), "ring:8", "unrestricted");
+  EXPECT_TRUE(report.certified);
+  ASSERT_FALSE(report.cycles.empty());
+  EXPECT_TRUE(report.cycles.front().escape_confined);
+  EXPECT_TRUE(report.cycles.front().contradiction);
+  EXPECT_TRUE(report.contradiction);
+  for (const EdgeXref& e : report.cycles.front().edges) {
+    EXPECT_TRUE(e.escape);
+    EXPECT_NE(e.kind, "adaptive");
+  }
+}
+
+TEST(Postmortem, RetryExhaustionCapturesPostmortem) {
+  const topology::Topology topo = topology::make_unidirectional_ring(4, 1);
+  const routing::UnrestrictedMinimal routing(topo);
+  sim::SimConfig cfg = test::stress_config(9);
+  cfg.injection_rate = 0.8;
+  cfg.recovery.policy = ft::RecoveryPolicy::kAbortRetry;
+  cfg.recovery.retry_budget = 1;
+  // Every detection under abort-retry captures a wait-cycle postmortem
+  // first; leave room for the later retry-exhaustion capture.
+  cfg.max_postmortems = 64;
+  sim::Simulator simulator(topo, routing, cfg);
+  const sim::SimStats stats = simulator.run();
+  ASSERT_GT(stats.packets_dropped, 0u);
+
+  bool saw_retry_exhausted = false;
+  for (const RuntimePostmortem& pm : simulator.postmortems()) {
+    if (pm.reason == PostmortemReason::kRetryExhausted) {
+      saw_retry_exhausted = true;
+      EXPECT_NE(pm.victim, sim::kNoPacket);
+    }
+  }
+  EXPECT_TRUE(saw_retry_exhausted);
+  // The cap bounds capture cost no matter how long the run thrashes.
+  EXPECT_LE(simulator.postmortems().size(), cfg.max_postmortems);
+  EXPECT_EQ(stats.postmortems_emitted, simulator.postmortems().size());
+}
+
+// ---------------------------------------------------------------------------
+// Golden artifact
+// ---------------------------------------------------------------------------
+
+std::string golden_path(const std::string& name) {
+  return std::string(WORMNET_GOLDEN_DIR) + "/" + name;
+}
+
+std::string render_ring8_artifact() {
+  const topology::Topology topo = core::make_topology("ring:8");
+  const auto routing = core::make_algorithm("unrestricted", topo);
+  sim::Simulator simulator(topo, *routing, ring_wedge_config());
+  (void)simulator.run();
+  if (simulator.postmortems().empty()) return {};
+
+  const cdg::StateGraph states(topo, *routing);
+  const cdg::SearchResult search = cdg::search(states);
+  const PostmortemReport report = cross_reference(
+      states, search, simulator.postmortems().front(), "ring:8",
+      "unrestricted");
+  std::ostringstream os;
+  write_postmortem_json(os, topo, report);
+  return os.str();
+}
+
+TEST(Postmortem, GoldenRing8Artifact) {
+  const std::string actual = render_ring8_artifact();
+  ASSERT_FALSE(actual.empty()) << "wedge config did not deadlock";
+  // Two fresh captures render byte-identically before comparing to disk.
+  ASSERT_EQ(actual, render_ring8_artifact());
+
+  const std::string path = golden_path("postmortem_ring8.json");
+  if (std::getenv("WORMNET_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream file(path, std::ios::binary);
+    ASSERT_TRUE(file.good()) << "cannot write " << path;
+    file << actual;
+    GTEST_SKIP() << "updated " << path;
+  }
+  std::ifstream file(path, std::ios::binary);
+  std::ostringstream expected;
+  expected << file.rdbuf();
+  ASSERT_FALSE(expected.str().empty())
+      << path << " missing — regenerate with WORMNET_UPDATE_GOLDEN=1";
+  EXPECT_EQ(actual, expected.str()) << "golden drift in postmortem_ring8.json";
+
+  // The artifact parses, and carries the acceptance property in-band.
+  test::JsonParser parser(actual);
+  const auto root = parser.parse();
+  const auto& pm = test::as_object(test::as_object(root).at("postmortem"));
+  EXPECT_EQ(test::as_string(pm.at("routing")), "unrestricted");
+  EXPECT_FALSE(test::as_bool(pm.at("certified")));
+  EXPECT_FALSE(test::as_bool(pm.at("contradiction")));
+  const auto& cycles = test::as_array(pm.at("cycles"));
+  ASSERT_FALSE(cycles.empty());
+  const auto& cycle = test::as_object(cycles.front());
+  EXPECT_TRUE(test::as_bool(cycle.at("maps_to_cdg")));
+  EXPECT_FALSE(test::as_bool(cycle.at("escape_confined")));
+  for (const auto& edge : test::as_array(cycle.at("edges"))) {
+    EXPECT_TRUE(test::as_bool(test::as_object(edge).at("in_cdg")));
+    EXPECT_FALSE(test::as_bool(test::as_object(edge).at("escape")));
+  }
+}
+
+}  // namespace
+}  // namespace wormnet::obs

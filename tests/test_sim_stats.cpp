@@ -193,7 +193,9 @@ TEST(SimStatsExtra, ToJsonCoversEveryField) {
         "\"avg_latency\"", "\"p50_latency\"", "\"p99_latency\"",
         "\"avg_network_latency\"", "\"offered_load\"",
         "\"accepted_throughput\"", "\"avg_channel_utilization\"",
-        "\"max_channel_utilization\"", "\"max_hops\"", "\"cycles_run\""}) {
+        "\"max_channel_utilization\"", "\"max_hops\"", "\"cycles_run\"",
+        "\"flight_events_recorded\"", "\"flight_events_dropped\"",
+        "\"postmortems_emitted\""}) {
     EXPECT_NE(text.find(field), std::string::npos) << field;
   }
   // Non-deadlocked runs omit the deadlock report object.
