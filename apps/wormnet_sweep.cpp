@@ -15,7 +15,10 @@
 //              1 = a certified configuration deadlocked — certified meaning
 //                  the pristine pair passed the Duato check AND every fault
 //                  epoch's degraded relation re-certified (the library
-//                  contradicting the theorem — always a bug),
+//                  contradicting the theorem — always a bug) — or, with
+//                  --certify-out, an emitted certificate failed its own
+//                  audit (same class of bug: the checker emitted evidence
+//                  the relation does not support),
 //              2 = usage or configuration error.
 #include <filesystem>
 #include <fstream>
@@ -24,9 +27,12 @@
 #include <memory>
 #include <string>
 
+#include "wormnet/audit/check.hpp"
 #include "wormnet/cdg/duato_checker.hpp"
 #include "wormnet/cdg/states.hpp"
 #include "wormnet/core/registry.hpp"
+#include "wormnet/ft/fault_plan.hpp"
+#include "wormnet/routing/fault.hpp"
 #include "wormnet/exp/sweep_io.hpp"
 #include "wormnet/exp/sweep_runner.hpp"
 #include "wormnet/ft/recovery.hpp"
@@ -70,6 +76,9 @@ int usage(const char* argv0) {
       << "  --packet-timeout N per-packet no-progress cycles before abort\n"
       << "                     (default 0 = inherit --watchdog)\n"
       << "  --watchdog N       global no-progress threshold (default 4000)\n"
+      << "  --certify-out DIR  emit one proof-carrying certificate JSON per\n"
+      << "                     analysed pair / fault epoch (audited on write\n"
+      << "                     by wormnet::audit; a contradiction exits 1)\n"
       << "  --postmortem-dir D write one JSON per captured deadlock postmortem\n"
       << "                     (postmortem_<point>_<n>.json, cross-referenced\n"
       << "                     against the pair's static CDG; fault points are\n"
@@ -106,6 +115,75 @@ const XrefContext& xref_context(
   return *slot;
 }
 
+/// Cache keys ("topo|routing" / "topo|routing|mask") become filenames;
+/// anything shell- or filesystem-hostile collapses to '_'.
+std::string sanitize_key(const std::string& key) {
+  std::string out = key;
+  for (char& c : out) {
+    const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '.' || c == '-';
+    if (!keep) c = '_';
+  }
+  return out;
+}
+
+/// Writes every emitted certificate to `dir`, auditing each against the
+/// relation it speaks about (degraded via the persisted fault mask) before
+/// the bytes land.  Returns the number of audit contradictions.
+std::size_t write_certificates(const char* argv0, const std::string& dir,
+                               const exp::SweepOutcome& outcome, bool summary,
+                               bool& io_ok) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::cerr << argv0 << ": cannot create " << dir << ": " << ec.message()
+              << "\n";
+    io_ok = false;
+    return 0;
+  }
+  std::map<std::string, topology::Topology> topos;
+  std::size_t contradictions = 0;
+  std::size_t written = 0;
+  for (const exp::CertificateRecord& record : outcome.certificates) {
+    const audit::Certificate& cert = *record.certificate;
+    auto it = topos.find(cert.topology);
+    if (it == topos.end()) {
+      it = topos.emplace(cert.topology, core::make_topology(cert.topology))
+               .first;
+    }
+    const topology::Topology& topo = it->second;
+    std::unique_ptr<routing::RoutingFunction> routing =
+        core::make_algorithm(cert.routing, topo);
+    if (!cert.fault_mask.empty()) {
+      routing = std::make_unique<routing::FaultAwareRouting>(
+          topo, std::move(routing),
+          ft::mask_from_hex(cert.fault_mask, topo.num_channels()));
+    }
+    const audit::AuditResult audit = audit::check(topo, *routing, cert);
+    if (!audit.ok()) {
+      std::cerr << argv0 << ": AUDIT CONTRADICTION for " << record.key << ": "
+                << audit::to_string(audit.code) << ": " << audit.detail
+                << "\n";
+      ++contradictions;
+    }
+    const std::filesystem::path path =
+        std::filesystem::path(dir) / (sanitize_key(record.key) + ".json");
+    std::ofstream file(path, std::ios::binary);
+    if (!file) {
+      std::cerr << argv0 << ": cannot open " << path.string() << "\n";
+      io_ok = false;
+      return contradictions;
+    }
+    file << cert.to_json() << "\n";
+    ++written;
+  }
+  if (summary) {
+    std::cerr << written << " certificate(s) written to " << dir << " ("
+              << contradictions << " audit contradiction(s))\n";
+  }
+  return contradictions;
+}
+
 std::uint64_t parse_u64_arg(const char* argv0, const std::string& flag,
                             const char* text, bool& ok) {
   try {
@@ -129,6 +207,7 @@ int main(int argc, char** argv) {
   std::string output_path;
   std::string metrics_path;
   std::string postmortem_dir;
+  std::string certify_dir;
   std::string profile_path;
   exp::RunnerOptions runner;
   sim::SimConfig base;
@@ -169,6 +248,11 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return 2;
       postmortem_dir = v;
+    } else if (arg == "--certify-out") {
+      const char* v = value();
+      if (v == nullptr) return 2;
+      certify_dir = v;
+      runner.certify = true;
     } else if (arg == "--profile") {
       const char* v = value();
       if (v == nullptr) return 2;
@@ -323,6 +407,14 @@ int main(int argc, char** argv) {
     }
   }
 
+  std::size_t audit_contradictions = 0;
+  if (!certify_dir.empty()) {
+    bool io_ok = true;
+    audit_contradictions =
+        write_certificates(argv[0], certify_dir, outcome, summary, io_ok);
+    if (!io_ok) return 2;
+  }
+
   if (!profile_path.empty()) {
     std::ofstream file(profile_path, std::ios::binary);
     if (!file) {
@@ -362,5 +454,7 @@ int main(int argc, char** argv) {
   for (const std::string& skip : outcome.skipped) {
     std::cerr << argv[0] << ": note: skipped inapplicable " << skip << "\n";
   }
-  return outcome.aggregate.certified_deadlocks == 0 ? 0 : 1;
+  return outcome.aggregate.certified_deadlocks == 0 && audit_contradictions == 0
+             ? 0
+             : 1;
 }

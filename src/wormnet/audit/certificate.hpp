@@ -1,0 +1,142 @@
+// Proof-carrying verification certificates (DESIGN 3.10).
+//
+// Duato's condition is constructive in both directions, so every decisive
+// verdict can carry a machine-checkable certificate:
+//
+//   * certified  — the escape channel set C1, a topological order of the
+//     extended CDG restricted to C1 (acyclicity), one escape output per
+//     reachable blocked state (escape-everywhere), and one explicit C1 path
+//     per (source, destination) pair (subfunction connectivity);
+//   * refuted    — the offending evidence: a dependency cycle, a realizable
+//     wait cycle (with the held-channel path of every participating
+//     message), or a state with nothing to wait on.
+//
+// The schema is deliberately plain data + JSON: `audit::check()` (check.hpp)
+// re-validates a certificate against the routing relation alone, with no
+// reuse of the cdg/ / cwg/ / core/ analysis code.  This header is part of
+// that trusted base, so it includes nothing but the topology and routing
+// interfaces.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "wormnet/topology/topology.hpp"
+
+namespace wormnet::audit {
+
+using topology::ChannelId;
+using topology::NodeId;
+
+/// Schema identifier embedded in (and required of) every certificate.
+inline constexpr const char* kCertificateSchema = "wormnet-certificate/1";
+
+enum class CertKind : std::uint8_t {
+  kCertified,  ///< claims deadlock freedom
+  kRefuted,    ///< claims deadlock susceptibility
+};
+
+/// What a refuted certificate's evidence is (kNone for certified ones).
+enum class Evidence : std::uint8_t {
+  kNone,
+  kDependencyCycle,   ///< cycle of direct channel dependencies
+  kWaitCycle,         ///< realizable wait cycle (True Cycle)
+  kNotWaitConnected,  ///< a blocked state with an empty waiting set
+};
+
+[[nodiscard]] const char* to_string(CertKind kind);
+[[nodiscard]] const char* to_string(Evidence evidence);
+
+/// Escape output for one reachable blocked state: a message occupying
+/// `channel` toward `dest` may next use escape channel `via`.
+struct EscapeWitness {
+  ChannelId channel = 0;
+  NodeId dest = 0;
+  ChannelId via = 0;
+  bool operator==(const EscapeWitness&) const = default;
+};
+
+/// Escape first hop for one injection state.
+struct InjectionEscape {
+  NodeId src = 0;
+  NodeId dest = 0;
+  ChannelId via = 0;
+  bool operator==(const InjectionEscape&) const = default;
+};
+
+/// An explicit escape-channel path src -> ... -> dest (subfunction
+/// connectivity, one per ordered node pair).
+struct WitnessPath {
+  NodeId src = 0;
+  NodeId dest = 0;
+  std::vector<ChannelId> path;
+  bool operator==(const WitnessPath&) const = default;
+};
+
+/// One edge of a refuted certificate's cycle evidence.  For a dependency
+/// cycle `hold` is empty and the claim is "a message occupying `from` toward
+/// `dest` may next use `to`".  For a wait cycle `hold` is the full
+/// held-channel path of the message (starting at `from`) up to the channel
+/// at whose head it blocks waiting for `to`.
+struct CycleEdge {
+  ChannelId from = 0;
+  ChannelId to = 0;
+  NodeId dest = 0;
+  std::vector<ChannelId> hold;
+  bool operator==(const CycleEdge&) const = default;
+};
+
+/// Witness of a not-wait-connected refutation: a reachable blocked state
+/// (injection at `src`, or occupying `channel`) with no waiting channel.
+struct Disconnection {
+  bool at_injection = false;
+  NodeId src = 0;
+  ChannelId channel = 0;
+  NodeId dest = 0;
+  bool operator==(const Disconnection&) const = default;
+};
+
+struct Certificate {
+  CertKind kind = CertKind::kCertified;
+  std::string method;    ///< "duato", "cdg-acyclic" or "cwg"
+  std::string topology;  ///< registry spec when known, else the topo name
+  std::string routing;   ///< canonical registry name when known
+  std::uint32_t num_nodes = 0;     ///< binding guard, checked by the auditor
+  std::uint32_t num_channels = 0;  ///< binding guard, checked by the auditor
+  std::string subfunction;         ///< escape-set label (informative)
+  std::string fault_mask;          ///< hex fault mask, "" = pristine
+
+  // Certified payload.
+  std::vector<ChannelId> escape_channels;      ///< C1, sorted ascending
+  std::vector<ChannelId> topological_order;    ///< permutation of C1
+  std::vector<EscapeWitness> escapes;          ///< one per blocked state
+  std::vector<InjectionEscape> injection_escapes;
+  std::vector<WitnessPath> witness_paths;      ///< one per (src, dest) pair
+
+  // Refuted payload.
+  Evidence evidence = Evidence::kNone;
+  std::vector<CycleEdge> cycle;
+  Disconnection disconnection;
+
+  bool operator==(const Certificate&) const = default;
+
+  /// Canonical JSON rendering: fixed key order, fixed layout, so equal
+  /// certificates serialize byte-identically (golden tests pin this).
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Outcome of parsing certificate JSON: either a certificate or an error.
+struct ParseResult {
+  std::optional<Certificate> certificate;
+  std::string error;  ///< non-empty iff certificate is empty
+};
+
+/// Strict parser for the schema above (unknown or duplicate keys, missing
+/// fields, wrong types and non-canonical enum strings are all errors).
+/// Self-contained on purpose: the rest of the library only *writes* JSON,
+/// and the trusted base cannot lean on test-only helpers.
+[[nodiscard]] ParseResult parse_certificate(std::string_view text);
+
+}  // namespace wormnet::audit

@@ -1,0 +1,526 @@
+#include "wormnet/audit/check.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace wormnet::audit {
+
+using routing::ChannelSet;
+using routing::RoutingFunction;
+using topology::Topology;
+
+const char* to_string(AuditCode code) {
+  switch (code) {
+    case AuditCode::kValid:
+      return "valid";
+    case AuditCode::kMalformed:
+      return "malformed-certificate";
+    case AuditCode::kBindingMismatch:
+      return "binding-mismatch";
+    case AuditCode::kOrderNotPermutation:
+      return "order-not-permutation";
+    case AuditCode::kOrderViolation:
+      return "order-violation";
+    case AuditCode::kMissingEscapeWitness:
+      return "missing-escape-witness";
+    case AuditCode::kEscapeWitnessInvalid:
+      return "escape-witness-invalid";
+    case AuditCode::kMissingInjectionEscape:
+      return "missing-injection-escape";
+    case AuditCode::kMissingWitnessPath:
+      return "missing-witness-path";
+    case AuditCode::kWitnessPathBroken:
+      return "witness-path-broken";
+    case AuditCode::kCycleEdgeUnsupported:
+      return "cycle-edge-unsupported";
+    case AuditCode::kWaitCycleUnsupported:
+      return "wait-cycle-unsupported";
+    case AuditCode::kDisconnectionUnsupported:
+      return "disconnection-unsupported";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Shared scratch state for one audit: the binding plus lazily computed
+/// per-destination channel reachability (the auditor's own forward fixpoint,
+/// mirroring the state-graph semantics: injection states seed the frontier,
+/// sink states — head == dest — are reachable but never expanded).
+class Auditor {
+ public:
+  Auditor(const Topology& topo, const RoutingFunction& routing,
+          const Certificate& cert)
+      : topo_(topo), routing_(routing), cert_(cert) {
+    reach_.resize(topo.num_nodes());
+  }
+
+  AuditResult run() {
+    if (cert_.num_nodes != topo_.num_nodes() ||
+        cert_.num_channels != topo_.num_channels()) {
+      return fail(AuditCode::kBindingMismatch,
+                  "certificate speaks about " +
+                      std::to_string(cert_.num_nodes) + " nodes / " +
+                      std::to_string(cert_.num_channels) + " channels, got " +
+                      std::to_string(topo_.num_nodes()) + " / " +
+                      std::to_string(topo_.num_channels()));
+    }
+    if (cert_.kind == CertKind::kCertified) return run_certified();
+    return run_refuted();
+  }
+
+ private:
+  AuditResult fail(AuditCode code, std::string detail) {
+    result_.code = code;
+    result_.detail = std::move(detail);
+    return result_;
+  }
+
+  AuditResult pass() {
+    result_.code = AuditCode::kValid;
+    return result_;
+  }
+
+  [[nodiscard]] NodeId head(ChannelId c) const {
+    return topo_.channel(c).dst;
+  }
+  [[nodiscard]] NodeId tail(ChannelId c) const {
+    return topo_.channel(c).src;
+  }
+
+  static bool contains(const ChannelSet& set, ChannelId c) {
+    return std::find(set.begin(), set.end(), c) != set.end();
+  }
+
+  /// Channels some message destined for `dest` can occupy (own fixpoint).
+  const std::vector<bool>& reach(NodeId dest) {
+    auto& row = reach_[dest];
+    if (!row.empty()) return row;
+    row.assign(topo_.num_channels(), false);
+    std::deque<ChannelId> frontier;
+    for (NodeId src = 0; src < topo_.num_nodes(); ++src) {
+      if (src == dest) continue;
+      for (ChannelId c : routing_.route(topology::kInvalidChannel, src, dest)) {
+        if (!row[c]) {
+          row[c] = true;
+          frontier.push_back(c);
+        }
+      }
+    }
+    while (!frontier.empty()) {
+      const ChannelId c = frontier.front();
+      frontier.pop_front();
+      if (head(c) == dest) continue;  // sink state: consumed, not expanded
+      ++result_.states_checked;
+      for (ChannelId next : routing_.route(c, head(c), dest)) {
+        if (!row[next]) {
+          row[next] = true;
+          frontier.push_back(next);
+        }
+      }
+    }
+    return row;
+  }
+
+  [[nodiscard]] std::string state_name(ChannelId c, NodeId dest) const {
+    return "(" + topo_.channel_name(c) + ", dest " + std::to_string(dest) +
+           ")";
+  }
+
+  // ---------------------------------------------------------- certified
+
+  AuditResult run_certified() {
+    const std::size_t channels = topo_.num_channels();
+    const NodeId nodes = topo_.num_nodes();
+
+    // Escape set: sorted, unique, in range.
+    std::vector<bool> in_c1(channels, false);
+    for (std::size_t i = 0; i < cert_.escape_channels.size(); ++i) {
+      const ChannelId c = cert_.escape_channels[i];
+      if (c >= channels) {
+        return fail(AuditCode::kMalformed,
+                    "escape channel " + std::to_string(c) + " out of range");
+      }
+      if (i > 0 && cert_.escape_channels[i - 1] >= c) {
+        return fail(AuditCode::kMalformed,
+                    "escape_channels not sorted strictly ascending");
+      }
+      in_c1[c] = true;
+    }
+
+    // Topological order: exactly a permutation of the escape set.
+    constexpr std::size_t kUnordered = ~std::size_t{0};
+    std::vector<std::size_t> pos(channels, kUnordered);
+    for (std::size_t i = 0; i < cert_.topological_order.size(); ++i) {
+      const ChannelId c = cert_.topological_order[i];
+      if (c >= channels || !in_c1[c]) {
+        return fail(AuditCode::kOrderNotPermutation,
+                    "order entry " + std::to_string(c) +
+                        " is not an escape channel");
+      }
+      if (pos[c] != kUnordered) {
+        return fail(AuditCode::kOrderNotPermutation,
+                    "order lists channel " + std::to_string(c) + " twice");
+      }
+      pos[c] = i;
+    }
+    if (cert_.topological_order.size() != cert_.escape_channels.size()) {
+      return fail(AuditCode::kOrderNotPermutation,
+                  "order covers " +
+                      std::to_string(cert_.topological_order.size()) +
+                      " channels, escape set has " +
+                      std::to_string(cert_.escape_channels.size()));
+    }
+
+    // Index the claimed witnesses; duplicates are structural garbage.
+    std::map<std::pair<ChannelId, NodeId>, ChannelId> escapes;
+    for (const EscapeWitness& w : cert_.escapes) {
+      if (w.channel >= channels || w.dest >= nodes) {
+        return fail(AuditCode::kMalformed, "escape witness out of range");
+      }
+      if (!escapes.emplace(std::make_pair(w.channel, w.dest), w.via).second) {
+        return fail(AuditCode::kMalformed,
+                    "duplicate escape witness for " +
+                        state_name(w.channel, w.dest));
+      }
+    }
+    std::map<std::pair<NodeId, NodeId>, ChannelId> injections;
+    for (const InjectionEscape& w : cert_.injection_escapes) {
+      if (w.src >= nodes || w.dest >= nodes || w.src == w.dest) {
+        return fail(AuditCode::kMalformed, "injection escape out of range");
+      }
+      if (!injections.emplace(std::make_pair(w.src, w.dest), w.via).second) {
+        return fail(AuditCode::kMalformed, "duplicate injection escape");
+      }
+    }
+    std::map<std::pair<NodeId, NodeId>, const WitnessPath*> paths;
+    for (const WitnessPath& w : cert_.witness_paths) {
+      if (w.src >= nodes || w.dest >= nodes || w.src == w.dest) {
+        return fail(AuditCode::kMalformed, "witness path out of range");
+      }
+      if (!paths.emplace(std::make_pair(w.src, w.dest), &w).second) {
+        return fail(AuditCode::kMalformed, "duplicate witness path");
+      }
+    }
+
+    std::size_t escape_states = 0;
+    std::vector<bool> visited(channels, false);
+    std::vector<ChannelId> stack;
+
+    for (NodeId dest = 0; dest < nodes; ++dest) {
+      const std::vector<bool>& row = reach(dest);
+
+      // Escape-everywhere: every reachable blocked state names an escape
+      // output the relation actually supplies.
+      for (ChannelId c = 0; c < channels; ++c) {
+        if (!row[c] || head(c) == dest) continue;
+        ++escape_states;
+        const auto it = escapes.find({c, dest});
+        if (it == escapes.end()) {
+          return fail(AuditCode::kMissingEscapeWitness,
+                      "no escape witness for reachable state " +
+                          state_name(c, dest));
+        }
+        const ChannelId via = it->second;
+        ++result_.edges_checked;
+        if (via >= channels || !in_c1[via] ||
+            !contains(routing_.route(c, head(c), dest), via)) {
+          return fail(AuditCode::kEscapeWitnessInvalid,
+                      "claimed escape " + std::to_string(via) + " at " +
+                          state_name(c, dest) +
+                          " is not an escape output of the relation");
+        }
+      }
+      for (NodeId src = 0; src < nodes; ++src) {
+        if (src == dest) continue;
+        const auto it = injections.find({src, dest});
+        if (it == injections.end()) {
+          return fail(AuditCode::kMissingInjectionEscape,
+                      "no injection escape for " + std::to_string(src) +
+                          " -> " + std::to_string(dest));
+        }
+        const ChannelId via = it->second;
+        ++result_.edges_checked;
+        if (via >= channels || !in_c1[via] ||
+            !contains(routing_.route(topology::kInvalidChannel, src, dest),
+                      via)) {
+          return fail(AuditCode::kEscapeWitnessInvalid,
+                      "claimed injection escape " + std::to_string(via) +
+                          " for " + std::to_string(src) + " -> " +
+                          std::to_string(dest) +
+                          " is not a first hop of the relation");
+        }
+
+        // Connectivity: the explicit escape path must exist and hold up.
+        const auto path_it = paths.find({src, dest});
+        if (path_it == paths.end()) {
+          return fail(AuditCode::kMissingWitnessPath,
+                      "no witness path for " + std::to_string(src) + " -> " +
+                          std::to_string(dest));
+        }
+        const AuditResult bad =
+            check_witness_path(*path_it->second, in_c1, row);
+        if (!bad.ok()) return bad;
+      }
+
+      // Acyclicity: enumerate every extended-CDG dependency among escape
+      // channels for this destination and compare against the order.  The
+      // emitted escape sets are uniform (one C1 for all destinations), so
+      // all dependencies stay inside C1 and cross edges cannot arise.
+      for (const ChannelId ci : cert_.escape_channels) {
+        if (!row[ci] || head(ci) == dest) continue;
+        const ChannelSet succ = routing_.route(ci, head(ci), dest);
+        for (ChannelId cj : succ) {
+          if (in_c1[cj]) {
+            const AuditResult bad = check_order(pos, ci, cj, dest, "direct");
+            if (!bad.ok()) return bad;
+          }
+        }
+        // Indirect dependencies: excursions over non-escape channels the
+        // relation supplies for this destination.
+        std::fill(visited.begin(), visited.end(), false);
+        stack.clear();
+        for (ChannelId mid : succ) {
+          if (!in_c1[mid] && !visited[mid]) {
+            visited[mid] = true;
+            stack.push_back(mid);
+          }
+        }
+        while (!stack.empty()) {
+          const ChannelId mid = stack.back();
+          stack.pop_back();
+          if (head(mid) == dest) continue;
+          for (ChannelId cj : routing_.route(mid, head(mid), dest)) {
+            if (in_c1[cj]) {
+              const AuditResult bad =
+                  check_order(pos, ci, cj, dest, "indirect");
+              if (!bad.ok()) return bad;
+            } else if (!visited[cj]) {
+              visited[cj] = true;
+              stack.push_back(cj);
+            }
+          }
+        }
+      }
+    }
+
+    // Entries for states the relation cannot reach are unverifiable claims.
+    if (escapes.size() != escape_states) {
+      return fail(AuditCode::kEscapeWitnessInvalid,
+                  "certificate carries escape witnesses for unreachable "
+                  "states");
+    }
+    return pass();
+  }
+
+  AuditResult check_order(const std::vector<std::size_t>& pos, ChannelId ci,
+                          ChannelId cj, NodeId dest, const char* kind) {
+    ++result_.edges_checked;
+    if (ci == cj || pos[ci] >= pos[cj]) {
+      return fail(AuditCode::kOrderViolation,
+                  std::string(kind) + " dependency " + topo_.channel_name(ci) +
+                      " -> " + topo_.channel_name(cj) + " (dest " +
+                      std::to_string(dest) +
+                      ") contradicts the claimed topological order");
+    }
+    return AuditResult{};
+  }
+
+  AuditResult check_witness_path(const WitnessPath& w,
+                                 const std::vector<bool>& in_c1,
+                                 const std::vector<bool>& row) {
+    const auto broken = [&](const std::string& why) {
+      return fail(AuditCode::kWitnessPathBroken,
+                  "witness path " + std::to_string(w.src) + " -> " +
+                      std::to_string(w.dest) + ": " + why);
+    };
+    if (w.path.empty()) return broken("empty");
+    if (w.path.size() > topo_.num_channels()) return broken("revisits a channel");
+    NodeId at = w.src;
+    for (const ChannelId c : w.path) {
+      ++result_.edges_checked;
+      if (c >= topo_.num_channels()) return broken("channel out of range");
+      if (tail(c) != at) return broken("hops are not contiguous");
+      if (!in_c1[c]) {
+        return broken("hop " + topo_.channel_name(c) +
+                      " is not an escape channel");
+      }
+      // The hop must be supplied by the relation toward this destination:
+      // either as a first hop out of `at`, or mid-route (a reachable state).
+      if (!row[c] &&
+          !contains(routing_.route(topology::kInvalidChannel, at, w.dest),
+                    c)) {
+        return broken("hop " + topo_.channel_name(c) +
+                      " is not supplied by the relation for dest " +
+                      std::to_string(w.dest));
+      }
+      at = head(c);
+    }
+    if (at != w.dest) return broken("does not end at the destination");
+    return AuditResult{};
+  }
+
+  // ------------------------------------------------------------ refuted
+
+  AuditResult run_refuted() {
+    switch (cert_.evidence) {
+      case Evidence::kDependencyCycle:
+        return check_dependency_cycle();
+      case Evidence::kWaitCycle:
+        return check_wait_cycle();
+      case Evidence::kNotWaitConnected:
+        return check_disconnection();
+      case Evidence::kNone:
+        break;
+    }
+    return fail(AuditCode::kMalformed, "refuted certificate without evidence");
+  }
+
+  AuditResult check_dependency_cycle() {
+    if (cert_.cycle.empty()) {
+      return fail(AuditCode::kMalformed, "empty dependency cycle");
+    }
+    for (std::size_t i = 0; i < cert_.cycle.size(); ++i) {
+      const CycleEdge& e = cert_.cycle[i];
+      const CycleEdge& next = cert_.cycle[(i + 1) % cert_.cycle.size()];
+      ++result_.edges_checked;
+      if (e.from >= topo_.num_channels() || e.to >= topo_.num_channels() ||
+          e.dest >= topo_.num_nodes()) {
+        return fail(AuditCode::kMalformed, "cycle edge out of range");
+      }
+      if (e.to != next.from) {
+        return fail(AuditCode::kCycleEdgeUnsupported,
+                    "cycle edges do not close: " + topo_.channel_name(e.to) +
+                        " != " + topo_.channel_name(next.from));
+      }
+      if (!reach(e.dest)[e.from] || head(e.from) == e.dest ||
+          !contains(routing_.route(e.from, head(e.from), e.dest), e.to)) {
+        return fail(AuditCode::kCycleEdgeUnsupported,
+                    "relation does not supply dependency " +
+                        topo_.channel_name(e.from) + " -> " +
+                        topo_.channel_name(e.to) + " for dest " +
+                        std::to_string(e.dest));
+      }
+    }
+    return pass();
+  }
+
+  AuditResult check_wait_cycle() {
+    if (cert_.cycle.empty()) {
+      return fail(AuditCode::kMalformed, "empty wait cycle");
+    }
+    // Each edge carries the full held-channel path of one message; the set
+    // of messages must be a realizable deadlock configuration: contiguous
+    // supplied paths, each blocked waiting exactly for the next message's
+    // head-of-cycle channel, all paths pairwise channel-disjoint.
+    std::vector<bool> occupied(topo_.num_channels(), false);
+    for (std::size_t i = 0; i < cert_.cycle.size(); ++i) {
+      const CycleEdge& e = cert_.cycle[i];
+      const CycleEdge& next = cert_.cycle[(i + 1) % cert_.cycle.size()];
+      const auto unsupported = [&](const std::string& why) {
+        return fail(AuditCode::kWaitCycleUnsupported,
+                    "wait-cycle edge " + std::to_string(i) + ": " + why);
+      };
+      if (e.from >= topo_.num_channels() || e.to >= topo_.num_channels() ||
+          e.dest >= topo_.num_nodes()) {
+        return fail(AuditCode::kMalformed, "cycle edge out of range");
+      }
+      if (e.to != next.from) {
+        return unsupported("cycle does not close on the next held channel");
+      }
+      if (e.hold.empty() || e.hold.front() != e.from) {
+        return unsupported("held path does not start at the held channel");
+      }
+      const std::vector<bool>& row = reach(e.dest);
+      if (!row[e.hold.front()]) {
+        return unsupported("held path starts at an unreachable state");
+      }
+      for (std::size_t j = 0; j < e.hold.size(); ++j) {
+        const ChannelId c = e.hold[j];
+        ++result_.edges_checked;
+        if (c >= topo_.num_channels()) {
+          return fail(AuditCode::kMalformed, "held channel out of range");
+        }
+        // Note: the waited channel e.to may legitimately appear in a hold
+        // path — for a length-1 cycle the message waits for the channel it
+        // itself occupies (the paper's indirect self-dependency deadlock).
+        // Closure pins e.to == next.hold.front(), so every waited channel
+        // is occupied by a blocked message; the disjointness check below
+        // rejects any other duplicate occupancy claim.
+        if (occupied[c]) {
+          return unsupported("held paths are not channel-disjoint");
+        }
+        occupied[c] = true;
+        if (head(c) == e.dest) {
+          return unsupported("message is at its destination, cannot block");
+        }
+        if (j + 1 < e.hold.size() &&
+            !contains(routing_.route(c, head(c), e.dest), e.hold[j + 1])) {
+          return unsupported("held path hop " + topo_.channel_name(c) +
+                             " -> " + topo_.channel_name(e.hold[j + 1]) +
+                             " is not supplied by the relation");
+        }
+      }
+      const ChannelId blocked = e.hold.back();
+      if (!contains(routing_.waiting(blocked, head(blocked), e.dest), e.to)) {
+        return unsupported("relation does not let the blocked message wait "
+                           "for " +
+                           topo_.channel_name(e.to));
+      }
+    }
+    return pass();
+  }
+
+  AuditResult check_disconnection() {
+    const Disconnection& d = cert_.disconnection;
+    if (d.dest >= topo_.num_nodes()) {
+      return fail(AuditCode::kMalformed, "disconnection out of range");
+    }
+    ++result_.edges_checked;
+    if (d.at_injection) {
+      if (d.src >= topo_.num_nodes() || d.src == d.dest) {
+        return fail(AuditCode::kMalformed, "disconnection out of range");
+      }
+      if (!routing_.waiting(topology::kInvalidChannel, d.src, d.dest)
+               .empty()) {
+        return fail(AuditCode::kDisconnectionUnsupported,
+                    "injection " + std::to_string(d.src) + " -> " +
+                        std::to_string(d.dest) + " has waiting channels");
+      }
+      return pass();
+    }
+    if (d.channel >= topo_.num_channels()) {
+      return fail(AuditCode::kMalformed, "disconnection out of range");
+    }
+    if (!reach(d.dest)[d.channel] || head(d.channel) == d.dest) {
+      return fail(AuditCode::kDisconnectionUnsupported,
+                  "claimed starved state " + state_name(d.channel, d.dest) +
+                      " is not a reachable blocked state");
+    }
+    if (!routing_.waiting(d.channel, head(d.channel), d.dest).empty()) {
+      return fail(AuditCode::kDisconnectionUnsupported,
+                  "state " + state_name(d.channel, d.dest) +
+                      " has waiting channels");
+    }
+    return pass();
+  }
+
+  const Topology& topo_;
+  const RoutingFunction& routing_;
+  const Certificate& cert_;
+  AuditResult result_;
+  std::vector<std::vector<bool>> reach_;
+};
+
+}  // namespace
+
+AuditResult check(const Topology& topo, const RoutingFunction& routing,
+                  const Certificate& cert) {
+  Auditor auditor(topo, routing, cert);
+  return auditor.run();
+}
+
+}  // namespace wormnet::audit

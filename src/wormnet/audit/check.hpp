@@ -1,0 +1,65 @@
+// The independent certificate auditor (DESIGN 3.10).
+//
+// `check()` validates a Certificate against a (topology, routing) binding by
+// direct inspection of the routing relation: it re-derives reachable states
+// with its own fixpoint, walks the claimed witnesses hop by hop, and
+// enumerates extended-CDG dependencies against the claimed topological
+// order.  Everything is comparisons and array lookups over the relation —
+// no search, no cycle detection, no reuse of cdg/, cwg/, core/ or analysis/
+// code — so the auditor is a genuinely separate trusted base: a checker bug
+// that emits a wrong certificate becomes a loud audit contradiction here
+// instead of a silently wrong verdict downstream.
+//
+// Cost: one pass over the reachable state space per destination named by
+// the certificate — linear in the dependency evidence (V = states, E =
+// relation edges), the same asymptotics as building the graphs the checker
+// searched, without any of the search.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "wormnet/audit/certificate.hpp"
+#include "wormnet/routing/routing_function.hpp"
+#include "wormnet/topology/topology.hpp"
+
+namespace wormnet::audit {
+
+/// Machine-readable audit outcomes.  Every rejection names the first check
+/// that failed; adversarial mutations of a valid certificate each map to a
+/// distinct code (pinned by tests/test_audit.cpp).
+enum class AuditCode : std::uint8_t {
+  kValid,
+  kMalformed,             ///< structurally unusable (ids, duplicates, ...)
+  kBindingMismatch,       ///< node/channel counts disagree with the topology
+  kOrderNotPermutation,   ///< order is not a permutation of the escape set
+  kOrderViolation,        ///< a dependency edge contradicts the order
+  kMissingEscapeWitness,  ///< a reachable blocked state has no escape entry
+  kEscapeWitnessInvalid,  ///< an escape entry the relation does not supply
+  kMissingInjectionEscape,  ///< an injection state has no escape entry
+  kMissingWitnessPath,    ///< a (src, dest) pair has no connectivity path
+  kWitnessPathBroken,     ///< a connectivity path that does not hold up
+  kCycleEdgeUnsupported,  ///< a dependency-cycle edge the relation lacks
+  kWaitCycleUnsupported,  ///< a wait-cycle edge or realization that fails
+  kDisconnectionUnsupported,  ///< the claimed starved state can wait
+};
+
+[[nodiscard]] const char* to_string(AuditCode code);
+
+struct AuditResult {
+  AuditCode code = AuditCode::kValid;
+  std::string detail;  ///< human rendering of the first failure
+  std::uint64_t states_checked = 0;  ///< reachable states visited
+  std::uint64_t edges_checked = 0;   ///< dependency/witness edges verified
+
+  [[nodiscard]] bool ok() const { return code == AuditCode::kValid; }
+};
+
+/// Validates `cert` against the binding.  `routing` must be the exact
+/// relation the certificate speaks about (for fault epochs: the degraded
+/// relation, not the base one).
+[[nodiscard]] AuditResult check(const topology::Topology& topo,
+                                const routing::RoutingFunction& routing,
+                                const Certificate& cert);
+
+}  // namespace wormnet::audit

@@ -5,6 +5,7 @@
 
 #include "wormnet/cdg/cdg_builder.hpp"
 #include "wormnet/cdg/message_flow.hpp"
+#include "wormnet/core/certify.hpp"
 #include "wormnet/cwg/cwg_builder.hpp"
 #include "wormnet/cwg/cycle_classify.hpp"
 #include "wormnet/obs/probe.hpp"
@@ -14,6 +15,10 @@ namespace {
 
 using routing::RelationForm;
 using routing::WaitMode;
+
+/// Certificate sink threaded through the checkers: null means the caller
+/// does not want certificates (plain verify()).
+using CertSink = std::optional<audit::Certificate>*;
 
 /// True if every reachable state offers at most one output channel — the
 /// deterministic case, where Dally–Seitz is exact.
@@ -32,7 +37,7 @@ bool is_deterministic(const cdg::StateGraph& states) {
   return true;
 }
 
-Verdict verify_cdg(const cdg::StateGraph& states) {
+Verdict verify_cdg(const cdg::StateGraph& states, CertSink cert = nullptr) {
   Verdict verdict;
   verdict.method = "cdg-acyclic";
   const graph::Digraph cdg = cdg::build_cdg(states);
@@ -51,6 +56,9 @@ Verdict verify_cdg(const cdg::StateGraph& states) {
     verdict.detail =
         "deterministic relation with cyclic CDG (Dally-Seitz necessity): " +
         describe_cycle(states.topo(), *cycle);
+    if (cert != nullptr) {
+      *cert = certify_dependency_cycle(states, *cycle, "cdg-acyclic");
+    }
   } else {
     verdict.conclusion = Conclusion::kUnknown;
     verdict.detail =
@@ -62,10 +70,12 @@ Verdict verify_cdg(const cdg::StateGraph& states) {
 
 Verdict verify_duato(const cdg::StateGraph& states,
                      const cdg::SearchOptions& options,
-                     const routing::RoutingFunction& routing) {
+                     const routing::RoutingFunction& routing,
+                     CertSink cert = nullptr) {
   Verdict verdict;
   verdict.method = "duato";
   const cdg::SearchResult result = cdg::search(states, options);
+  if (cert != nullptr) *cert = certify_duato(states, result);
   if (result.found) {
     verdict.conclusion = Conclusion::kDeadlockFree;
     std::ostringstream os;
@@ -107,7 +117,8 @@ Verdict verify_duato(const cdg::StateGraph& states,
 
 Verdict verify_cwg(const cdg::StateGraph& states,
                    const cwg::ReductionOptions& options,
-                   const routing::RoutingFunction& routing) {
+                   const routing::RoutingFunction& routing,
+                   CertSink cert = nullptr) {
   Verdict verdict;
   verdict.method = "cwg";
   const cwg::WaitConnectivity wait = cwg::wait_connectivity(states);
@@ -118,6 +129,7 @@ Verdict verify_cwg(const cdg::StateGraph& states,
     if (wait.channel != topology::kInvalidChannel) {
       verdict.witness_channels.push_back(wait.channel);
     }
+    if (cert != nullptr) *cert = certify_not_wait_connected(states, wait);
     return verdict;
   }
   const cwg::Cwg graph = cwg::build_cwg(states);
@@ -143,6 +155,7 @@ Verdict verify_cwg(const cdg::StateGraph& states,
         verdict.witness_channels = cycle.channels;
         verdict.detail = "True Cycle under wait-specific semantics: " +
                          describe_cycle(states.topo(), cycle.channels);
+        if (cert != nullptr) *cert = certify_wait_cycle(states, cycle);
         return verdict;
       }
     }
@@ -177,6 +190,7 @@ Verdict verify_cwg(const cdg::StateGraph& states,
     for (const auto& cycle : survey.cycles) {
       if (cycle.kind == cwg::CycleKind::kTrue) {
         verdict.witness_channels = cycle.channels;
+        if (cert != nullptr) *cert = certify_wait_cycle(states, cycle);
         break;
       }
     }
@@ -237,27 +251,9 @@ Verdict verify_sim(const topology::Topology& topo,
   return verdict;
 }
 
-}  // namespace
-
-const char* to_string(Method method) {
-  switch (method) {
-    case Method::kCdgAcyclic:
-      return "cdg-acyclic";
-    case Method::kDuato:
-      return "duato";
-    case Method::kCwg:
-      return "cwg";
-    case Method::kMessageFlow:
-      return "message-flow";
-    case Method::kSimulation:
-      return "simulation";
-  }
-  return "?";
-}
-
-Verdict verify(const topology::Topology& topo,
-               const routing::RoutingFunction& routing,
-               const VerifyOptions& options) {
+Verdict verify_impl(const topology::Topology& topo,
+                    const routing::RoutingFunction& routing,
+                    const VerifyOptions& options, CertSink cert) {
   const std::string method_phase =
       std::string("verify.") + to_string(options.method);
   if (options.method == Method::kSimulation) {
@@ -283,13 +279,13 @@ Verdict verify(const topology::Topology& topo,
     obs::Profiler::Scope timer(options.profiler, method_phase.c_str());
     switch (options.method) {
       case Method::kCdgAcyclic:
-        verdict = verify_cdg(*states);
+        verdict = verify_cdg(*states, cert);
         break;
       case Method::kDuato:
-        verdict = verify_duato(*states, options.duato, routing);
+        verdict = verify_duato(*states, options.duato, routing, cert);
         break;
       case Method::kCwg:
-        verdict = verify_cwg(*states, options.cwg, routing);
+        verdict = verify_cwg(*states, options.cwg, routing, cert);
         break;
       case Method::kMessageFlow:
         verdict = verify_message_flow(*states);
@@ -305,6 +301,38 @@ Verdict verify(const topology::Topology& topo,
     }
   }
   return verdict;
+}
+
+}  // namespace
+
+const char* to_string(Method method) {
+  switch (method) {
+    case Method::kCdgAcyclic:
+      return "cdg-acyclic";
+    case Method::kDuato:
+      return "duato";
+    case Method::kCwg:
+      return "cwg";
+    case Method::kMessageFlow:
+      return "message-flow";
+    case Method::kSimulation:
+      return "simulation";
+  }
+  return "?";
+}
+
+Verdict verify(const topology::Topology& topo,
+               const routing::RoutingFunction& routing,
+               const VerifyOptions& options) {
+  return verify_impl(topo, routing, options, nullptr);
+}
+
+CertifiedVerdict verify_certified(const topology::Topology& topo,
+                                  const routing::RoutingFunction& routing,
+                                  const VerifyOptions& options) {
+  CertifiedVerdict result;
+  result.verdict = verify_impl(topo, routing, options, &result.certificate);
+  return result;
 }
 
 bool FullReport::consistent() const {

@@ -17,6 +17,9 @@
 //                  prove deadlockability.
 #pragma once
 
+#include <optional>
+
+#include "wormnet/audit/certificate.hpp"
 #include "wormnet/cdg/duato_checker.hpp"
 #include "wormnet/core/verdict.hpp"
 #include "wormnet/cwg/reduction.hpp"
@@ -64,6 +67,25 @@ struct VerifyOptions {
 [[nodiscard]] Verdict verify(const topology::Topology& topo,
                              const routing::RoutingFunction& routing,
                              const VerifyOptions& options = {});
+
+/// A verdict plus its proof-carrying certificate, when the verdict admits
+/// one (DESIGN 3.10).  Certificates are emitted for: Duato certified
+/// (escape set + topological order + connectivity witnesses), Duato
+/// exhaustive refutation / deterministic cyclic CDG (dependency cycle),
+/// CWG True-Cycle refutation (wait cycle with realization), and
+/// wait-disconnection.  No certificate accompanies kUnknown verdicts or
+/// universal deadlock-freedom claims with no compact witness (CWG
+/// reduction success, acyclic plain CDG, message-flow, simulation).
+struct CertifiedVerdict {
+  Verdict verdict;
+  std::optional<audit::Certificate> certificate;
+};
+
+/// Like verify(), but additionally emits the verdict's certificate so an
+/// independent auditor (audit::check) can re-validate the conclusion.
+[[nodiscard]] CertifiedVerdict verify_certified(
+    const topology::Topology& topo, const routing::RoutingFunction& routing,
+    const VerifyOptions& options = {});
 
 /// Runs all four methods and checks they never contradict each other
 /// (a "deadlock-free" proof alongside an observed deadlock is a library bug).

@@ -39,7 +39,22 @@ const AnalysisEntry& AnalysisCache::get(const std::string& topo_spec,
   core::VerifyOptions options;
   options.method = core::Method::kDuato;
   options.profiler = profiler_;
-  entry.duato = core::verify(*entry.topo, *algorithm, options);
+  if (certify_) {
+    core::CertifiedVerdict certified =
+        core::verify_certified(*entry.topo, *algorithm, options);
+    entry.duato = std::move(certified.verdict);
+    if (certified.certificate) {
+      // Rebind the labels to the registry coordinates so the certificate
+      // names the exact spec + canonical algorithm it was emitted for.
+      certified.certificate->topology = topo_spec;
+      certified.certificate->routing = entry.routing;
+      certified.certificate->fault_mask.clear();
+      entry.certificate = std::make_shared<const audit::Certificate>(
+          std::move(*certified.certificate));
+    }
+  } else {
+    entry.duato = core::verify(*entry.topo, *algorithm, options);
+  }
   entry.certified =
       entry.duato.conclusion == core::Conclusion::kDeadlockFree;
   if (with_cwg_) {
@@ -90,13 +105,38 @@ const AnalysisEntry& AnalysisCache::get_degraded(
   core::VerifyOptions options;
   options.method = core::Method::kDuato;
   options.profiler = profiler_;
-  entry.duato = core::verify(*entry.topo, degraded, options);
+  if (certify_) {
+    core::CertifiedVerdict certified =
+        core::verify_certified(*entry.topo, degraded, options);
+    entry.duato = std::move(certified.verdict);
+    if (certified.certificate) {
+      certified.certificate->topology = topo_spec;
+      certified.certificate->routing = entry.routing;
+      certified.certificate->fault_mask = ft::mask_to_hex(mask);
+      entry.certificate = std::make_shared<const audit::Certificate>(
+          std::move(*certified.certificate));
+    }
+  } else {
+    entry.duato = core::verify(*entry.topo, degraded, options);
+  }
   entry.certified =
       entry.duato.conclusion == core::Conclusion::kDeadlockFree;
 
   slot->entry = std::move(entry);
   slot->ready.store(true, std::memory_order_release);
   return slot->entry;
+}
+
+std::vector<CertificateRecord> AnalysisCache::certificates() {
+  std::vector<CertificateRecord> out;
+  std::lock_guard lock(registry_mutex_);
+  for (const auto& [key, slot] : slots_) {
+    if (!slot->ready.load(std::memory_order_acquire)) continue;
+    if (slot->entry.certificate) {
+      out.push_back({key, slot->entry.certificate});
+    }
+  }
+  return out;
 }
 
 }  // namespace wormnet::exp

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "wormnet/audit/certificate.hpp"
 #include "wormnet/core/verdict.hpp"
 #include "wormnet/obs/profiler.hpp"
 #include "wormnet/topology/topology.hpp"
@@ -35,6 +36,17 @@ struct AnalysisEntry {
   /// against (a deadlock on a certified pair falsifies the theorem or,
   /// far more likely, the implementation).
   bool certified = false;
+  /// Proof-carrying certificate for the decisive verdict, when emission is
+  /// on and the verdict admits one.  Its topology/routing fields carry the
+  /// registry spec + canonical name, fault_mask the epoch's hex mask, so
+  /// `wormnet-audit` can rebuild the exact relation it speaks about.
+  std::shared_ptr<const audit::Certificate> certificate;
+};
+
+/// One persisted certificate, in deterministic (cache-key) order.
+struct CertificateRecord {
+  std::string key;  ///< "topo|routing" or "topo|routing|mask"
+  std::shared_ptr<const audit::Certificate> certificate;
 };
 
 class AnalysisCache {
@@ -44,9 +56,13 @@ class AnalysisCache {
   /// `profiler` (borrowed, nullable) times each cache miss as
   /// "sweep.analysis" / "sweep.epoch_reverify" and is passed down to the
   /// verifier for its per-method phases; hits cost nothing.
+  /// `certify` additionally emits the proof-carrying certificate on every
+  /// cache miss (verify_certified instead of verify); certificates persist
+  /// alongside the verdicts and can be drained with certificates().
   explicit AnalysisCache(bool with_cwg = false,
-                         obs::Profiler* profiler = nullptr)
-      : with_cwg_(with_cwg), profiler_(profiler) {}
+                         obs::Profiler* profiler = nullptr,
+                         bool certify = false)
+      : with_cwg_(with_cwg), certify_(certify), profiler_(profiler) {}
 
   /// Returns the entry for (topology spec, canonical routing name),
   /// computing it on first use.  The reference stays valid for the cache's
@@ -68,6 +84,11 @@ class AnalysisCache {
   [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
   [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
 
+  /// Snapshot of every emitted certificate, in cache-key order (so output
+  /// is deterministic regardless of which threads filled which slots).
+  /// Empty unless constructed with certify = true.
+  [[nodiscard]] std::vector<CertificateRecord> certificates();
+
  private:
   struct Slot {
     std::mutex fill;
@@ -76,6 +97,7 @@ class AnalysisCache {
   };
 
   bool with_cwg_;
+  bool certify_;
   obs::Profiler* profiler_;
   std::mutex registry_mutex_;
   std::map<std::string, std::unique_ptr<Slot>> slots_;

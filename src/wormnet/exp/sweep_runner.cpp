@@ -116,7 +116,7 @@ SweepOutcome run_sweep(const SweepSpec& spec, const RunnerOptions& options) {
   const auto start = std::chrono::steady_clock::now();
 
   ExpandedSweep expanded = expand(spec);
-  AnalysisCache cache(options.with_cwg, options.profiler);
+  AnalysisCache cache(options.with_cwg, options.profiler, options.certify);
 
   SweepOutcome out;
   out.skipped = std::move(expanded.skipped);
@@ -170,6 +170,7 @@ SweepOutcome run_sweep(const SweepSpec& spec, const RunnerOptions& options) {
   for (const SweepResult& result : out.results) {
     out.aggregate.add(result.stats, result.certified);
   }
+  if (options.certify) out.certificates = cache.certificates();
   out.cache_hits = cache.hits();
   out.cache_misses = cache.misses();
   out.wall_ms = std::chrono::duration<double, std::milli>(

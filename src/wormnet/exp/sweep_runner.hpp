@@ -70,6 +70,10 @@ struct RunnerOptions {
   std::size_t chunk = 0;
   /// Run the CWG reduction per (topology, routing) key as well.
   bool with_cwg = false;
+  /// Emit a proof-carrying certificate per analysis-cache miss (pristine
+  /// pairs and fault epochs alike); they surface in
+  /// SweepOutcome::certificates in deterministic cache-key order.
+  bool certify = false;
   /// Borrowed; populated after the parallel phase (counters `sweep.*`).
   /// Null = disabled.
   obs::MetricsRegistry* metrics = nullptr;
@@ -88,6 +92,9 @@ struct SweepOutcome {
   std::vector<SweepResult> results;    ///< canonical point order
   std::vector<std::string> skipped;    ///< inapplicable grid combos
   Aggregate aggregate;                 ///< canonical-order fold of results
+  /// Every certificate the analysis cache emitted (RunnerOptions::certify),
+  /// in cache-key order — deterministic for any thread count.
+  std::vector<CertificateRecord> certificates;
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   double wall_ms = 0.0;  ///< not part of the deterministic surface

@@ -212,4 +212,33 @@ std::string mask_to_hex(const std::vector<bool>& mask) {
   return out;
 }
 
+std::vector<bool> mask_from_hex(const std::string& hex,
+                                std::size_t num_channels) {
+  std::vector<bool> mask(num_channels, false);
+  for (std::size_t i = 0; i < hex.size(); ++i) {
+    const char digit = hex[hex.size() - 1 - i];
+    int value = 0;
+    if (digit >= '0' && digit <= '9') {
+      value = digit - '0';
+    } else if (digit >= 'a' && digit <= 'f') {
+      value = digit - 'a' + 10;
+    } else {
+      throw std::invalid_argument("mask_from_hex: non-hex character in " +
+                                  hex);
+    }
+    for (int bit = 0; bit < 4; ++bit) {
+      if ((value & (1 << bit)) == 0) continue;
+      const std::size_t c = i * 4 + static_cast<std::size_t>(bit);
+      if (c >= num_channels) {
+        throw std::invalid_argument("mask_from_hex: bit " + std::to_string(c) +
+                                    " beyond " +
+                                    std::to_string(num_channels) +
+                                    " channels");
+      }
+      mask[c] = true;
+    }
+  }
+  return mask;
+}
+
 }  // namespace wormnet::ft

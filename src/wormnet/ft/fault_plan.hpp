@@ -101,4 +101,10 @@ struct CompiledFaultPlan {
 /// suffix for degraded-relation verdicts.
 [[nodiscard]] std::string mask_to_hex(const std::vector<bool>& mask);
 
+/// Inverse of mask_to_hex for a network of `num_channels` channels.  Used to
+/// reconstruct the degraded relation a persisted certificate speaks about.
+/// Throws std::invalid_argument on non-hex input or bits beyond the network.
+[[nodiscard]] std::vector<bool> mask_from_hex(const std::string& hex,
+                                              std::size_t num_channels);
+
 }  // namespace wormnet::ft

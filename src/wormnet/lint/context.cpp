@@ -1,5 +1,7 @@
 #include "wormnet/lint/context.hpp"
 
+#include "wormnet/core/certify.hpp"
+
 namespace wormnet::lint {
 
 cdg::SearchOptions LintContext::default_search_options() {
@@ -40,6 +42,14 @@ const cdg::SearchResult& LintContext::duato_search() {
     search_ = cdg::search(states(), options);
   }
   return *search_;
+}
+
+const std::optional<audit::Certificate>& LintContext::certificate() {
+  if (!certificate_emitted_) {
+    certificate_emitted_ = true;
+    certificate_ = core::certify_duato(states(), duato_search());
+  }
+  return certificate_;
 }
 
 }  // namespace wormnet::lint

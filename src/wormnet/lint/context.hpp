@@ -11,6 +11,7 @@
 #include <memory>
 #include <optional>
 
+#include "wormnet/audit/certificate.hpp"
 #include "wormnet/cdg/duato_checker.hpp"
 #include "wormnet/cdg/states.hpp"
 #include "wormnet/routing/duato_adaptive.hpp"
@@ -53,6 +54,12 @@ class LintContext {
   /// on first use).  Precondition: duato_layers() != nullptr.
   [[nodiscard]] const cdg::StateGraph& escape_states();
 
+  /// Proof-carrying certificate for the Duato search outcome (emitted on
+  /// first use via core::certify_duato; shared by the WN021–WN023 rules).
+  /// nullopt when the verdict is not decisive or emission failed — the
+  /// latter is exactly what WN023 reports.
+  [[nodiscard]] const std::optional<audit::Certificate>& certificate();
+
  private:
   const Topology* topo_;
   const RoutingFunction* routing_;
@@ -61,6 +68,8 @@ class LintContext {
   std::optional<cdg::StateGraph> states_;
   std::optional<cdg::StateGraph> escape_states_;
   std::optional<cdg::SearchResult> search_;
+  bool certificate_emitted_ = false;
+  std::optional<audit::Certificate> certificate_;
 };
 
 }  // namespace wormnet::lint

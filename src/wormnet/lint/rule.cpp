@@ -42,6 +42,17 @@ const std::vector<Rule>& all_rules() {
        "virtual-channel budget cannot support the topology/routing "
        "combination",
        rules::vc_count_sanity},
+      {"WN021", "certificate-audit-mismatch", Severity::kError,
+       "the verdict's proof-carrying certificate is refuted by the "
+       "independent auditor",
+       rules::certificate_audit_mismatch},
+      {"WN022", "certificate-roundtrip-unstable", Severity::kError,
+       "the certificate does not survive a JSON round-trip byte-exactly",
+       rules::certificate_roundtrip_unstable},
+      {"WN023", "certificate-missing", Severity::kWarning,
+       "the Duato verdict is decisive but carries no certificate for "
+       "independent re-validation",
+       rules::certificate_missing},
   };
   return kRules;
 }

@@ -25,4 +25,10 @@ void unreachable_channel(LintContext& ctx, std::vector<Diagnostic>& out);
 void adaptivity_degenerate(LintContext& ctx, std::vector<Diagnostic>& out);
 void vc_count_sanity(LintContext& ctx, std::vector<Diagnostic>& out);
 
+// rules_certificates.cpp
+void certificate_audit_mismatch(LintContext& ctx, std::vector<Diagnostic>& out);
+void certificate_roundtrip_unstable(LintContext& ctx,
+                                    std::vector<Diagnostic>& out);
+void certificate_missing(LintContext& ctx, std::vector<Diagnostic>& out);
+
 }  // namespace wormnet::lint::rules

@@ -24,6 +24,8 @@
 #pragma once
 
 #include "wormnet/analysis/adaptiveness.hpp"
+#include "wormnet/audit/certificate.hpp"
+#include "wormnet/audit/check.hpp"
 #include "wormnet/analysis/path_count.hpp"
 #include "wormnet/analysis/saturation.hpp"
 #include "wormnet/analysis/turns.hpp"
@@ -33,6 +35,7 @@
 #include "wormnet/cdg/message_flow.hpp"
 #include "wormnet/cdg/states.hpp"
 #include "wormnet/cdg/subfunction.hpp"
+#include "wormnet/core/certify.hpp"
 #include "wormnet/core/registry.hpp"
 #include "wormnet/core/verdict.hpp"
 #include "wormnet/core/verifier.hpp"

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "test_helpers.hpp"
+#include "wormnet/audit/check.hpp"
 #include "wormnet/cdg/duato_checker.hpp"
 #include "wormnet/core/registry.hpp"
 #include "wormnet/obs/postmortem.hpp"
@@ -192,23 +193,52 @@ TEST(Postmortem, CertifiedConfigEmitsNoPostmortems) {
   EXPECT_EQ(stats.postmortems_emitted, 0u);
 }
 
-TEST(Postmortem, FabricatedEscapeConfinedCycleFlagsContradiction) {
+TEST(Postmortem, ForgedCertificateRejectedYetFlagsContradiction) {
   // No real certified configuration can produce an escape-confined cycle
-  // (that is the theorem), so fabricate one: claim the FULL channel set is
-  // a certified escape subfunction of the unrestricted ring.  Its extended
-  // CDG then contains every dependency of the runtime cycle, each edge
-  // classifies as escape, and the contradiction flag must trip.
+  // (that is the theorem), so forge one *through the production schema*:
+  // a Certificate claiming the FULL channel set is a certified escape
+  // subfunction of the unrestricted ring.  The forgery is well-formed JSON
+  // — and the independent auditor rejects it, because the schema demands
+  // per-state escape evidence the forger cannot supply (and no completion
+  // could survive the acyclicity check: the full set's extended CDG is
+  // cyclic).  Feeding the same forged escape set to the cross-reference
+  // then trips the contradiction flag on the runtime cycle, as it must.
   const topology::Topology topo = core::make_topology("ring:8");
   const auto routing = core::make_algorithm("unrestricted", topo);
   sim::Simulator simulator(topo, *routing, ring_wedge_config());
   (void)simulator.run();
   ASSERT_FALSE(simulator.postmortems().empty());
 
+  audit::Certificate forged;
+  forged.kind = audit::CertKind::kCertified;
+  forged.method = "duato";
+  forged.topology = "ring:8";
+  forged.routing = "unrestricted";
+  forged.num_nodes = topo.num_nodes();
+  forged.num_channels = static_cast<std::uint32_t>(topo.num_channels());
+  forged.subfunction = "full-set (forged)";
+  for (topology::ChannelId c = 0; c < topo.num_channels(); ++c) {
+    forged.escape_channels.push_back(c);
+    forged.topological_order.push_back(c);
+  }
+  // The forgery survives the strict parser (it is schema-valid data) ...
+  const audit::ParseResult parsed = audit::parse_certificate(forged.to_json());
+  ASSERT_TRUE(parsed.certificate.has_value()) << parsed.error;
+  ASSERT_EQ(*parsed.certificate, forged);
+  // ... and dies at the auditor: the relation does not support the claim.
+  const audit::AuditResult audit = audit::check(topo, *routing, forged);
+  EXPECT_FALSE(audit.ok());
+  EXPECT_EQ(audit.code, audit::AuditCode::kMissingEscapeWitness)
+      << audit.detail;
+
   const cdg::StateGraph states(topo, *routing);
   cdg::SearchResult fake;
   fake.found = true;
-  fake.c1.assign(topo.num_channels(), true);
-  fake.report.subfunction_label = "full-set (fabricated)";
+  fake.c1.assign(topo.num_channels(), false);
+  for (const topology::ChannelId c : parsed.certificate->escape_channels) {
+    fake.c1[c] = true;
+  }
+  fake.report.subfunction_label = parsed.certificate->subfunction;
 
   const PostmortemReport report = cross_reference(
       states, fake, simulator.postmortems().front(), "ring:8", "unrestricted");
