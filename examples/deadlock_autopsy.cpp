@@ -56,7 +56,7 @@ void autopsy(const topology::Topology& topo,
     std::cout << "    packet #" << pkt.id << " (" << pkt.src << " -> "
               << pkt.dst << ", holds";
     for (topology::ChannelId c : pkt.path) {
-      if (sim.network().vc(c).owner == pkt.id) {
+      if (sim.network().owner(c) == pkt.id) {
         std::cout << " " << topo.channel_name(c);
       }
     }

@@ -38,9 +38,15 @@ bool DatelineRouting::wrap_ahead(NodeId current, NodeId dest,
   return dir == Direction::kPos ? y < x : y > x;
 }
 
-ChannelSet DatelineRouting::route(ChannelId /*input*/, NodeId current,
+ChannelSet DatelineRouting::route(ChannelId input, NodeId current,
                                   NodeId dest) const {
   ChannelSet out;
+  route_into(input, current, dest, out);
+  return out;
+}
+
+void DatelineRouting::route_into(ChannelId /*input*/, NodeId current,
+                                 NodeId dest, ChannelSet& out) const {
   for (std::size_t dim = 0; dim < topo_->num_dims(); ++dim) {
     if (topo_->coord(current, dim) == topo_->coord(dest, dim)) continue;
     const Direction dir = preferred_dir(*topo_, current, dest, dim);
@@ -48,7 +54,6 @@ ChannelSet DatelineRouting::route(ChannelId /*input*/, NodeId current,
     append_link_vcs(*topo_, current, dim, dir, vc, vc, out);
     break;  // dimension order
   }
-  return out;
 }
 
 std::unique_ptr<RoutingFunction> make_dateline(const Topology& topo) {

@@ -31,6 +31,8 @@ class DatelineRouting final : public RoutingFunction {
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] ChannelSet route(ChannelId input, NodeId current,
                                  NodeId dest) const override;
+  void route_into(ChannelId input, NodeId current, NodeId dest,
+                  ChannelSet& out) const override;
 
   /// True iff the remaining travel in `dim` (from current toward dest along
   /// the deterministic preferred direction) crosses the wrap link.

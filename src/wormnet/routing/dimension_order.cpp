@@ -37,16 +37,21 @@ std::string DimensionOrder::name() const {
   return os.str();
 }
 
-ChannelSet DimensionOrder::route(ChannelId /*input*/, NodeId current,
+ChannelSet DimensionOrder::route(ChannelId input, NodeId current,
                                  NodeId dest) const {
   ChannelSet out;
+  route_into(input, current, dest, out);
+  return out;
+}
+
+void DimensionOrder::route_into(ChannelId /*input*/, NodeId current,
+                                NodeId dest, ChannelSet& out) const {
   for (std::size_t dim = 0; dim < topo_->num_dims(); ++dim) {
     if (topo_->coord(current, dim) == topo_->coord(dest, dim)) continue;
     const Direction dir = preferred_dir(*topo_, current, dest, dim);
     append_link_vcs(*topo_, current, dim, dir, vc_lo_, vc_hi_, out);
     break;  // lowest unresolved dimension only
   }
-  return out;
 }
 
 std::unique_ptr<RoutingFunction> make_dimension_order(const Topology& topo) {

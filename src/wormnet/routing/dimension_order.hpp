@@ -23,6 +23,8 @@ class DimensionOrder final : public RoutingFunction {
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] ChannelSet route(ChannelId input, NodeId current,
                                  NodeId dest) const override;
+  void route_into(ChannelId input, NodeId current, NodeId dest,
+                  ChannelSet& out) const override;
 
  private:
   std::uint8_t vc_lo_;

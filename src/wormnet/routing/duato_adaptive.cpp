@@ -23,10 +23,16 @@ DuatoAdaptive::DuatoAdaptive(const Topology& topo,
 
 ChannelSet DuatoAdaptive::route(ChannelId input, NodeId current,
                                 NodeId dest) const {
-  ChannelSet out = minimal_channels(*topo_, current, dest, adaptive_vc_lo_,
-                                    topo_->cube().vcs - 1);
-  for (ChannelId c : escape_->route(input, current, dest)) out.push_back(c);
+  ChannelSet out;
+  route_into(input, current, dest, out);
   return out;
+}
+
+void DuatoAdaptive::route_into(ChannelId input, NodeId current, NodeId dest,
+                               ChannelSet& out) const {
+  minimal_channels_into(*topo_, current, dest, adaptive_vc_lo_,
+                        topo_->cube().vcs - 1, out);
+  escape_->route_into(input, current, dest, out);
 }
 
 std::unique_ptr<DuatoAdaptive> make_duato_mesh(const Topology& topo) {

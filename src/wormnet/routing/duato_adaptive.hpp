@@ -36,6 +36,8 @@ class DuatoAdaptive final : public RoutingFunction {
   /// Adaptive candidates first (preference order), escape candidates last.
   [[nodiscard]] ChannelSet route(ChannelId input, NodeId current,
                                  NodeId dest) const override;
+  void route_into(ChannelId input, NodeId current, NodeId dest,
+                  ChannelSet& out) const override;
 
   /// The escape relation R1 — exposed so the Duato checker can use it as the
   /// canonical routing subfunction without re-deriving it.

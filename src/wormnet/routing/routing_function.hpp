@@ -68,6 +68,17 @@ class RoutingFunction {
   [[nodiscard]] virtual ChannelSet route(ChannelId input, NodeId current,
                                          NodeId dest) const = 0;
 
+  /// Allocation-free variant for the simulator's hot path: APPENDS exactly
+  /// the channels route(input, current, dest) would return, in the same
+  /// order, to `out` (callers clear first and reuse the vector's capacity
+  /// across calls).  The default materializes route(); algorithms on the
+  /// hot path override it to build in place.  Overrides must stay pure —
+  /// the relation is shared across sweep threads.
+  virtual void route_into(ChannelId input, NodeId current, NodeId dest,
+                          ChannelSet& out) const {
+    for (const ChannelId c : route(input, current, dest)) out.push_back(c);
+  }
+
   /// Channels the message may wait for when all of route() are busy.
   /// Must be a subset of route().  Default: the whole set (wait-on-any).
   [[nodiscard]] virtual ChannelSet waiting(ChannelId input, NodeId current,
@@ -88,13 +99,25 @@ class RoutingFunction {
 // Helpers shared by the cube-family algorithms.
 // ---------------------------------------------------------------------------
 
+/// At most two directions, allocation-free (hot path: one instance per
+/// dimension per route computation).
+struct DirSet {
+  Direction dirs[2] = {Direction::kPos, Direction::kPos};
+  std::uint8_t count = 0;
+  void push_back(Direction d) { dirs[count++] = d; }
+  [[nodiscard]] std::size_t size() const noexcept { return count; }
+  [[nodiscard]] bool empty() const noexcept { return count == 0; }
+  [[nodiscard]] Direction front() const { return dirs[0]; }
+  [[nodiscard]] Direction operator[](std::size_t i) const { return dirs[i]; }
+  [[nodiscard]] const Direction* begin() const noexcept { return dirs; }
+  [[nodiscard]] const Direction* end() const noexcept { return dirs + count; }
+};
+
 /// Directions that bring a message strictly closer to `dest` in `dim`.
 /// Mesh dimensions yield at most one direction; torus dimensions can yield
 /// both when the two ways around the ring tie.  Empty if already aligned.
-[[nodiscard]] std::vector<Direction> productive_dirs(const Topology& topo,
-                                                     NodeId current,
-                                                     NodeId dest,
-                                                     std::size_t dim);
+[[nodiscard]] DirSet productive_dirs(const Topology& topo, NodeId current,
+                                     NodeId dest, std::size_t dim);
 
 /// The single deterministic productive direction used by dimension-ordered
 /// algorithms: minimal, ties broken toward kPos.
@@ -111,5 +134,10 @@ void append_link_vcs(const Topology& topo, NodeId current, std::size_t dim,
 [[nodiscard]] ChannelSet minimal_channels(const Topology& topo, NodeId current,
                                           NodeId dest, std::uint8_t vc_lo,
                                           std::uint8_t vc_hi);
+
+/// Appending variant of minimal_channels for allocation-free hot paths.
+void minimal_channels_into(const Topology& topo, NodeId current, NodeId dest,
+                           std::uint8_t vc_lo, std::uint8_t vc_hi,
+                           ChannelSet& out);
 
 }  // namespace wormnet::routing

@@ -1,9 +1,14 @@
-// Flit and packet bookkeeping for the wormhole simulator.
+// Packet bookkeeping for the wormhole simulator.
 //
 // Messages are divided into packets; the header flit carries the routing
 // information and the data flits follow it in pipeline (wormhole switching).
 // Each packet occupies a contiguous chain of virtual channels from the time
 // the header acquires a channel until its tail flit leaves it.
+//
+// Flits themselves are not materialised: because a channel FIFO only ever
+// holds one packet's flits in sequence order, a flit is identified by
+// (owner packet, sequence number) and head/tail are derived from the
+// sequence number (see network.hpp).
 #pragma once
 
 #include <cstdint>
@@ -19,12 +24,6 @@ using topology::kInvalidChannel;
 
 using PacketId = std::uint32_t;
 inline constexpr PacketId kNoPacket = static_cast<PacketId>(-1);
-
-struct Flit {
-  PacketId packet = kNoPacket;
-  bool head = false;
-  bool tail = false;
-};
 
 struct Packet {
   PacketId id = kNoPacket;

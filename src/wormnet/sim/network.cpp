@@ -1,20 +1,47 @@
 #include "wormnet/sim/network.hpp"
 
-#include <map>
+#include <algorithm>
 
 namespace wormnet::sim {
 
-NetworkState::NetworkState(const Topology& topo)
-    : vcs_(topo.num_channels()), link_of_(topo.num_channels(), 0),
-      eject_rr_(topo.num_nodes(), 0) {
-  std::map<std::pair<NodeId, NodeId>, std::size_t> link_ids;
-  for (ChannelId c = 0; c < topo.num_channels(); ++c) {
+NetworkState::NetworkState(const Topology& topo) {
+  const std::size_t n = topo.num_channels();
+  owner_.assign(n, kNoPacket);
+  out_.assign(n, kInvalidChannel);
+  out_assigned_.assign(n, 0);
+  out_eject_.assign(n, 0);
+  front_seq_.assign(n, 0);
+  occupancy_.assign(n, 0);
+  link_of_.assign(n, 0);
+  eject_rr_.assign(topo.num_nodes(), 0);
+
+  // Physical-link grouping via a flat sorted-vector lookup built once (no
+  // std::map on the construction path).  Link ids must keep first-appearance
+  // order over the ascending channel scan: the move phase executes one
+  // winner per link in link-id order, so the id assignment is visible in
+  // trace-event order and has to stay byte-stable.
+  std::vector<std::uint64_t> keys(n);
+  for (ChannelId c = 0; c < n; ++c) {
     const auto& ch = topo.channel(c);
-    const auto key = std::make_pair(ch.src, ch.dst);
-    auto [it, inserted] = link_ids.try_emplace(key, links_.size());
-    if (inserted) links_.emplace_back();
-    links_[it->second].vcs.push_back(c);
-    link_of_[c] = static_cast<std::uint32_t>(it->second);
+    keys[c] = (static_cast<std::uint64_t>(ch.src) << 32) | ch.dst;
+  }
+  std::vector<std::uint64_t> sorted = keys;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+  constexpr std::uint32_t kUnassigned = static_cast<std::uint32_t>(-1);
+  std::vector<std::uint32_t> id_at(sorted.size(), kUnassigned);
+  links_.reserve(sorted.size());
+  for (ChannelId c = 0; c < n; ++c) {
+    const std::size_t pos = static_cast<std::size_t>(
+        std::lower_bound(sorted.begin(), sorted.end(), keys[c]) -
+        sorted.begin());
+    if (id_at[pos] == kUnassigned) {
+      id_at[pos] = static_cast<std::uint32_t>(links_.size());
+      links_.emplace_back();
+    }
+    links_[id_at[pos]].vcs.push_back(c);
+    link_of_[c] = id_at[pos];
   }
 }
 

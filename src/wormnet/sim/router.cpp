@@ -1,5 +1,7 @@
 #include "wormnet/sim/router.hpp"
 
+#include <algorithm>
+
 namespace wormnet::sim {
 
 RouteAllocator::RouteAllocator(const Topology& topo,
@@ -26,29 +28,29 @@ WaitMode RouteAllocator::effective_wait_mode() const {
   return WaitMode::kAnyOf;
 }
 
-routing::ChannelSet RouteAllocator::candidates(const Packet& pkt,
-                                               ChannelId input,
-                                               NodeId current) const {
-  routing::ChannelSet set;
+void RouteAllocator::candidates_into(const Packet& pkt, ChannelId input,
+                                     NodeId current,
+                                     routing::ChannelSet& set) const {
+  set.clear();
   if (!pkt.forced_path.empty()) {
     if (pkt.forced_next < pkt.forced_path.size()) {
-      set = {pkt.forced_path[pkt.forced_next]};
+      set.push_back(pkt.forced_path[pkt.forced_next]);
     }
   } else if (pkt.committed_wait != kInvalidChannel) {
-    set = {pkt.committed_wait};
+    set.push_back(pkt.committed_wait);
   } else {
-    set = routing_->route(input, current, pkt.dst);
+    routing_->route_into(input, current, pkt.dst, set);
   }
   if (faulty_ != nullptr) {
     std::erase_if(set, [this](ChannelId c) { return (*faulty_)[c]; });
   }
-  return set;
 }
 
 std::optional<ChannelId> RouteAllocator::attempt(Packet& pkt, ChannelId input,
                                                  NodeId current,
                                                  NetworkState& net) {
-  const routing::ChannelSet cands = candidates(pkt, input, current);
+  candidates_into(pkt, input, current, cands_);
+  const routing::ChannelSet& cands = cands_;
   // One route-compute event per hop: blocked headers re-arbitrate every
   // cycle, but only the first evaluation at a hop is a routing decision.
   if (trace_ && pkt.trace_routes_emitted == pkt.path.size()) {
@@ -64,20 +66,19 @@ std::optional<ChannelId> RouteAllocator::attempt(Packet& pkt, ChannelId input,
   }
   if (cands.empty()) return std::nullopt;
 
-  std::vector<bool> free(cands.size());
-  std::vector<std::uint32_t> credits(cands.size());
+  free_.assign(cands.size(), false);
+  credits_.assign(cands.size(), 0);
   for (std::size_t i = 0; i < cands.size(); ++i) {
-    const VcState& vc = net.vc(cands[i]);
-    free[i] = vc.owner == kNoPacket;
-    credits[i] = buffer_depth_ -
-                 static_cast<std::uint32_t>(
-                     std::min<std::size_t>(vc.queue.size(), buffer_depth_));
+    const ChannelId c = cands[i];
+    free_[i] = net.owner(c) == kNoPacket;
+    credits_[i] =
+        buffer_depth_ - std::min<std::uint32_t>(net.occupancy(c), buffer_depth_);
   }
   const int pick =
-      routing::select_channel(selection_, cands, free, credits, rng_);
+      routing::select_channel(selection_, cands, free_, credits_, rng_);
   if (pick >= 0) {
     const ChannelId acquired = cands[static_cast<std::size_t>(pick)];
-    net.vc(acquired).owner = pkt.id;
+    net.owner(acquired) = pkt.id;
     pkt.committed_wait = kInvalidChannel;
     if (!pkt.forced_path.empty()) ++pkt.forced_next;
     pkt.path.push_back(acquired);
@@ -109,7 +110,9 @@ std::optional<ChannelId> RouteAllocator::attempt(Packet& pkt, ChannelId input,
 routing::ChannelSet RouteAllocator::blocked_on(const Packet& pkt,
                                                ChannelId input,
                                                NodeId current) const {
-  return candidates(pkt, input, current);
+  routing::ChannelSet set;
+  candidates_into(pkt, input, current, set);
+  return set;
 }
 
 }  // namespace wormnet::sim

@@ -59,9 +59,10 @@ class RouteAllocator {
   [[nodiscard]] WaitMode effective_wait_mode() const;
 
  private:
-  [[nodiscard]] routing::ChannelSet candidates(const Packet& pkt,
-                                               ChannelId input,
-                                               NodeId current) const;
+  /// Clears `set` and fills it with the packet's current candidate channels
+  /// (forced path / wait commitment / routing relation, fault-filtered).
+  void candidates_into(const Packet& pkt, ChannelId input, NodeId current,
+                       routing::ChannelSet& set) const;
 
   const Topology* topo_;
   const RoutingFunction* routing_;
@@ -72,6 +73,10 @@ class RouteAllocator {
   obs::TraceSink* trace_;
   const std::uint64_t* clock_;
   const std::vector<bool>* faulty_;
+  // Scratch reused across attempts (hot path: no per-call allocation).
+  std::vector<bool> free_;
+  std::vector<std::uint32_t> credits_;
+  routing::ChannelSet cands_;
 };
 
 }  // namespace wormnet::sim

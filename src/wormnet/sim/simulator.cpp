@@ -22,7 +22,6 @@ Simulator::Simulator(const Topology& topo,
       traffic_(topo, config_.pattern, config_.seed, config_.hotspot_fraction,
                config_.hotspots),
       rng_(config_.seed ^ 0x5a5a5a5aULL), sources_(topo.num_nodes()),
-      script_by_node_(topo.num_nodes()),
       channel_moves_(topo.num_channels(), 0), trace_(config_.trace),
       metrics_(config_.metrics), flight_(config_.flight_capacity) {
   if (config_.fault_plan != nullptr &&
@@ -30,15 +29,65 @@ Simulator::Simulator(const Topology& topo,
     throw std::invalid_argument(
         "fault plan was compiled against a different topology");
   }
-  for (const ScriptedPacket& sp : config_.script) {
-    script_by_node_[sp.src].push_back(sp);
-  }
-  for (auto& list : script_by_node_) {
-    std::stable_sort(list.begin(), list.end(),
+  gen_end_ = config_.warmup_cycles + config_.measure_cycles;
+
+  // Scripted injections become a flat cursor-scanned vector sorted by
+  // (inject_cycle, node, script order) — the firing order of the legacy
+  // per-node scan (per-node lists stable-sorted by cycle, nodes ascending).
+  have_script_ = !config_.script.empty();
+  if (have_script_) {
+    script_events_ = config_.script;
+    std::stable_sort(script_events_.begin(), script_events_.end(),
                      [](const ScriptedPacket& a, const ScriptedPacket& b) {
-                       return a.inject_cycle < b.inject_cycle;
+                       if (a.inject_cycle != b.inject_cycle) {
+                         return a.inject_cycle < b.inject_cycle;
+                       }
+                       return a.src < b.src;
                      });
+    for (const ScriptedPacket& sp : script_events_) {
+      max_inject_cycle_ = std::max(max_inject_cycle_, sp.inject_cycle);
+    }
   }
+
+  // Compiled fault steps are known up front; queue them all.
+  if (fault_active()) {
+    const auto& steps = config_.fault_plan->steps;
+    timed_.reserve(steps.size());
+    for (std::size_t i = 0; i < steps.size(); ++i) {
+      timed_.push(steps[i].cycle, TimedKind::kFaultStep,
+                  static_cast<std::uint32_t>(i));
+    }
+  }
+
+  const std::size_t channels = topo.num_channels();
+  const std::size_t nodes = topo.num_nodes();
+  alloc_pending_.reset(channels);
+  movable_.reset(channels);
+  eject_ready_.reset(channels);
+  ready_src_.reset(nodes);
+  inject_srcs_.reset(nodes);
+  eject_nodes_.reset(nodes);
+  live_packets_.reset(0);
+  links_touched_.reset(net_.links().size());
+  std::size_t max_vcs = 0;
+  for (const LinkGroup& link : net_.links()) {
+    max_vcs = std::max(max_vcs, link.vcs.size());
+  }
+  link_stride_ = max_vcs + 1;
+  link_cands_.resize(net_.links().size() * link_stride_);
+  link_cand_count_.assign(net_.links().size(), 0);
+  eject_count_.assign(nodes, 0);
+  alloc_fresh_.assign(channels, 0);
+  alloc_seen_.assign(channels, 0);
+  src_fresh_.assign(nodes, 0);
+  src_seen_.assign(nodes, 0);
+  src_front_.assign(nodes, kNoPacket);
+  chan_len_.assign(channels, 0);
+  // Per-packet no-progress stamps are only ever read by the recovery
+  // timeout scan; under the halt policy the writes are dead stores, so the
+  // hot move loop skips them (the global watchdog stamp is separate).
+  track_progress_ = config_.recovery.policy != ft::RecoveryPolicy::kHalt;
+
   if (metrics_) {
     epoch_moves_.assign(topo.num_channels(), 0);
     epoch_stalls_.assign(topo.num_channels(), 0);
@@ -51,6 +100,64 @@ Simulator::Simulator(const Topology& topo,
                                "channel_utilization"}) {
       metrics_->series(series).set_labels(names);
     }
+  }
+}
+
+void Simulator::touch_channel(ChannelId c) {
+  const bool nonempty = net_.occupancy(c) > 0;
+  const bool assigned = net_.out_assigned(c);
+  const bool pending = nonempty && !assigned && net_.front_seq(c) == 0;
+  if (pending) {
+    // A channel (re)entering the pending set has a newly arrived header:
+    // its first allocation attempt at this hop is still outstanding.
+    if (alloc_pending_.insert(c)) alloc_fresh_[c] = 1;
+  } else {
+    alloc_pending_.erase(c);
+  }
+
+  const bool mv = nonempty && assigned && !net_.out_eject(c);
+  if (mv) {
+    movable_.insert(c);
+  } else {
+    movable_.erase(c);
+  }
+
+  const bool ej = nonempty && assigned && net_.out_eject(c);
+  if (ej != eject_ready_.contains(c)) {
+    const NodeId node = topo_->channel(c).dst;
+    if (ej) {
+      eject_ready_.insert(c);
+      if (eject_count_[node]++ == 0) eject_nodes_.insert(node);
+    } else {
+      eject_ready_.erase(c);
+      if (--eject_count_[node] == 0) eject_nodes_.erase(node);
+    }
+  }
+}
+
+void Simulator::touch_source(NodeId n) {
+  const auto& queue = sources_[n].queue;
+  if (queue.empty()) {
+    ready_src_.erase(n);
+    inject_srcs_.erase(n);
+    src_front_[n] = kNoPacket;
+    return;
+  }
+  const PacketId front = queue.front();
+  if (front != src_front_[n]) {
+    src_front_[n] = front;
+    src_fresh_[n] = 1;
+  }
+  const Packet& pkt = packets_[front];
+  if (!pkt.injecting) {
+    ready_src_.insert(n);
+    inject_srcs_.erase(n);
+  } else if (pkt.flits_injected < pkt.length) {
+    ready_src_.erase(n);
+    inject_srcs_.insert(n);
+  } else {
+    ready_src_.erase(n);
+    inject_srcs_.erase(n);
   }
 }
 
@@ -68,8 +175,7 @@ PacketId Simulator::create_packet(NodeId src, NodeId dst, std::uint32_t length,
   pkt.created = cycle_;
   pkt.last_progress = cycle_;
   pkt.forced_path = std::move(forced);
-  pkt.measured = cycle_ >= config_.warmup_cycles &&
-                 cycle_ < config_.warmup_cycles + config_.measure_cycles;
+  pkt.measured = cycle_ >= config_.warmup_cycles && cycle_ < gen_end_;
   ++stats_.packets_created;
   if (pkt.measured) ++stats_.measured_created;
   ++in_flight_;
@@ -85,7 +191,10 @@ PacketId Simulator::create_packet(NodeId src, NodeId dst, std::uint32_t length,
     trace_->emit(ev);
   }
   packets_.push_back(std::move(pkt));
+  live_packets_.grow(packets_.size());
+  live_packets_.insert(packets_.back().id);
   sources_[src].queue.push_back(packets_.back().id);
+  touch_source(src);
   return packets_.back().id;
 }
 
@@ -94,21 +203,22 @@ void Simulator::generate_traffic() {
   // scripted injections enter after the drain policy engages.
   if (draining_) return;
   // Scripted packets on their schedule.
-  for (NodeId node = 0; node < topo_->num_nodes(); ++node) {
-    auto& src = sources_[node];
-    const auto& script = script_by_node_[node];
-    while (src.next_script < script.size() &&
-           script[src.next_script].inject_cycle <= cycle_) {
-      const ScriptedPacket& sp = script[src.next_script++];
-      create_packet(sp.src, sp.dst, sp.length, sp.forced_path);
-    }
+  while (script_cursor_ < script_events_.size() &&
+         script_events_[script_cursor_].inject_cycle <= cycle_) {
+    const ScriptedPacket& sp = script_events_[script_cursor_++];
+    create_packet(sp.src, sp.dst, sp.length, sp.forced_path);
+    ++activity_;
   }
   if (config_.scripted_only) return;
   // Stochastic arrivals (stop offering new traffic after the measurement
   // window so the network can drain).
-  if (cycle_ >= config_.warmup_cycles + config_.measure_cycles) return;
-  for (NodeId node = 0; node < topo_->num_nodes(); ++node) {
-    if (traffic_.arrival(config_.injection_rate, config_.packet_length)) {
+  if (cycle_ >= gen_end_) return;
+  ++activity_;  // the traffic RNG advances every cycle the window is open
+  const double inject_p =
+      config_.injection_rate / static_cast<double>(config_.packet_length);
+  const NodeId nodes = topo_->num_nodes();
+  for (NodeId node = 0; node < nodes; ++node) {
+    if (traffic_.bernoulli(inject_p)) {
       if (auto dst = traffic_.destination(node)) {
         create_packet(node, *dst, config_.packet_length, {});
       }
@@ -118,53 +228,66 @@ void Simulator::generate_traffic() {
 
 void Simulator::allocate_outputs() {
   // Rotating start offsets keep allocation order from starving anyone
-  // (Assumption 5 of the system model).
-  const std::size_t channels = net_.num_channels();
+  // (Assumption 5 of the system model).  Only pending entries are visited,
+  // and a pending entry is skipped while stale: a failed attempt is pure
+  // (no RNG, no state change after the first at a hop), so its outcome can
+  // only change when a release or fault epoch bumps wake_epoch_.
   const std::size_t nodes = topo_->num_nodes();
 
   // Source (injection) allocation.
-  const std::size_t node_offset = nodes ? cycle_ % nodes : 0;
-  for (std::size_t i = 0; i < nodes; ++i) {
-    const NodeId node = static_cast<NodeId>((i + node_offset) % nodes);
-    auto& src = sources_[node];
-    if (src.queue.empty()) continue;
-    Packet& pkt = packets_[src.queue.front()];
-    if (pkt.injecting) continue;
-    if (allocator_.attempt(pkt, kInvalidChannel, node, net_)) {
-      pkt.injecting = true;
-      pkt.first_injected = cycle_;
-      pkt.last_progress = cycle_;
-      flight_.record({cycle_, obs::FlightKind::kAcquire, pkt.id,
-                      pkt.path.back(), obs::FlightEvent::kNone});
-      note_block_transition(pkt, kInvalidChannel, node, /*acquired=*/true);
-    } else {
-      note_block_transition(pkt, kInvalidChannel, node, /*acquired=*/false);
+  if (!ready_src_.empty()) {
+    scratch_nodes_.clear();
+    ready_src_.collect_rotated(nodes ? cycle_ % nodes : 0, scratch_nodes_);
+    for (const std::uint32_t node : scratch_nodes_) {
+      if (src_fresh_[node] == 0 && src_seen_[node] == wake_epoch_) continue;
+      src_fresh_[node] = 0;
+      src_seen_[node] = wake_epoch_;
+      ++activity_;
+      Packet& pkt = packets_[sources_[node].queue.front()];
+      if (allocator_.attempt(pkt, kInvalidChannel, node, net_)) {
+        pkt.injecting = true;
+        pkt.first_injected = cycle_;
+        if (track_progress_) pkt.last_progress = cycle_;
+        chan_len_[pkt.path.back()] = pkt.length;
+        flight_.record({cycle_, obs::FlightKind::kAcquire, pkt.id,
+                        pkt.path.back(), obs::FlightEvent::kNone});
+        note_block_transition(pkt, kInvalidChannel, node, /*acquired=*/true);
+        touch_source(node);
+      } else {
+        note_block_transition(pkt, kInvalidChannel, node, /*acquired=*/false);
+      }
     }
   }
 
   // Header VC allocation at router inputs.
-  const std::size_t ch_offset = channels ? cycle_ % channels : 0;
-  for (std::size_t i = 0; i < channels; ++i) {
-    const ChannelId c = static_cast<ChannelId>((i + ch_offset) % channels);
-    VcState& vc = net_.vc(c);
-    if (vc.queue.empty() || !vc.queue.front().head || vc.out_assigned) {
-      continue;
-    }
-    Packet& pkt = packets_[vc.queue.front().packet];
-    const NodeId here = topo_->channel(c).dst;
-    if (here == pkt.dst) {
-      vc.out_assigned = true;
-      vc.out_eject = true;
-      continue;
-    }
-    if (auto acquired = allocator_.attempt(pkt, c, here, net_)) {
-      vc.out = *acquired;
-      vc.out_assigned = true;
-      pkt.last_progress = cycle_;
-      flight_.record({cycle_, obs::FlightKind::kAcquire, pkt.id, *acquired, c});
-      note_block_transition(pkt, c, here, /*acquired=*/true);
-    } else {
-      note_block_transition(pkt, c, here, /*acquired=*/false);
+  if (!alloc_pending_.empty()) {
+    const std::size_t channels = net_.num_channels();
+    scratch_channels_.clear();
+    alloc_pending_.collect_rotated(channels ? cycle_ % channels : 0,
+                                   scratch_channels_);
+    for (const std::uint32_t c : scratch_channels_) {
+      if (alloc_fresh_[c] == 0 && alloc_seen_[c] == wake_epoch_) continue;
+      alloc_fresh_[c] = 0;
+      alloc_seen_[c] = wake_epoch_;
+      ++activity_;
+      Packet& pkt = packets_[net_.owner(c)];
+      const NodeId here = topo_->channel(c).dst;
+      if (here == pkt.dst) {
+        net_.assign_eject(c);
+        touch_channel(c);
+        continue;
+      }
+      if (auto acquired = allocator_.attempt(pkt, c, here, net_)) {
+        net_.assign_output(c, *acquired);
+        if (track_progress_) pkt.last_progress = cycle_;
+        chan_len_[*acquired] = pkt.length;
+        flight_.record(
+            {cycle_, obs::FlightKind::kAcquire, pkt.id, *acquired, c});
+        note_block_transition(pkt, c, here, /*acquired=*/true);
+        touch_channel(c);
+      } else {
+        note_block_transition(pkt, c, here, /*acquired=*/false);
+      }
     }
   }
 }
@@ -212,155 +335,186 @@ void Simulator::note_block_transition(Packet& pkt, ChannelId input,
 }
 
 void Simulator::move_flits() {
-  const std::size_t channels = net_.num_channels();
-  const bool in_window =
-      cycle_ >= config_.warmup_cycles &&
-      cycle_ < config_.warmup_cycles + config_.measure_cycles;
+  const bool in_window = cycle_ >= config_.warmup_cycles && cycle_ < gen_end_;
 
-  // Snapshot queue occupancies: all space checks see start-of-cycle state.
-  std::vector<std::uint32_t> size_snapshot(channels);
-  for (ChannelId c = 0; c < channels; ++c) {
-    size_snapshot[c] = static_cast<std::uint32_t>(net_.vc(c).queue.size());
-  }
-
-  struct Move {
-    ChannelId from = kInvalidChannel;  ///< kInvalidChannel = injection
-    NodeId src_node = 0;               ///< valid for injections
-    ChannelId to = kInvalidChannel;
-  };
-  // Candidates grouped by target physical link.
-  std::vector<std::vector<Move>> link_moves(net_.links().size());
-
-  for (ChannelId c = 0; c < channels; ++c) {
-    VcState& vc = net_.vc(c);
-    if (vc.queue.empty() || !vc.out_assigned || vc.out_eject) continue;
+  // Candidates grouped by target physical link.  All credit checks read
+  // occupancies before any mutation below, so they see start-of-cycle state.
+  // Order within a link: forwarding channels ascending, then injections
+  // ascending — the candidate order of the legacy full scan.
+  const bool faults = fault_active();
+  movable_.for_each([&](std::uint32_t c) {
+    const ChannelId out = net_.out(c);
     // A dead channel accepts no new flits; anything already queued beyond
     // the dead link keeps draining toward its destination.
-    if (fault_active() && overlay_.is_faulty(vc.out)) continue;
-    if (size_snapshot[vc.out] < config_.buffer_depth) {
-      link_moves[net_.link_index(vc.out)].push_back(Move{c, 0, vc.out});
+    if (faults && overlay_.is_faulty(out)) return;
+    if (net_.occupancy(out) < config_.buffer_depth) {
+      const std::size_t l = net_.link_index(out);
+      if (links_touched_.insert(l)) link_cand_count_[l] = 0;
+      link_cands_[l * link_stride_ + link_cand_count_[l]++] =
+          Move{static_cast<ChannelId>(c), 0, out};
     }
-  }
-  for (NodeId node = 0; node < topo_->num_nodes(); ++node) {
-    auto& src = sources_[node];
-    if (src.queue.empty()) continue;
-    Packet& pkt = packets_[src.queue.front()];
-    if (!pkt.injecting || pkt.flits_injected >= pkt.length) continue;
+  });
+  inject_srcs_.for_each([&](std::uint32_t node) {
+    const Packet& pkt = packets_[sources_[node].queue.front()];
     const ChannelId target = pkt.path.front();
-    if (fault_active() && overlay_.is_faulty(target)) continue;
-    if (size_snapshot[target] < config_.buffer_depth) {
-      link_moves[net_.link_index(target)].push_back(
-          Move{kInvalidChannel, node, target});
+    if (faults && overlay_.is_faulty(target)) return;
+    if (net_.occupancy(target) < config_.buffer_depth) {
+      const std::size_t l = net_.link_index(target);
+      if (links_touched_.insert(l)) link_cand_count_[l] = 0;
+      link_cands_[l * link_stride_ + link_cand_count_[l]++] =
+          Move{kInvalidChannel, static_cast<NodeId>(node), target};
     }
+  });
+
+  // One winner per physical link, round-robin, links in id order.  The
+  // winner bodies never touch links_touched_, so it is iterated in place
+  // and wiped wholesale afterwards (cheaper than an erase per link).
+  if (!links_touched_.empty()) {
+    links_touched_.for_each([&](std::uint32_t l) {
+      const Move* cands = &link_cands_[l * link_stride_];
+      LinkGroup& link = net_.links()[l];
+      const Move m = cands[link.rr % link_cand_count_[l]];
+      ++link.rr;
+      ++activity_;
+      if (m.from == kInvalidChannel) {
+        // Injection: the next flit of the source-front packet.
+        auto& src = sources_[m.src_node];
+        Packet& pkt = packets_[src.queue.front()];
+        const std::uint32_t seq = pkt.flits_injected;
+        const bool head = seq == 0;
+        const bool tail = seq + 1 == pkt.length;
+        net_.push_flit(m.to);
+        ++pkt.flits_injected;
+        if (track_progress_) pkt.last_progress = cycle_;
+        if (tail) src.queue.pop_front();
+        if (trace_) {
+          obs::TraceEvent ev;
+          ev.cycle = cycle_;
+          ev.packet = pkt.id;
+          if (head) {
+            ev.kind = obs::EventKind::kInject;
+            ev.node = m.src_node;
+            ev.channel = m.to;
+          } else {
+            ev.kind = obs::EventKind::kLinkTraverse;
+            ev.channel = m.to;
+            ev.flag2 = tail;
+          }
+          trace_->emit(ev);
+        }
+        // Membership fast path: a push into a non-empty queue changes
+        // nothing; the first flit into an empty one either presents a fresh
+        // header (full recompute) or revives a known-movable mid-worm
+        // channel (single bitmap op).
+        if (net_.occupancy(m.to) == 1) {
+          if (net_.out_assigned(m.to) && !net_.out_eject(m.to)) {
+            movable_.insert(m.to);
+          } else {
+            touch_channel(m.to);
+          }
+        }
+        if (tail) touch_source(m.src_node);
+      } else {
+        // Mid-worm forwarding is pure SoA: owner id, sequence numbers and
+        // the packet length (chan_len_, stamped at acquire) — the Packet
+        // struct itself is untouched unless recovery needs progress stamps.
+        const PacketId owner = net_.owner(m.from);
+        const std::uint32_t seq = net_.pop_flit(m.from);
+        const bool head = seq == 0;
+        const bool tail = seq + 1 == chan_len_[m.from];
+        net_.push_flit(m.to);
+        if (track_progress_) packets_[owner].last_progress = cycle_;
+        if (tail) {
+          net_.release(m.from);
+          flight_.record({cycle_, obs::FlightKind::kRelease, owner, m.from,
+                          obs::FlightEvent::kNone});
+          wake_blocked();
+        }
+        if (trace_) {
+          obs::TraceEvent ev;
+          ev.kind = obs::EventKind::kLinkTraverse;
+          ev.cycle = cycle_;
+          ev.packet = owner;
+          ev.channel = m.to;
+          ev.channel2 = m.from;
+          ev.flag = head;
+          ev.flag2 = tail;
+          trace_->emit(ev);
+        }
+        // Membership fast paths (see the injection branch above): only
+        // boundary transitions change a set, and the common mid-worm
+        // drain/refill transitions are single bitmap ops.
+        if (tail) {
+          touch_channel(m.from);
+        } else if (net_.occupancy(m.from) == 0) {
+          movable_.erase(m.from);  // ran dry mid-worm; refill re-inserts
+        }
+        if (net_.occupancy(m.to) == 1) {
+          if (net_.out_assigned(m.to) && !net_.out_eject(m.to)) {
+            movable_.insert(m.to);
+          } else {
+            touch_channel(m.to);
+          }
+        }
+      }
+      if (in_window) ++channel_moves_[m.to];
+      if (metrics_) ++epoch_moves_[m.to];
+      ++flit_moves_;
+      last_progress_ = cycle_;
+    });
+    links_touched_.clear();
   }
 
-  // One winner per physical link, round-robin.
-  for (std::size_t l = 0; l < link_moves.size(); ++l) {
-    auto& cands = link_moves[l];
-    if (cands.empty()) continue;
-    LinkGroup& link = net_.links()[l];
-    const Move& m = cands[link.rr % cands.size()];
-    ++link.rr;
-    if (m.from == kInvalidChannel) {
-      // Injection: synthesize the next flit of the source-front packet.
-      auto& src = sources_[m.src_node];
-      Packet& pkt = packets_[src.queue.front()];
-      Flit flit;
-      flit.packet = pkt.id;
-      flit.head = pkt.flits_injected == 0;
-      flit.tail = pkt.flits_injected + 1 == pkt.length;
-      net_.vc(m.to).queue.push_back(flit);
-      ++pkt.flits_injected;
-      pkt.last_progress = cycle_;
-      if (flit.tail) src.queue.pop_front();
+  // Ejection: one flit per node per cycle, nodes ascending, ejector
+  // round-robin over the node's in-channels in topology order.
+  if (!eject_nodes_.empty()) {
+    scratch_nodes_.clear();
+    eject_nodes_.collect(scratch_nodes_);
+    for (const std::uint32_t node : scratch_nodes_) {
+      scratch_ejectors_.clear();
+      for (const ChannelId c : topo_->in_channels(node)) {
+        if (eject_ready_.contains(c)) scratch_ejectors_.push_back(c);
+      }
+      if (scratch_ejectors_.empty()) continue;
+      std::uint32_t& rr = net_.eject_rr(node);
+      const ChannelId c = scratch_ejectors_[rr % scratch_ejectors_.size()];
+      ++rr;
+      ++activity_;
+      const PacketId owner = net_.owner(c);
+      Packet& pkt = packets_[owner];
+      const std::uint32_t seq = net_.pop_flit(c);
+      const bool tail = seq + 1 == pkt.length;
+      ++pkt.flits_ejected;
+      if (track_progress_) pkt.last_progress = cycle_;
+      if (in_window) ++stats_.flits_ejected_in_window;
       if (trace_) {
         obs::TraceEvent ev;
+        ev.kind = obs::EventKind::kEject;
         ev.cycle = cycle_;
         ev.packet = pkt.id;
-        if (flit.head) {
-          ev.kind = obs::EventKind::kInject;
-          ev.node = m.src_node;
-          ev.channel = m.to;
-        } else {
-          ev.kind = obs::EventKind::kLinkTraverse;
-          ev.channel = m.to;
-          ev.flag2 = flit.tail;
-        }
+        ev.node = node;
+        ev.channel = c;
+        ev.flag2 = tail;
         trace_->emit(ev);
       }
-    } else {
-      VcState& from = net_.vc(m.from);
-      const Flit flit = from.queue.front();
-      from.queue.pop_front();
-      net_.vc(m.to).queue.push_back(flit);
-      packets_[flit.packet].last_progress = cycle_;
-      if (flit.tail) {
-        from.owner = kNoPacket;
-        from.out = kInvalidChannel;
-        from.out_assigned = false;
-        from.out_eject = false;
-        flight_.record({cycle_, obs::FlightKind::kRelease, flit.packet, m.from,
+      if (tail) {
+        net_.release(c);
+        flight_.record({cycle_, obs::FlightKind::kRelease, pkt.id, c,
                         obs::FlightEvent::kNone});
+        wake_blocked();
+        finish_packet(pkt);
       }
-      if (trace_) {
-        obs::TraceEvent ev;
-        ev.kind = obs::EventKind::kLinkTraverse;
-        ev.cycle = cycle_;
-        ev.packet = flit.packet;
-        ev.channel = m.to;
-        ev.channel2 = m.from;
-        ev.flag = flit.head;
-        ev.flag2 = flit.tail;
-        trace_->emit(ev);
+      if (tail) {
+        touch_channel(c);
+      } else if (net_.occupancy(c) == 0) {
+        // Drained mid-worm: leave the eject set until the next flit arrives
+        // (the injection/move fast paths route the refill to touch_channel).
+        eject_ready_.erase(c);
+        if (--eject_count_[node] == 0) eject_nodes_.erase(node);
       }
+      ++flit_moves_;
+      last_progress_ = cycle_;
     }
-    if (in_window) ++channel_moves_[m.to];
-    if (metrics_) ++epoch_moves_[m.to];
-    ++flit_moves_;
-    last_progress_ = cycle_;
-  }
-
-  // Ejection: one flit per node per cycle.
-  for (NodeId node = 0; node < topo_->num_nodes(); ++node) {
-    std::vector<ChannelId> ejectors;
-    for (ChannelId c : topo_->in_channels(node)) {
-      const VcState& vc = net_.vc(c);
-      if (!vc.queue.empty() && vc.out_assigned && vc.out_eject) {
-        ejectors.push_back(c);
-      }
-    }
-    if (ejectors.empty()) continue;
-    std::uint32_t& rr = net_.eject_rr(node);
-    const ChannelId c = ejectors[rr % ejectors.size()];
-    ++rr;
-    VcState& vc = net_.vc(c);
-    const Flit flit = vc.queue.front();
-    vc.queue.pop_front();
-    Packet& pkt = packets_[flit.packet];
-    ++pkt.flits_ejected;
-    pkt.last_progress = cycle_;
-    if (in_window) ++stats_.flits_ejected_in_window;
-    if (trace_) {
-      obs::TraceEvent ev;
-      ev.kind = obs::EventKind::kEject;
-      ev.cycle = cycle_;
-      ev.packet = pkt.id;
-      ev.node = node;
-      ev.channel = c;
-      ev.flag2 = flit.tail;
-      trace_->emit(ev);
-    }
-    if (flit.tail) {
-      vc.owner = kNoPacket;
-      vc.out = kInvalidChannel;
-      vc.out_assigned = false;
-      vc.out_eject = false;
-      flight_.record({cycle_, obs::FlightKind::kRelease, pkt.id, c,
-                      obs::FlightEvent::kNone});
-      finish_packet(pkt);
-    }
-    ++flit_moves_;
-    last_progress_ = cycle_;
   }
 }
 
@@ -369,6 +523,7 @@ void Simulator::finish_packet(Packet& pkt) {
   pkt.done = true;
   pkt.finished = cycle_;
   --in_flight_;
+  live_packets_.erase(pkt.id);
   ++stats_.packets_delivered;
   if (pkt.measured) {
     ++stats_.measured_delivered;
@@ -405,80 +560,73 @@ void Simulator::finish_packet(Packet& pkt) {
   }
 }
 
-void Simulator::apply_fault_steps() {
-  const auto& steps = config_.fault_plan->steps;
-  while (next_fault_step_ < steps.size() &&
-         steps[next_fault_step_].cycle <= cycle_) {
-    const ft::FaultOverlay::Delta delta =
-        overlay_.apply(steps[next_fault_step_]);
-    ++next_fault_step_;
-    ++stats_.fault_epochs;
-    stats_.fault_events += delta.downed.size();
-    stats_.repair_events += delta.repaired.size();
-    const std::uint32_t epoch = static_cast<std::uint32_t>(overlay_.epoch());
-    for (const ChannelId c : delta.downed) {
-      flight_.record({cycle_, obs::FlightKind::kFault,
-                      obs::FlightEvent::kNone, c, epoch});
-    }
-    for (const ChannelId c : delta.repaired) {
-      flight_.record({cycle_, obs::FlightKind::kRepair,
-                      obs::FlightEvent::kNone, c, epoch});
-    }
-    if (!delta.downed.empty()) {
-      // A wait commitment to a dead channel can never be granted: void it
-      // so the header re-arbitrates over the surviving candidates.
-      for (Packet& pkt : packets_) {
-        if (!pkt.done && !pkt.dropped &&
-            pkt.committed_wait != kInvalidChannel &&
-            overlay_.is_faulty(pkt.committed_wait)) {
-          flight_.record({cycle_, obs::FlightKind::kWaitVoid, pkt.id,
-                          pkt.committed_wait, epoch});
-          pkt.committed_wait = kInvalidChannel;
-        }
+void Simulator::apply_fault_step(std::size_t step_index) {
+  const ft::FaultOverlay::Delta delta =
+      overlay_.apply(config_.fault_plan->steps[step_index]);
+  ++stats_.fault_epochs;
+  stats_.fault_events += delta.downed.size();
+  stats_.repair_events += delta.repaired.size();
+  const std::uint32_t epoch = static_cast<std::uint32_t>(overlay_.epoch());
+  for (const ChannelId c : delta.downed) {
+    flight_.record({cycle_, obs::FlightKind::kFault,
+                    obs::FlightEvent::kNone, c, epoch});
+  }
+  for (const ChannelId c : delta.repaired) {
+    flight_.record({cycle_, obs::FlightKind::kRepair,
+                    obs::FlightEvent::kNone, c, epoch});
+  }
+  if (!delta.downed.empty()) {
+    // A wait commitment to a dead channel can never be granted: void it
+    // so the header re-arbitrates over the surviving candidates.
+    scratch_packets_.clear();
+    live_packets_.collect(scratch_packets_);
+    for (const std::uint32_t id : scratch_packets_) {
+      Packet& pkt = packets_[id];
+      if (pkt.committed_wait != kInvalidChannel &&
+          overlay_.is_faulty(pkt.committed_wait)) {
+        flight_.record({cycle_, obs::FlightKind::kWaitVoid, pkt.id,
+                        pkt.committed_wait, epoch});
+        pkt.committed_wait = kInvalidChannel;
       }
     }
-    if (trace_) {
-      auto emit_epoch = [&](obs::EventKind kind,
-                            const std::vector<ChannelId>& channels) {
-        if (channels.empty()) return;
-        obs::TraceEvent ev;
-        ev.kind = kind;
-        ev.cycle = cycle_;
-        ev.value = overlay_.epoch();
-        ev.list.assign(channels.begin(), channels.end());
-        trace_->emit(ev);
-      };
-      emit_epoch(obs::EventKind::kFault, delta.downed);
-      emit_epoch(obs::EventKind::kRepair, delta.repaired);
-    }
   }
+  if (trace_) {
+    auto emit_epoch = [&](obs::EventKind kind,
+                          const std::vector<ChannelId>& channels) {
+      if (channels.empty()) return;
+      obs::TraceEvent ev;
+      ev.kind = kind;
+      ev.cycle = cycle_;
+      ev.value = overlay_.epoch();
+      ev.list.assign(channels.begin(), channels.end());
+      trace_->emit(ev);
+    };
+    emit_epoch(obs::EventKind::kFault, delta.downed);
+    emit_epoch(obs::EventKind::kRepair, delta.repaired);
+  }
+  // The candidate space changed (downed channels shrink it, repairs grow
+  // it): every blocked header gets a fresh attempt.
+  wake_blocked();
 }
 
-void Simulator::inject_retries() {
-  std::size_t kept = 0;
-  for (const PendingRetry& retry : retries_) {
-    if (retry.cycle > cycle_) {
-      retries_[kept++] = retry;
-      continue;
-    }
-    Packet& pkt = packets_[retry.packet];
-    pkt.aborted = false;
-    pkt.last_progress = cycle_;
-    sources_[pkt.src].queue.push_back(pkt.id);
-    ++stats_.packets_retried;
-    flight_.record({cycle_, obs::FlightKind::kRetry, pkt.id,
-                    obs::FlightEvent::kNone, pkt.attempts});
-    if (trace_) {
-      obs::TraceEvent ev;
-      ev.kind = obs::EventKind::kRetry;
-      ev.cycle = cycle_;
-      ev.packet = pkt.id;
-      ev.node = pkt.src;
-      ev.value = pkt.attempts;
-      trace_->emit(ev);
-    }
+void Simulator::fire_retry(PacketId id) {
+  Packet& pkt = packets_[id];
+  pkt.aborted = false;
+  pkt.last_progress = cycle_;
+  sources_[pkt.src].queue.push_back(pkt.id);
+  ++stats_.packets_retried;
+  flight_.record({cycle_, obs::FlightKind::kRetry, pkt.id,
+                  obs::FlightEvent::kNone, pkt.attempts});
+  if (trace_) {
+    obs::TraceEvent ev;
+    ev.kind = obs::EventKind::kRetry;
+    ev.cycle = cycle_;
+    ev.packet = pkt.id;
+    ev.node = pkt.src;
+    ev.value = pkt.attempts;
+    trace_->emit(ev);
   }
-  retries_.resize(kept);
+  touch_source(pkt.src);
 }
 
 void Simulator::abort_packet(Packet& pkt) {
@@ -496,16 +644,13 @@ void Simulator::abort_packet(Packet& pkt) {
   // Flush the worm: every channel the packet still owns holds only its own
   // flits (Assumption 4), so clearing the queues releases exactly this
   // packet's resources.
-  for (ChannelId c : pkt.path) {
-    VcState& vc = net_.vc(c);
-    if (vc.owner != pkt.id) continue;
-    vc.queue.clear();
-    vc.owner = kNoPacket;
-    vc.out = kInvalidChannel;
-    vc.out_assigned = false;
-    vc.out_eject = false;
+  for (const ChannelId c : pkt.path) {
+    if (net_.owner(c) != pkt.id) continue;
+    net_.clear_queue(c);
+    net_.release(c);
     flight_.record({cycle_, obs::FlightKind::kRelease, pkt.id, c,
                     obs::FlightEvent::kNone});
+    touch_channel(c);
   }
   // Present in its source queue iff injection had not finished.
   std::erase(sources_[pkt.src].queue, pkt.id);
@@ -521,6 +666,9 @@ void Simulator::abort_packet(Packet& pkt) {
   pkt.last_progress = cycle_;
   last_progress_ = cycle_;  // recovery is progress: keep the watchdog quiet
   ++stats_.packets_aborted;
+  ++activity_;
+  touch_source(pkt.src);
+  wake_blocked();
   if (trace_) {
     obs::TraceEvent ev;
     ev.kind = obs::EventKind::kAbort;
@@ -533,8 +681,8 @@ void Simulator::abort_packet(Packet& pkt) {
   }
   if (retry) {
     pkt.aborted = true;
-    retries_.push_back(
-        PendingRetry{cycle_ + config_.recovery.backoff(pkt.attempts), pkt.id});
+    timed_.push(cycle_ + config_.recovery.backoff(pkt.attempts),
+                TimedKind::kRetry, pkt.id);
   } else {
     drop_packet(pkt);
   }
@@ -544,8 +692,10 @@ void Simulator::drop_packet(Packet& pkt) {
   pkt.dropped = true;
   pkt.aborted = false;
   --in_flight_;
+  live_packets_.erase(pkt.id);
   ++stats_.packets_dropped;
   if (pkt.measured) ++stats_.measured_dropped;
+  ++activity_;
   flight_.record({cycle_, obs::FlightKind::kDrop, pkt.id,
                   obs::FlightEvent::kNone, obs::FlightEvent::kNone});
 }
@@ -567,6 +717,7 @@ void Simulator::engage_drain() {
       }
     }
     queue = std::move(keep);
+    touch_source(node);
   }
 }
 
@@ -584,8 +735,11 @@ void Simulator::check_deadlock() {
                                       ? config_.recovery.packet_timeout
                                       : config_.watchdog_cycles;
     std::vector<PacketId> expired;
-    for (const Packet& pkt : packets_) {
-      if (pkt.done || pkt.dropped || pkt.aborted) continue;
+    scratch_packets_.clear();
+    live_packets_.collect(scratch_packets_);
+    for (const std::uint32_t id : scratch_packets_) {
+      const Packet& pkt = packets_[id];
+      if (pkt.aborted) continue;
       if (cycle_ - pkt.last_progress > timeout) expired.push_back(pkt.id);
     }
     if (!expired.empty() &&
@@ -600,7 +754,7 @@ void Simulator::check_deadlock() {
 
   const std::vector<BlockedPacket> blocked = collect_blocked();
 
-  auto owner_of = [this](ChannelId c) { return net_.vc(c).owner; };
+  auto owner_of = [this](ChannelId c) { return net_.owner(c); };
   if (auto info = find_wait_cycle(blocked, owner_of, cycle_, trace_)) {
     flight_.record({cycle_, obs::FlightKind::kDeadlock,
                     obs::FlightEvent::kNone, obs::FlightEvent::kNone,
@@ -645,13 +799,13 @@ void Simulator::check_deadlock() {
 }
 
 std::vector<BlockedPacket> Simulator::collect_blocked() {
+  // Exactly the pending headers and waiting source fronts, in ascending
+  // index order — the same rows the legacy full scans produced.
   std::vector<BlockedPacket> blocked;
-  for (ChannelId c = 0; c < net_.num_channels(); ++c) {
-    const VcState& vc = net_.vc(c);
-    if (vc.queue.empty() || !vc.queue.front().head || vc.out_assigned) {
-      continue;
-    }
-    const Packet& pkt = packets_[vc.queue.front().packet];
+  scratch_channels_.clear();
+  alloc_pending_.collect(scratch_channels_);
+  for (const std::uint32_t c : scratch_channels_) {
+    const Packet& pkt = packets_[net_.owner(c)];
     const NodeId here = topo_->channel(c).dst;
     // A header that just arrived at its destination is not blocked — it gets
     // its ejection assignment in the next allocation phase.
@@ -661,11 +815,10 @@ std::vector<BlockedPacket> Simulator::collect_blocked() {
     bp.waiting_on = allocator_.blocked_on(pkt, c, here);
     if (!bp.waiting_on.empty()) blocked.push_back(std::move(bp));
   }
-  for (NodeId node = 0; node < topo_->num_nodes(); ++node) {
-    const auto& src = sources_[node];
-    if (src.queue.empty()) continue;
-    const Packet& pkt = packets_[src.queue.front()];
-    if (pkt.injecting) continue;
+  scratch_nodes_.clear();
+  ready_src_.collect(scratch_nodes_);
+  for (const std::uint32_t node : scratch_nodes_) {
+    const Packet& pkt = packets_[sources_[node].queue.front()];
     BlockedPacket bp;
     bp.packet = pkt.id;
     bp.waiting_on = allocator_.blocked_on(pkt, kInvalidChannel, node);
@@ -692,11 +845,11 @@ void Simulator::capture_postmortem(obs::PostmortemReason reason,
     node.waiting_on = bp.waiting_on;
     node.owners.reserve(bp.waiting_on.size());
     for (const ChannelId c : bp.waiting_on) {
-      node.owners.push_back(net_.vc(c).owner);
+      node.owners.push_back(net_.owner(c));
     }
     pm.wait_for.push_back(std::move(node));
   }
-  auto owner_of = [this](ChannelId c) { return net_.vc(c).owner; };
+  auto owner_of = [this](ChannelId c) { return net_.owner(c); };
   auto path_of = [this](PacketId p) -> const std::vector<ChannelId>& {
     return packets_[p].path;
   };
@@ -709,8 +862,25 @@ void Simulator::capture_postmortem(obs::PostmortemReason reason,
 }
 
 void Simulator::step() {
-  if (fault_active()) apply_fault_steps();
-  if (!retries_.empty()) inject_retries();
+  activity_ = 0;
+  if (timed_.has_due(cycle_)) {
+    due_events_.clear();
+    while (timed_.has_due(cycle_)) due_events_.push_back(timed_.pop());
+    // Legacy phase order within a cycle: every fault step, then every retry
+    // (each in schedule order).
+    for (const TimedEvent& ev : due_events_) {
+      if (ev.kind == TimedKind::kFaultStep) {
+        apply_fault_step(ev.payload);
+        ++activity_;
+      }
+    }
+    for (const TimedEvent& ev : due_events_) {
+      if (ev.kind == TimedKind::kRetry) {
+        fire_retry(static_cast<PacketId>(ev.payload));
+        ++activity_;
+      }
+    }
+  }
   generate_traffic();
   allocate_outputs();
   move_flits();
@@ -722,20 +892,55 @@ void Simulator::step() {
   ++cycle_;
 }
 
+bool Simulator::can_fast_forward() const {
+  // The traffic RNG advances every cycle the stochastic window is open.
+  if (!draining_ && !config_.scripted_only && cycle_ < gen_end_) return false;
+  // Metrics stall counters tick per cycle while any header is blocked.
+  if (metrics_ && !alloc_pending_.empty()) return false;
+  return true;
+}
+
+std::uint64_t Simulator::next_event_cycle(std::uint64_t horizon) const {
+  std::uint64_t next = horizon;
+  next = std::min(next, timed_.next_cycle());
+  if (!draining_ && script_cursor_ < script_events_.size()) {
+    next = std::min(next, script_events_[script_cursor_].inject_cycle);
+  }
+  if (have_script_ && cycle_ <= max_inject_cycle_) {
+    // run()'s script_pending flag flips here; the break conditions must be
+    // evaluated at the same cycle the per-cycle loop would have seen.
+    next = std::min(next, max_inject_cycle_ + 1);
+  }
+  if (cycle_ <= gen_end_) next = std::min(next, gen_end_ + 1);
+  if (config_.deadlock_check_interval != 0 &&
+      (trace_ != nullptr || in_flight_ > 0)) {
+    // Checks are observable (dl_check trace rows, timeout aborts, the
+    // watchdog) whenever packets are live or a trace sink is attached.
+    const std::uint64_t iv = config_.deadlock_check_interval;
+    next = std::min(next, ((cycle_ + iv - 1) / iv) * iv);
+  }
+  if (metrics_ && config_.metrics_epoch != 0) {
+    // Next epoch flush: the smallest c >= cycle_ with (c + 1) % epoch == 0.
+    const std::uint64_t ep = config_.metrics_epoch;
+    next = std::min(next, ((cycle_ + ep) / ep) * ep - 1);
+  }
+  return std::max(next, cycle_);
+}
+
 void Simulator::sample_metrics() {
-  const std::size_t channels = net_.num_channels();
-  // A stall cycle: a header at the FIFO front with no output assignment.
-  for (ChannelId c = 0; c < channels; ++c) {
-    const VcState& vc = net_.vc(c);
-    if (!vc.queue.empty() && vc.queue.front().head && !vc.out_assigned) {
-      ++epoch_stalls_[c];
-    }
+  // A stall cycle: a header at the FIFO front with no output assignment —
+  // exactly the alloc-pending set, maintained incrementally.
+  if (!alloc_pending_.empty()) {
+    scratch_channels_.clear();
+    alloc_pending_.collect(scratch_channels_);
+    for (const std::uint32_t c : scratch_channels_) ++epoch_stalls_[c];
   }
   const std::uint64_t epoch = config_.metrics_epoch;
   if (epoch == 0 || (cycle_ + 1) % epoch != 0) return;
+  const std::size_t channels = net_.num_channels();
   std::vector<double> occupancy(channels), stalls(channels), util(channels);
   for (ChannelId c = 0; c < channels; ++c) {
-    occupancy[c] = static_cast<double>(net_.vc(c).queue.size());
+    occupancy[c] = static_cast<double>(net_.occupancy(c));
     stalls[c] = static_cast<double>(epoch_stalls_[c]);
     util[c] = static_cast<double>(epoch_moves_[c]) /
               static_cast<double>(epoch);
@@ -787,30 +992,40 @@ void Simulator::export_final_metrics() {
 SimStats Simulator::run() {
   const std::uint64_t horizon = config_.warmup_cycles +
                                 config_.measure_cycles + config_.drain_cycles;
-  bool script_pending = !config_.script.empty();
   while (cycle_ < horizon) {
     step();
     if (deadlock_) break;
-    if (script_pending) {
-      script_pending = false;
-      for (const auto& list : script_by_node_) {
-        for (const auto& sp : list) {
-          if (sp.inject_cycle >= cycle_) {
-            script_pending = true;
-            break;
-          }
-        }
-      }
-    }
-    if (cycle_ > config_.warmup_cycles + config_.measure_cycles &&
-        !script_pending && in_flight_ == 0) {
+    bool script_pending = have_script_ && max_inject_cycle_ >= cycle_;
+    if (cycle_ > gen_end_ && !script_pending && in_flight_ == 0) {
       break;  // fully drained
     }
-    if (cycle_ > config_.warmup_cycles + config_.measure_cycles &&
+    if (cycle_ > gen_end_ &&
         stats_.measured_delivered == stats_.measured_created &&
         config_.scripted_only == false && !script_pending &&
         stats_.measured_created > 0 && in_flight_ == 0) {
       break;
+    }
+    // Event-driven fast-forward: a cycle that did no work and has no
+    // per-cycle obligations cannot change state before the next scheduled
+    // event — jump straight to it.  The break conditions above are
+    // re-evaluated after the jump at exactly the cycle the per-cycle loop
+    // would first have satisfied them (their flip points are event
+    // boundaries), so the skip is invisible in every output.
+    if (config_.fast_forward && activity_ == 0 && can_fast_forward()) {
+      const std::uint64_t target = next_event_cycle(horizon);
+      if (target > cycle_) {
+        cycle_ = target;
+        script_pending = have_script_ && max_inject_cycle_ >= cycle_;
+        if (cycle_ > gen_end_ && !script_pending && in_flight_ == 0) {
+          break;
+        }
+        if (cycle_ > gen_end_ &&
+            stats_.measured_delivered == stats_.measured_created &&
+            config_.scripted_only == false && !script_pending &&
+            stats_.measured_created > 0 && in_flight_ == 0) {
+          break;
+        }
+      }
     }
   }
 
@@ -879,27 +1094,28 @@ void Simulator::validate_invariants() const {
     throw std::logic_error("simulator invariant violated: " + what);
   };
   for (ChannelId c = 0; c < net_.num_channels(); ++c) {
-    const VcState& vc = net_.vc(c);
-    if (vc.queue.size() > config_.buffer_depth) {
+    if (net_.occupancy(c) > config_.buffer_depth) {
       fail("queue deeper than buffer_depth");
     }
-    if (!vc.queue.empty()) {
-      // Assumption 4: one message per channel queue at a time.
-      const PacketId pkt = vc.queue.front().packet;
-      for (const Flit& flit : vc.queue) {
-        if (flit.packet != pkt) fail("two packets share a channel queue");
-      }
-      if (vc.owner != pkt) fail("queue contents disagree with owner");
+    // Assumption 4 (one message per channel queue at a time) holds by
+    // construction in the SoA encoding: a queue is (owner, front_seq,
+    // occupancy), so its contents ARE the owner's flits.
+    if (net_.occupancy(c) > 0 && net_.owner(c) == kNoPacket) {
+      fail("queue contents disagree with owner");
     }
-    if (vc.owner != kNoPacket) {
-      const Packet& pkt = packets_[vc.owner];
+    if (net_.owner(c) != kNoPacket) {
+      const Packet& pkt = packets_[net_.owner(c)];
       if (pkt.done) fail("finished packet still owns a channel");
       if (pkt.dropped || pkt.aborted) {
         fail("aborted/dropped packet still owns a channel");
       }
+      if (net_.occupancy(c) > 0 &&
+          net_.front_seq(c) + net_.occupancy(c) > pkt.length) {
+        fail("queued flit sequence exceeds packet length");
+      }
       // The owner must have this channel on its acquired path.
       bool on_path = false;
-      for (ChannelId held : pkt.path) {
+      for (const ChannelId held : pkt.path) {
         if (held == c) {
           on_path = true;
           break;
@@ -907,6 +1123,18 @@ void Simulator::validate_invariants() const {
       }
       if (!on_path) fail("owner never acquired this channel");
     }
+    // Activity sets mirror channel state.
+    const bool pending = net_.occupancy(c) > 0 && !net_.out_assigned(c) &&
+                         net_.front_seq(c) == 0;
+    if (pending != alloc_pending_.contains(c)) {
+      fail("alloc-pending set out of sync");
+    }
+    const bool mv =
+        net_.occupancy(c) > 0 && net_.out_assigned(c) && !net_.out_eject(c);
+    if (mv != movable_.contains(c)) fail("movable set out of sync");
+    const bool ej =
+        net_.occupancy(c) > 0 && net_.out_assigned(c) && net_.out_eject(c);
+    if (ej != eject_ready_.contains(c)) fail("eject-ready set out of sync");
   }
   for (const Packet& pkt : packets_) {
     if (pkt.flits_injected > pkt.length || pkt.flits_ejected > pkt.length) {

@@ -1,4 +1,4 @@
-// Cycle-driven flit-level wormhole network simulator.
+// Event-driven flit-level wormhole network simulator.
 //
 // Model (BookSim-flavoured, one-stage routers):
 //   * each virtual channel has a fixed-depth flit FIFO at the downstream
@@ -13,10 +13,20 @@
 //   * blocked headers wait per the relation's discipline (wait-on-any or
 //     wait-specific), overridable per run.
 //
+// The core is event-driven (DESIGN 3.11): each phase iterates index sets of
+// pending work instead of polling every channel and node, blocked headers
+// re-arbitrate only when a channel release (or fault epoch) could have
+// changed the answer, timed work (fault steps, abort retries) sits in a
+// cycle-stamped event queue, and run() jumps quiescent spans directly to the
+// next scheduled event.  All of it is bit-exact with per-cycle polling: the
+// visit orders reproduce the polled scan orders, and skipped attempts are
+// provably side-effect-free (failed allocation attempts consume no RNG).
+//
 // Determinism: a single seed drives traffic and selection; identical configs
 // produce identical cycle-by-cycle behaviour.
 #pragma once
 
+#include <deque>
 #include <memory>
 #include <optional>
 
@@ -29,7 +39,9 @@
 #include "wormnet/obs/trace.hpp"
 #include "wormnet/routing/fault.hpp"
 #include "wormnet/routing/routing_function.hpp"
+#include "wormnet/sim/active_set.hpp"
 #include "wormnet/sim/deadlock_detector.hpp"
+#include "wormnet/sim/event_queue.hpp"
 #include "wormnet/sim/network.hpp"
 #include "wormnet/sim/router.hpp"
 #include "wormnet/sim/stats.hpp"
@@ -69,6 +81,11 @@ struct SimConfig {
   std::uint64_t deadlock_check_interval = 128;
   std::uint64_t watchdog_cycles = 4000;  ///< no-progress threshold
   std::uint64_t seed = 1;
+
+  /// run() may jump quiescent spans (no queued flits can move, no stochastic
+  /// window open) straight to the next scheduled event.  Bit-exact either
+  /// way; the off position exists so parity tests can compare the two paths.
+  bool fast_forward = true;
 
   // Resilience (wormnet::ft).  `fault_plan` is a borrowed compiled plan
   // (nullable; must be compiled against the same topology and outlive the
@@ -137,15 +154,20 @@ class Simulator {
     return postmortems_;
   }
 
-  /// Checks internal invariants (queue bounds, one packet per queue,
-  /// ownership consistency, path contiguity); throws std::logic_error on
+  /// Checks internal invariants (queue bounds, ownership consistency, path
+  /// contiguity, activity-set membership); throws std::logic_error on
   /// violation.  Used by tests that step the simulator manually.
   void validate_invariants() const;
 
  private:
   struct SourceState {
     std::deque<PacketId> queue;  ///< packets awaiting injection
-    std::size_t next_script = 0; ///< per-node scripted packets are pre-sorted
+  };
+  /// A flit transfer candidate competing for a physical link this cycle.
+  struct Move {
+    ChannelId from = kInvalidChannel;  ///< kInvalidChannel = injection
+    NodeId src_node = 0;               ///< valid for injections
+    ChannelId to = kInvalidChannel;
   };
 
   void generate_traffic();
@@ -159,12 +181,33 @@ class Simulator {
                          std::vector<ChannelId> forced);
   void finish_packet(Packet& pkt);
 
+  // --- event-driven scheduling (DESIGN 3.11) -----------------------------
+  /// Recomputes channel `c`'s membership in the allocation / movable /
+  /// ejection sets from its current state.  Call after any mutation of the
+  /// channel's queue or output assignment.
+  void touch_channel(ChannelId c);
+  /// Recomputes node `n`'s membership in the source-front sets.  Call after
+  /// any mutation of the node's source queue (or its front packet's
+  /// injection state).
+  void touch_source(NodeId n);
+  /// A channel was released (or the candidate space changed): every blocked
+  /// header becomes eligible for one fresh allocation attempt.
+  void wake_blocked() noexcept { ++wake_epoch_; }
+  /// True when nothing can change before the next scheduled event: no flits
+  /// can move, no stochastic window is open, no metrics stall counting is
+  /// pending.  Only valid right after a cycle with zero activity.
+  [[nodiscard]] bool can_fast_forward() const;
+  /// Earliest cycle >= cycle_ at which anything is scheduled to happen
+  /// (timed event, script fire, window/script boundary, deadlock check,
+  /// metrics epoch), capped at `horizon`.
+  [[nodiscard]] std::uint64_t next_event_cycle(std::uint64_t horizon) const;
+
   // --- resilience (ft; all no-ops without a fault plan / under halt) ------
   [[nodiscard]] bool fault_active() const noexcept {
     return config_.fault_plan != nullptr;
   }
-  void apply_fault_steps();
-  void inject_retries();
+  void apply_fault_step(std::size_t step_index);
+  void fire_retry(PacketId id);
   void abort_packet(Packet& pkt);
   void drop_packet(Packet& pkt);
   void engage_drain();
@@ -193,7 +236,6 @@ class Simulator {
 
   std::vector<Packet> packets_;
   std::vector<SourceState> sources_;
-  std::vector<std::vector<ScriptedPacket>> script_by_node_;
 
   std::uint64_t cycle_ = 0;
   std::size_t in_flight_ = 0;  ///< created but not finished
@@ -202,13 +244,64 @@ class Simulator {
   std::uint64_t last_progress_ = 0;
   std::optional<DeadlockInfo> deadlock_;
 
+  // Timed events: compiled fault steps (queued at construction) and abort
+  // retries (queued on abort).  Scripted injections are a pre-sorted flat
+  // vector with a cursor — sorted by (inject_cycle, node, script order),
+  // the exact firing order of the legacy per-node scan.
+  EventQueue timed_;
+  std::vector<TimedEvent> due_events_;  ///< scratch: this cycle's due events
+  std::vector<ScriptedPacket> script_events_;
+  std::size_t script_cursor_ = 0;
+  std::uint64_t max_inject_cycle_ = 0;
+  bool have_script_ = false;
+  std::uint64_t gen_end_ = 0;  ///< warmup + measure: stochastic window end
+
+  // Activity sets: the indices each phase visits.  Membership is maintained
+  // by touch_channel/touch_source at every mutation site.
+  IndexSet alloc_pending_;  ///< channels: header at front, no output yet
+  IndexSet ready_src_;      ///< nodes: source front waiting to inject
+  IndexSet inject_srcs_;    ///< nodes: source front mid-injection
+  IndexSet movable_;        ///< channels: flits queued, forwarding output
+  IndexSet eject_ready_;    ///< channels: flits queued, ejection output
+  IndexSet eject_nodes_;    ///< nodes with >= 1 eject_ready_ in-channel
+  std::vector<std::uint32_t> eject_count_;  ///< per-node eject_ready_ count
+  IndexSet live_packets_;   ///< created, not finished/dropped
+
+  // Wake-on-release: a blocked header's allocation attempt is pure and
+  // RNG-free, so its outcome can only change when some channel is released
+  // or the candidate space itself changes (fault epoch, voided wait).  Each
+  // such event bumps wake_epoch_; a pending header is re-attempted only if
+  // it is fresh (never tried at this hop) or the epoch moved since its last
+  // attempt.
+  std::uint64_t wake_epoch_ = 1;
+  std::vector<std::uint8_t> alloc_fresh_;   ///< per-channel: attempt pending
+  std::vector<std::uint64_t> alloc_seen_;   ///< per-channel: epoch at attempt
+  std::vector<std::uint8_t> src_fresh_;     ///< per-node: attempt pending
+  std::vector<std::uint64_t> src_seen_;     ///< per-node: epoch at attempt
+  std::vector<PacketId> src_front_;         ///< per-node: last-seen front
+
+  // Owner packet length per channel, stamped at acquire: lets mid-worm
+  // forwarding derive head/tail bits without touching the Packet structs.
+  std::vector<std::uint32_t> chan_len_;
+  bool track_progress_ = false;  ///< per-packet progress stamps needed?
+
+  std::uint64_t activity_ = 0;  ///< work units this cycle (fast-forward gate)
+
+  // Scratch buffers reused across cycles (no steady-state allocation).
+  std::vector<std::uint32_t> scratch_channels_;
+  std::vector<std::uint32_t> scratch_nodes_;
+  std::vector<std::uint32_t> scratch_packets_;
+  std::vector<ChannelId> scratch_ejectors_;
+  // Per-link candidate lists, flattened: link l's candidates live at
+  // [l * link_stride_, l * link_stride_ + link_cand_count_[l]).  A link can
+  // receive at most one forwarding candidate per VC (each VC has one owner)
+  // plus one injection from its source node, so stride = max VCs + 1.
+  std::vector<Move> link_cands_;
+  std::vector<std::uint8_t> link_cand_count_;
+  std::size_t link_stride_ = 0;
+  IndexSet links_touched_;  ///< links with candidates
+
   // Recovery state.
-  struct PendingRetry {
-    std::uint64_t cycle = 0;  ///< earliest re-injection cycle
-    PacketId packet = kNoPacket;
-  };
-  std::vector<PendingRetry> retries_;  ///< insertion order (deterministic)
-  std::size_t next_fault_step_ = 0;
   bool draining_ = false;  ///< drain policy engaged: no new admissions
   double recovery_latency_sum_ = 0.0;
 

@@ -119,8 +119,4 @@ std::optional<NodeId> TrafficGenerator::destination(NodeId src) {
   }
 }
 
-bool TrafficGenerator::arrival(double rate, std::uint32_t packet_length) {
-  return rng_.chance(rate / static_cast<double>(packet_length));
-}
-
 }  // namespace wormnet::sim

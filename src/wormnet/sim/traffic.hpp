@@ -48,7 +48,13 @@ class TrafficGenerator {
 
   /// Bernoulli arrival: true if `src` generates a packet this cycle, given
   /// `rate` flits/node/cycle and `packet_length` flits/packet.
-  [[nodiscard]] bool arrival(double rate, std::uint32_t packet_length);
+  [[nodiscard]] bool arrival(double rate, std::uint32_t packet_length) {
+    return bernoulli(rate / static_cast<double>(packet_length));
+  }
+
+  /// Same trial with the packet-arrival probability precomputed by the
+  /// caller (one uniform per node per cycle — the simulator's hot path).
+  [[nodiscard]] bool bernoulli(double p) noexcept { return rng_.chance(p); }
 
  private:
   [[nodiscard]] NodeId permute(NodeId src) const;

@@ -28,6 +28,13 @@ Topology::Topology(std::string name, NodeId num_nodes,
   if (stride != num_nodes_) {
     throw std::invalid_argument("cube radices do not match node count");
   }
+  dims_ = cube_->radices.size();
+  coords_flat_.resize(static_cast<std::size_t>(num_nodes_) * dims_);
+  for (NodeId node = 0; node < num_nodes_; ++node) {
+    for (std::size_t d = 0; d < dims_; ++d) {
+      coords_flat_[node * dims_ + d] = (node / strides_[d]) % cube_->radices[d];
+    }
+  }
   index_channels();
 }
 
@@ -82,37 +89,6 @@ NodeId Topology::node_at(std::span<const std::uint32_t> coords) const {
     node += coords[d] * strides_[d];
   }
   return node;
-}
-
-std::uint32_t Topology::coord(NodeId node, std::size_t dim) const {
-  assert(is_cube());
-  return (node / strides_[dim]) % cube_->radices[dim];
-}
-
-std::optional<NodeId> Topology::neighbor(NodeId node, std::size_t dim,
-                                         Direction dir) const {
-  assert(is_cube());
-  const std::uint32_t k = cube_->radices[dim];
-  const std::uint32_t x = coord(node, dim);
-  std::uint32_t nx;
-  if (dir == Direction::kPos) {
-    if (x + 1 < k) {
-      nx = x + 1;
-    } else if (cube_->wraps[dim]) {
-      nx = 0;
-    } else {
-      return std::nullopt;
-    }
-  } else {
-    if (x > 0) {
-      nx = x - 1;
-    } else if (cube_->wraps[dim]) {
-      nx = k - 1;
-    } else {
-      return std::nullopt;
-    }
-  }
-  return node + (static_cast<std::int64_t>(nx) - x) * strides_[dim];
 }
 
 std::uint32_t Topology::distance(NodeId a, NodeId b) const {

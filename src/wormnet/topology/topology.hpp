@@ -95,13 +95,38 @@ class Topology {
   [[nodiscard]] NodeId node_at(std::span<const std::uint32_t> coords) const;
 
   /// Coordinate of `node` in dimension `dim` without materializing the whole
-  /// vector — hot path for routing relations.
-  [[nodiscard]] std::uint32_t coord(NodeId node, std::size_t dim) const;
+  /// vector — hot path for routing relations (precomputed flat table; no
+  /// divisions).
+  [[nodiscard]] std::uint32_t coord(NodeId node, std::size_t dim) const {
+    return coords_flat_[node * dims_ + dim];
+  }
 
   /// The neighbor of `node` in (dim, dir), honoring mesh edges / torus wraps.
-  /// Returns nullopt at a mesh boundary.
+  /// Returns nullopt at a mesh boundary.  Inline: hot path for routing.
   [[nodiscard]] std::optional<NodeId> neighbor(NodeId node, std::size_t dim,
-                                               Direction dir) const;
+                                               Direction dir) const {
+    const std::uint32_t k = cube_->radices[dim];
+    const std::uint32_t x = coord(node, dim);
+    std::uint32_t nx;
+    if (dir == Direction::kPos) {
+      if (x + 1 < k) {
+        nx = x + 1;
+      } else if (cube_->wraps[dim]) {
+        nx = 0;
+      } else {
+        return std::nullopt;
+      }
+    } else {
+      if (x > 0) {
+        nx = x - 1;
+      } else if (cube_->wraps[dim]) {
+        nx = k - 1;
+      } else {
+        return std::nullopt;
+      }
+    }
+    return node + (static_cast<std::int64_t>(nx) - x) * strides_[dim];
+  }
 
   /// Hop distance of the minimal path respecting the topology (mesh: L1;
   /// torus: ring distance per dim; custom: BFS).
@@ -124,6 +149,8 @@ class Topology {
   std::vector<std::vector<ChannelId>> in_;
   std::optional<CubeInfo> cube_;
   std::vector<std::uint32_t> strides_;  ///< mixed-radix strides (cube family)
+  std::size_t dims_ = 0;                ///< cached cube dimension count
+  std::vector<std::uint32_t> coords_flat_;  ///< [node * dims_ + dim]
 };
 
 }  // namespace wormnet::topology

@@ -1,13 +1,6 @@
 #include "wormnet/util/rng.hpp"
 
 namespace wormnet::util {
-namespace {
-
-constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
-  return (x << k) | (x >> (64 - k));
-}
-
-}  // namespace
 
 std::uint64_t splitmix64(std::uint64_t& state) noexcept {
   std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
@@ -19,22 +12,6 @@ std::uint64_t splitmix64(std::uint64_t& state) noexcept {
 Xoshiro256::Xoshiro256(std::uint64_t seed) noexcept {
   // SplitMix64 expansion guarantees the all-zero state cannot occur.
   for (auto& word : s_) word = splitmix64(seed);
-}
-
-Xoshiro256::result_type Xoshiro256::operator()() noexcept {
-  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = rotl(s_[3], 45);
-  return result;
-}
-
-double Xoshiro256::uniform() noexcept {
-  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
 }
 
 std::uint64_t Xoshiro256::below(std::uint64_t bound) noexcept {

@@ -70,7 +70,7 @@ TEST(RouteAllocator, AcquiresAndMarksOwnership) {
   const auto acquired =
       allocator.attempt(pkt, topology::kInvalidChannel, 0, net);
   ASSERT_TRUE(acquired.has_value());
-  EXPECT_EQ(net.vc(*acquired).owner, pkt.id);
+  EXPECT_EQ(net.owner(*acquired), pkt.id);
   EXPECT_EQ(pkt.path.size(), 1u);
   EXPECT_EQ(pkt.path.front(), *acquired);
 }
@@ -85,7 +85,7 @@ TEST(RouteAllocator, WaitSpecificCommitsAndSticks) {
   sim::Packet blocker;
   blocker.id = 99;
   for (ChannelId c : routing.route(topology::kInvalidChannel, 0, 8)) {
-    net.vc(c).owner = blocker.id;
+    net.owner(c) = blocker.id;
   }
   sim::Packet pkt;
   pkt.id = 1;
@@ -96,11 +96,11 @@ TEST(RouteAllocator, WaitSpecificCommitsAndSticks) {
   const ChannelId committed = pkt.committed_wait;
   // Free the OTHER candidate: a committed packet must not take it.
   for (ChannelId c : routing.route(topology::kInvalidChannel, 0, 8)) {
-    if (c != committed) net.vc(c).owner = sim::kNoPacket;
+    if (c != committed) net.owner(c) = sim::kNoPacket;
   }
   EXPECT_FALSE(allocator.attempt(pkt, topology::kInvalidChannel, 0, net));
   // Free the committed channel: now it proceeds and the commitment clears.
-  net.vc(committed).owner = sim::kNoPacket;
+  net.owner(committed) = sim::kNoPacket;
   const auto acquired =
       allocator.attempt(pkt, topology::kInvalidChannel, 0, net);
   ASSERT_TRUE(acquired.has_value());

@@ -162,8 +162,8 @@ TEST(SimBasic, FlitConservation) {
   }
   // All queues drained.
   for (topology::ChannelId c = 0; c < topo.num_channels(); ++c) {
-    EXPECT_TRUE(sim.network().vc(c).queue.empty());
-    EXPECT_EQ(sim.network().vc(c).owner, kNoPacket);
+    EXPECT_EQ(sim.network().occupancy(c), 0u);
+    EXPECT_EQ(sim.network().owner(c), kNoPacket);
   }
 }
 

@@ -40,7 +40,7 @@ TEST(SimDeadlock, DeadlockReportNamesHeldChannels) {
   // cycle at detection time.
   for (std::size_t i = 0; i < stats.deadlock.packet_cycle.size(); ++i) {
     const topology::ChannelId c = stats.deadlock.blocked_channels[i];
-    const PacketId owner = sim.network().vc(c).owner;
+    const PacketId owner = sim.network().owner(c);
     const PacketId next =
         stats.deadlock
             .packet_cycle[(i + 1) % stats.deadlock.packet_cycle.size()];
