@@ -29,6 +29,8 @@
 #include "wormnet/audit/check.hpp"
 #include "wormnet/core/registry.hpp"
 #include "wormnet/ft/fault_plan.hpp"
+#include "wormnet/reconfig/transition_plan.hpp"
+#include "wormnet/reconfig/union_routing.hpp"
 #include "wormnet/routing/fault.hpp"
 
 namespace {
@@ -47,6 +49,8 @@ int usage(const char* argv0) {
       << "  --routing NAME   override the certificate's routing binding\n"
       << "  --fault-mask HEX override the certificate's fault mask\n"
       << "                   ('' = audit against the pristine relation)\n"
+      << "  --transition S   override the certificate's transition binding\n"
+      << "                   (a reconfig UnionSpec; '' = pure routing)\n"
       << "  --quiet          only report failures\n"
       << "\n"
       << "exit: 0 = all valid, 1 = refuted by audit, 2 = malformed/usage\n";
@@ -58,7 +62,8 @@ int audit_file(const char* argv0, const std::string& path,
                const std::string& topo_override,
                const std::string& routing_override,
                const std::string& mask_override, bool mask_overridden,
-               bool quiet) {
+               const std::string& transition_override,
+               bool transition_overridden, bool quiet) {
   std::ifstream file(path, std::ios::binary);
   if (!file) {
     std::cerr << argv0 << ": cannot open " << path << "\n";
@@ -81,16 +86,27 @@ int audit_file(const char* argv0, const std::string& path,
       routing_override.empty() ? cert.routing : routing_override;
   const std::string fault_mask =
       mask_overridden ? mask_override : cert.fault_mask;
+  const std::string transition =
+      transition_overridden ? transition_override : cert.transition;
 
   std::unique_ptr<routing::RoutingFunction> routing;
   std::unique_ptr<topology::Topology> topo;
   try {
     topo = std::make_unique<topology::Topology>(core::make_topology(topo_spec));
-    routing = core::make_algorithm(routing_name, *topo);
-    if (!fault_mask.empty()) {
-      routing = std::make_unique<routing::FaultAwareRouting>(
-          *topo, std::move(routing),
-          ft::mask_from_hex(fault_mask, topo->num_channels()));
+    if (!transition.empty()) {
+      // The certificate speaks about a reconfiguration epoch's union
+      // relation; the persisted UnionSpec rebuilds it member by member.
+      // A fault mask cannot coexist with a transition (the sweep engine
+      // forbids combining the axes), so the mask is ignored here.
+      routing = reconfig::make_union_routing(
+          *topo, reconfig::parse_union_spec(transition, topo->num_nodes()));
+    } else {
+      routing = core::make_algorithm(routing_name, *topo);
+      if (!fault_mask.empty()) {
+        routing = std::make_unique<routing::FaultAwareRouting>(
+            *topo, std::move(routing),
+            ft::mask_from_hex(fault_mask, topo->num_channels()));
+      }
     }
   } catch (const std::invalid_argument& e) {
     std::cerr << argv0 << ": " << path << ": cannot construct binding "
@@ -109,9 +125,10 @@ int audit_file(const char* argv0, const std::string& path,
   if (!quiet) {
     std::cout << path << ": valid " << audit::to_string(cert.kind) << " ("
               << cert.method << ", " << topo_spec << " / " << routing_name
-              << (fault_mask.empty() ? "" : ", mask " + fault_mask) << "; "
-              << result.states_checked << " states, " << result.edges_checked
-              << " edges checked)\n";
+              << (fault_mask.empty() ? "" : ", mask " + fault_mask)
+              << (transition.empty() ? "" : ", transition " + transition)
+              << "; " << result.states_checked << " states, "
+              << result.edges_checked << " edges checked)\n";
   }
   return 0;
 }
@@ -123,6 +140,8 @@ int main(int argc, char** argv) {
   std::string routing_override;
   std::string mask_override;
   bool mask_overridden = false;
+  std::string transition_override;
+  bool transition_overridden = false;
   bool quiet = false;
   std::vector<std::string> paths;
 
@@ -148,6 +167,11 @@ int main(int argc, char** argv) {
       if (v == nullptr) return 2;
       mask_override = v;
       mask_overridden = true;
+    } else if (arg == "--transition") {
+      const char* v = value();
+      if (v == nullptr) return 2;
+      transition_override = v;
+      transition_overridden = true;
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -167,7 +191,9 @@ int main(int argc, char** argv) {
   for (const std::string& path : paths) {
     exit_code = std::max(
         exit_code, audit_file(argv[0], path, topo_override, routing_override,
-                              mask_override, mask_overridden, quiet));
+                              mask_override, mask_overridden,
+                              transition_override, transition_overridden,
+                              quiet));
   }
   return exit_code;
 }

@@ -41,6 +41,9 @@ int usage(const char* argv0) {
       << "  --format FORMAT     human (default) | json | sarif\n"
       << "  --fail-on LEVEL     error (default) | warning | info | never\n"
       << "  --rules IDS         comma-separated rule ids/names (default all)\n"
+      << "  --reconfig-plan P   declare a reconfiguration transition (WN024\n"
+      << "                      re-verifies every union epoch); base relation\n"
+      << "                      is the --routing name\n"
       << "  --all-examples      lint the whole golden example matrix\n"
       << "  --stats             print per-rule timings and checker counters\n"
       << "                      to stderr\n"
@@ -65,6 +68,7 @@ int main(int argc, char** argv) {
   std::string routing_name;
   std::string format = "human";
   std::string fail_on = "error";
+  std::string reconfig_plan;
   std::vector<std::string> rule_filter;
   bool all_examples = false;
   bool list_rules = false;
@@ -99,6 +103,10 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return 2;
       rule_filter = split_list(v);
+    } else if (arg == "--reconfig-plan") {
+      const char* v = value();
+      if (v == nullptr) return 2;
+      reconfig_plan = v;
     } else if (arg == "--all-examples") {
       all_examples = true;
     } else if (arg == "--list-rules") {
@@ -173,6 +181,13 @@ int main(int argc, char** argv) {
       const auto routing = core::make_algorithm(routing_name, *topo);
       lint::LintOptions options;
       options.rules = rule_filter;
+      if (!reconfig_plan.empty()) {
+        options.reconfig_plan = reconfig_plan;
+        // The CLI knows the registry name the relation came from; resolve
+        // aliases so the compiled plan's base matches the built routing.
+        options.reconfig_base =
+            core::canonical_algorithm_name(routing_name, *topo);
+      }
       lint::LintUnit unit;
       unit.subject = topology_spec + " " + routing->name();
       unit.topo = topo.get();

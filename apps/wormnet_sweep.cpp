@@ -11,14 +11,16 @@
 // value, including 1 — the determinism contract the test suite pins.
 //
 // Exit status: 0 = sweep ran (deadlocks on *uncertified* configs are data,
-//                  not errors; so are drops on uncertified fault epochs),
+//                  not errors; so are drops on uncertified fault epochs and
+//                  deadlocks on uncertified reconfiguration transitions),
 //              1 = a certified configuration deadlocked — certified meaning
 //                  the pristine pair passed the Duato check AND every fault
-//                  epoch's degraded relation re-certified (the library
-//                  contradicting the theorem — always a bug) — or, with
-//                  --certify-out, an emitted certificate failed its own
-//                  audit (same class of bug: the checker emitted evidence
-//                  the relation does not support),
+//                  epoch's degraded relation AND every transition epoch's
+//                  union relation re-certified (the library contradicting
+//                  the theorem — always a bug) — or, with --certify-out, an
+//                  emitted certificate failed its own audit (same class of
+//                  bug: the checker emitted evidence the relation does not
+//                  support),
 //              2 = usage or configuration error.
 #include <filesystem>
 #include <fstream>
@@ -28,6 +30,7 @@
 #include <string>
 
 #include "wormnet/audit/check.hpp"
+#include "wormnet/cdg/cdg_builder.hpp"
 #include "wormnet/cdg/duato_checker.hpp"
 #include "wormnet/cdg/states.hpp"
 #include "wormnet/core/registry.hpp"
@@ -39,6 +42,8 @@
 #include "wormnet/obs/metrics.hpp"
 #include "wormnet/obs/postmortem.hpp"
 #include "wormnet/obs/profiler.hpp"
+#include "wormnet/reconfig/transition_plan.hpp"
+#include "wormnet/reconfig/union_routing.hpp"
 
 namespace {
 
@@ -54,6 +59,9 @@ int usage(const char* argv0) {
       << "  fault=none,kill:5-6@250     fault plans (default none); events\n"
       << "                              joined by '+': kill/repair:SRC-DST@C,\n"
       << "                              killch/repairch:CH@C, rand:N/SEED@C\n"
+      << "  reconfig=none,switch:duato-mesh@500   transition plans (default\n"
+      << "                              none); '+'-joined switch:NEW@C,\n"
+      << "                              stage:NEW/LO-HI@C, ramp:NEW/K/STRIDE@C\n"
       << "  pattern=uniform,transpose   traffic patterns (default uniform)\n"
       << "  load=0.05,0.2 or lo:hi:step offered loads (default 0.1)\n"
       << "  reps=N                      replications per cell (default 1)\n"
@@ -71,6 +79,8 @@ int usage(const char* argv0) {
       << "  --buffer-depth N   flits per VC FIFO (default 4)\n"
       << "  --fault-plan PLAN  shorthand for a single-plan fault axis\n"
       << "                     (equivalent to fault=PLAN in the grid)\n"
+      << "  --reconfig-plan P  shorthand for a single-plan reconfiguration\n"
+      << "                     axis (equivalent to reconfig=P in the grid)\n"
       << "  --recovery POLICY  halt (default) | abort-retry | drain\n"
       << "  --retry-budget N   aborts per packet before dropping (default 8)\n"
       << "  --packet-timeout N per-packet no-progress cycles before abort\n"
@@ -82,7 +92,10 @@ int usage(const char* argv0) {
       << "  --postmortem-dir D write one JSON per captured deadlock postmortem\n"
       << "                     (postmortem_<point>_<n>.json, cross-referenced\n"
       << "                     against the pair's static CDG; fault points are\n"
-      << "                     cross-referenced against the pristine relation)\n"
+      << "                     cross-referenced against the pristine relation;\n"
+      << "                     reconfig points additionally classify each edge\n"
+      << "                     old-only/new-only/shared and flag cycles that\n"
+      << "                     cross the transition union)\n"
       << "  --profile FILE     self-profile the sweep: per-phase wall-time\n"
       << "                     histograms to FILE, plus a point_ms column in\n"
       << "                     the row output (breaks byte-determinism)\n"
@@ -152,12 +165,21 @@ std::size_t write_certificates(const char* argv0, const std::string& dir,
                .first;
     }
     const topology::Topology& topo = it->second;
-    std::unique_ptr<routing::RoutingFunction> routing =
-        core::make_algorithm(cert.routing, topo);
-    if (!cert.fault_mask.empty()) {
-      routing = std::make_unique<routing::FaultAwareRouting>(
-          topo, std::move(routing),
-          ft::mask_from_hex(cert.fault_mask, topo.num_channels()));
+    std::unique_ptr<routing::RoutingFunction> routing;
+    if (!cert.transition.empty()) {
+      // Transition-epoch certificates speak about the union relation; the
+      // persisted UnionSpec rebuilds it exactly (the base relation is the
+      // spec's first member, so cert.routing is informative only).
+      routing = reconfig::make_union_routing(
+          topo, reconfig::parse_union_spec(cert.transition,
+                                           topo.num_nodes()));
+    } else {
+      routing = core::make_algorithm(cert.routing, topo);
+      if (!cert.fault_mask.empty()) {
+        routing = std::make_unique<routing::FaultAwareRouting>(
+            topo, std::move(routing),
+            ft::mask_from_hex(cert.fault_mask, topo.num_channels()));
+      }
     }
     const audit::AuditResult audit = audit::check(topo, *routing, cert);
     if (!audit.ok()) {
@@ -203,6 +225,7 @@ std::uint64_t parse_u64_arg(const char* argv0, const std::string& flag,
 int main(int argc, char** argv) {
   std::string grid;
   std::string fault_plan;
+  std::string reconfig_plan;
   std::string out_format = "jsonl";
   std::string output_path;
   std::string metrics_path;
@@ -283,6 +306,10 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return 2;
       fault_plan = v;
+    } else if (arg == "--reconfig-plan") {
+      const char* v = value();
+      if (v == nullptr) return 2;
+      reconfig_plan = v;
     } else if (arg == "--recovery") {
       const char* v = value();
       if (v == nullptr) return 2;
@@ -342,6 +369,7 @@ int main(int argc, char** argv) {
   try {
     exp::SweepSpec spec = exp::parse_grid(grid);
     if (!fault_plan.empty()) spec.fault_plans = {fault_plan};
+    if (!reconfig_plan.empty()) spec.reconfig_plans = {reconfig_plan};
     spec.base = base;
     outcome = exp::run_sweep(spec, runner);
   } catch (const std::invalid_argument& e) {
@@ -385,9 +413,24 @@ int main(int argc, char** argv) {
       for (std::size_t n = 0; n < r.postmortems.size(); ++n) {
         const XrefContext& ctx =
             xref_context(xrefs, r.point.topology, r.point.routing);
-        const obs::PostmortemReport report =
+        obs::PostmortemReport report =
             obs::cross_reference(*ctx.states, ctx.search, r.postmortems[n],
                                  r.point.topology, r.point.routing);
+        if (r.point.reconfig_plan != "none" && !r.point.reconfig_plan.empty()) {
+          // Transition provenance: classify every lifted edge against the
+          // pure pre-switch (base) and post-switch (steady-state) CDGs and
+          // flag cycles only the mid-switch union contains.  Deadlocks are
+          // rare enough that rebuilding the two graphs per postmortem beats
+          // carrying another cache.
+          const reconfig::CompiledTransitionPlan plan = reconfig::compile(
+              reconfig::parse_transition_plan(r.point.reconfig_plan),
+              ctx.topo, r.point.routing);
+          const auto steady =
+              reconfig::make_union_routing(ctx.topo, plan.steady_state());
+          obs::classify_transition_origins(
+              report, cdg::build_cdg(*ctx.states),
+              cdg::build_cdg(ctx.topo, *steady));
+        }
         const std::filesystem::path path =
             std::filesystem::path(postmortem_dir) /
             ("postmortem_" + std::to_string(r.point.index) + "_" +
@@ -448,6 +491,11 @@ int main(int argc, char** argv) {
                 << " aborts, " << outcome.aggregate.recovered_packets
                 << " recovered, " << outcome.aggregate.packets_dropped
                 << " dropped";
+    }
+    if (outcome.aggregate.reconfig_epochs > 0) {
+      std::cerr << "; reconfig: " << outcome.aggregate.reconfig_epochs
+                << " epochs, " << outcome.aggregate.dests_switched
+                << " destination cutovers";
     }
     std::cerr << "\n";
   }

@@ -91,6 +91,10 @@ std::string Certificate::to_json() const {
   quote(os, subfunction);
   os << ",\n  \"fault_mask\": ";
   quote(os, fault_mask);
+  if (!transition.empty()) {
+    os << ",\n  \"transition\": ";
+    quote(os, transition);
+  }
   if (kind == CertKind::kCertified) {
     os << ",\n  \"escape_channels\": ";
     write_ids(os, escape_channels);
@@ -417,6 +421,9 @@ ParseResult parse_certificate(std::string_view text) {
       cert.subfunction = r.parse_string();
     } else if (key == "fault_mask") {
       cert.fault_mask = r.parse_string();
+    } else if (key == "transition") {
+      // Optional: present only for reconfiguration-epoch union relations.
+      cert.transition = r.parse_string();
     } else if (key == "escape_channels") {
       cert.escape_channels = r.parse_id_array();
     } else if (key == "topological_order") {

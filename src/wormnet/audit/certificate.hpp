@@ -107,6 +107,10 @@ struct Certificate {
   std::uint32_t num_channels = 0;  ///< binding guard, checked by the auditor
   std::string subfunction;         ///< escape-set label (informative)
   std::string fault_mask;          ///< hex fault mask, "" = pristine
+  /// Serialized reconfig::UnionSpec when the certified relation is the
+  /// union of one reconfiguration epoch, "" otherwise.  Omitted from the
+  /// JSON when empty, so pre-reconfig certificates are byte-unchanged.
+  std::string transition;
 
   // Certified payload.
   std::vector<ChannelId> escape_channels;      ///< C1, sorted ascending

@@ -25,6 +25,9 @@ void Aggregate::add(const sim::SimStats& stats, bool certified) {
   packets_dropped += stats.packets_dropped;
   recovered_packets += stats.recovered_packets;
 
+  reconfig_epochs += stats.reconfig_epochs;
+  dests_switched += stats.dests_switched;
+
   const double weight = static_cast<double>(stats.measured_delivered);
   latency_weight += weight;
   latency_sum += stats.avg_latency * weight;
@@ -51,6 +54,9 @@ void Aggregate::merge(const Aggregate& other) {
   packets_retried += other.packets_retried;
   packets_dropped += other.packets_dropped;
   recovered_packets += other.recovered_packets;
+
+  reconfig_epochs += other.reconfig_epochs;
+  dests_switched += other.dests_switched;
 
   latency_weight += other.latency_weight;
   latency_sum += other.latency_sum;
@@ -82,6 +88,8 @@ void Aggregate::write_fields(obs::JsonWriter& w) const {
   w.field("packets_retried", packets_retried);
   w.field("packets_dropped", packets_dropped);
   w.field("recovered_packets", recovered_packets);
+  w.field("reconfig_epochs", reconfig_epochs);
+  w.field("dests_switched", dests_switched);
   w.field("mean_latency", mean_latency());
   w.field("mean_throughput", mean_throughput());
   w.field("worst_p99", worst_p99);

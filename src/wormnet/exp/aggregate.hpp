@@ -41,6 +41,11 @@ struct Aggregate {
   std::uint64_t packets_dropped = 0;
   std::uint64_t recovered_packets = 0;
 
+  // Reconfiguration sums (all zero on transition-free sweeps; identity
+  // plans are normalized away at expansion so they contribute zero too).
+  std::uint64_t reconfig_epochs = 0;
+  std::uint64_t dests_switched = 0;
+
   // Per-point scalar sums (divide by `points` for grid means); latency is
   // weighted by each point's measured deliveries so it reads as a latency
   // over packets, not over grid cells.

@@ -3,6 +3,7 @@
 #include "wormnet/core/registry.hpp"
 #include "wormnet/core/verifier.hpp"
 #include "wormnet/ft/fault_plan.hpp"
+#include "wormnet/reconfig/union_routing.hpp"
 #include "wormnet/routing/fault.hpp"
 
 namespace wormnet::exp {
@@ -118,6 +119,64 @@ const AnalysisEntry& AnalysisCache::get_degraded(
     }
   } else {
     entry.duato = core::verify(*entry.topo, degraded, options);
+  }
+  entry.certified =
+      entry.duato.conclusion == core::Conclusion::kDeadlockFree;
+
+  slot->entry = std::move(entry);
+  slot->ready.store(true, std::memory_order_release);
+  return slot->entry;
+}
+
+const AnalysisEntry& AnalysisCache::get_transition(
+    const std::string& topo_spec, const reconfig::UnionSpec& spec) {
+  const std::string key = topo_spec + "|transition|" + spec.to_string();
+  Slot* slot = nullptr;
+  {
+    std::lock_guard lock(registry_mutex_);
+    auto& owned = slots_[key];
+    if (!owned) owned = std::make_unique<Slot>();
+    slot = owned.get();
+  }
+  if (slot->ready.load(std::memory_order_acquire)) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return slot->entry;
+  }
+  std::lock_guard fill_lock(slot->fill);
+  if (slot->ready.load(std::memory_order_acquire)) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return slot->entry;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+
+  // Shares the topology with the base pair's entry (see get_degraded for
+  // why the nested get() is lock-safe).
+  const AnalysisEntry& base = get(topo_spec, spec.names.front());
+  obs::Profiler::Scope miss_timer(profiler_, "sweep.epoch_reverify");
+
+  AnalysisEntry entry;
+  entry.topo = base.topo;
+  entry.routing = base.routing;
+  const std::unique_ptr<reconfig::UnionRouting> relation =
+      reconfig::make_union_routing(*entry.topo, spec);
+
+  core::VerifyOptions options;
+  options.method = core::Method::kDuato;
+  options.profiler = profiler_;
+  if (certify_) {
+    core::CertifiedVerdict certified =
+        core::verify_certified(*entry.topo, *relation, options);
+    entry.duato = std::move(certified.verdict);
+    if (certified.certificate) {
+      certified.certificate->topology = topo_spec;
+      certified.certificate->routing = entry.routing;
+      certified.certificate->fault_mask.clear();
+      certified.certificate->transition = spec.to_string();
+      entry.certificate = std::make_shared<const audit::Certificate>(
+          std::move(*certified.certificate));
+    }
+  } else {
+    entry.duato = core::verify(*entry.topo, *relation, options);
   }
   entry.certified =
       entry.duato.conclusion == core::Conclusion::kDeadlockFree;

@@ -22,6 +22,7 @@
 #include "wormnet/audit/certificate.hpp"
 #include "wormnet/core/verdict.hpp"
 #include "wormnet/obs/profiler.hpp"
+#include "wormnet/reconfig/transition_plan.hpp"
 #include "wormnet/topology/topology.hpp"
 
 namespace wormnet::exp {
@@ -45,7 +46,8 @@ struct AnalysisEntry {
 
 /// One persisted certificate, in deterministic (cache-key) order.
 struct CertificateRecord {
-  std::string key;  ///< "topo|routing" or "topo|routing|mask"
+  std::string key;  ///< "topo|routing", "topo|routing|mask" or
+                    ///< "topo|transition|spec"
   std::shared_ptr<const audit::Certificate> certificate;
 };
 
@@ -80,6 +82,16 @@ class AnalysisCache {
   const AnalysisEntry& get_degraded(const std::string& topo_spec,
                                     const std::string& routing,
                                     const std::vector<bool>& mask);
+
+  /// Like get(), but for the union relation of one reconfiguration epoch
+  /// (reconfig::UnionSpec, serialized into the key): the verdict of
+  /// UnionRouting over the spec's member relations.  Keyed by
+  /// (topo spec, spec.to_string()), so a sweep re-verifies each distinct
+  /// transition epoch exactly once no matter how many points — or threads —
+  /// pass through it.  Emitted certificates carry the spec in their
+  /// `transition` binding and the base relation as `routing`.
+  const AnalysisEntry& get_transition(const std::string& topo_spec,
+                                      const reconfig::UnionSpec& spec);
 
   [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
   [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }

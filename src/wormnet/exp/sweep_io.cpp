@@ -18,11 +18,16 @@ void write_jsonl(std::ostream& os, const SweepOutcome& outcome,
     w.field("rep", r.point.replication);
     w.field("seed", r.point.seed);
     w.field("fault", r.point.fault_plan.empty() ? "none" : r.point.fault_plan);
+    w.field("reconfig",
+            r.point.reconfig_plan.empty() ? "none" : r.point.reconfig_plan);
     w.field("certified", r.certified);
     w.field("duato", core::to_string(r.duato));
     w.field("cwg", core::to_string(r.cwg));
     w.field("fault_epochs", r.fault_epochs);
     w.field("uncertified_epochs", r.uncertified_epochs);
+    w.field("transition_epochs", r.transition_epochs);
+    w.field("uncertified_transition_epochs",
+            r.uncertified_transition_epochs);
     w.field("deadlocked", r.stats.deadlocked);
     if (r.stats.deadlocked) {
       w.field("deadlock_cycle", r.stats.deadlock.cycle);
@@ -73,8 +78,11 @@ void write_jsonl(std::ostream& os, const SweepOutcome& outcome,
 
 void write_csv(std::ostream& os, const SweepOutcome& outcome,
                const SweepIoOptions& options) {
-  os << "i,topology,routing,pattern,load,rep,seed,fault,certified,duato,cwg,"
-        "fault_epochs,uncertified_epochs,deadlocked,saturated,"
+  os << "i,topology,routing,pattern,load,rep,seed,fault,reconfig,certified,"
+        "duato,cwg,"
+        "fault_epochs,uncertified_epochs,"
+        "transition_epochs,uncertified_transition_epochs,"
+        "deadlocked,saturated,"
         "packets_created,packets_delivered,measured_delivered,"
         "packets_aborted,packets_retried,packets_dropped,recovered_packets,"
         "avg_latency,p50_latency,p99_latency,"
@@ -84,17 +92,20 @@ void write_csv(std::ostream& os, const SweepOutcome& outcome,
   if (options.timings) os << ",point_ms";
   os << "\n";
   for (const SweepResult& r : outcome.results) {
-    // Topology specs, registry names, and fault-plan texts contain no
-    // commas/quotes ('+' joins plan events precisely so the grid and CSV
-    // grammars stay comma-free), so plain comma joining is RFC-4180 safe.
+    // Topology specs, registry names, and fault/transition-plan texts
+    // contain no commas/quotes ('+' joins plan events precisely so the grid
+    // and CSV grammars stay comma-free), so plain comma joining is
+    // RFC-4180 safe.
     os << r.point.index << ',' << r.point.topology << ',' << r.point.routing
        << ',' << sim::to_string(r.point.pattern) << ','
        << obs::json_double(r.point.load) << ',' << r.point.replication << ','
        << r.point.seed << ','
        << (r.point.fault_plan.empty() ? "none" : r.point.fault_plan) << ','
-       << (r.certified ? 1 : 0) << ','
+       << (r.point.reconfig_plan.empty() ? "none" : r.point.reconfig_plan)
+       << ',' << (r.certified ? 1 : 0) << ','
        << core::to_string(r.duato) << ',' << core::to_string(r.cwg) << ','
        << r.fault_epochs << ',' << r.uncertified_epochs << ','
+       << r.transition_epochs << ',' << r.uncertified_transition_epochs << ','
        << (r.stats.deadlocked ? 1 : 0) << ',' << (r.stats.saturated ? 1 : 0)
        << ',' << r.stats.packets_created << ',' << r.stats.packets_delivered
        << ',' << r.stats.measured_delivered << ','

@@ -7,6 +7,7 @@
 
 #include "wormnet/core/registry.hpp"
 #include "wormnet/ft/fault_plan.hpp"
+#include "wormnet/reconfig/transition_plan.hpp"
 #include "wormnet/util/thread_pool.hpp"
 
 namespace wormnet::exp {
@@ -57,6 +58,28 @@ SweepResult run_point(const SweepSpec& spec, const SweepPoint& point,
     }
   }
 
+  // Reconfiguration axis: compile the transition plan against this point's
+  // base routing and certify every cumulative union epoch (plus the steady
+  // state) before running.  Borrowed by the config like the fault plan.
+  reconfig::CompiledTransitionPlan transition;
+  if (point.reconfig_plan != "none" && !point.reconfig_plan.empty()) {
+    transition =
+        reconfig::compile(reconfig::parse_transition_plan(point.reconfig_plan),
+                          *analysis.topo, point.routing);
+    if (!transition.empty()) {
+      cfg.transition = &transition;
+      for (const reconfig::UnionSpec& spec_epoch :
+           transition.verification_epochs()) {
+        const AnalysisEntry& epoch =
+            cache.get_transition(point.topology, spec_epoch);
+        ++result.transition_epochs;
+        if (!epoch.certified) ++result.uncertified_transition_epochs;
+      }
+      result.epochs_certified = result.uncertified_epochs == 0 &&
+                                result.uncertified_transition_epochs == 0;
+    }
+  }
+
   {
     // Direct Simulator (not the sim::run wrapper) so captured postmortems
     // survive the run — they carry the forensics --postmortem-dir writes out.
@@ -97,6 +120,14 @@ void export_metrics(obs::MetricsRegistry& metrics, const SweepOutcome& out) {
         .set(out.aggregate.packets_dropped);
     metrics.counter("sweep.recovered_packets")
         .set(out.aggregate.recovered_packets);
+  }
+  // Reconfiguration counters likewise only appear on sweeps that actually
+  // switched destinations mid-run.
+  if (out.aggregate.reconfig_epochs > 0) {
+    metrics.counter("sweep.reconfig_epochs")
+        .set(out.aggregate.reconfig_epochs);
+    metrics.counter("sweep.dests_switched")
+        .set(out.aggregate.dests_switched);
   }
   metrics.gauge("sweep.wall_ms").set(out.wall_ms);
   metrics.gauge("sweep.mean_latency").set(out.aggregate.mean_latency());

@@ -49,10 +49,20 @@ struct SweepResult {
   std::uint32_t fault_epochs = 0;        ///< degraded epochs checked
   std::uint32_t uncertified_epochs = 0;  ///< of those, failed re-check
   bool epochs_certified = true;          ///< all degraded epochs certified
+  /// Per-epoch re-verification (reconfig-plan points only): every distinct
+  /// cumulative union relation the transition pass produces — plus the
+  /// steady state — is checked by the Duato condition, memoized by
+  /// UnionSpec in the AnalysisCache.  An incompatible (R_old, R_new) pair
+  /// yields uncertified transition epochs, and the sweep then expects the
+  /// simulator may deadlock mid-switch rather than flagging a theorem
+  /// violation.
+  std::uint32_t transition_epochs = 0;   ///< union epochs checked
+  std::uint32_t uncertified_transition_epochs = 0;  ///< failed re-check
   /// Duato proved the pristine pair deadlock-free AND every fault epoch's
-  /// degraded relation re-certified.  This is the bit the differential
-  /// harness trusts: a deadlock on a certified point falsifies the theorem
-  /// or (far more likely) the implementation.
+  /// degraded relation AND every transition epoch's union relation
+  /// re-certified.  This is the bit the differential harness trusts: a
+  /// deadlock on a certified point falsifies the theorem or (far more
+  /// likely) the implementation.
   bool certified = false;
   /// Postmortems the point's simulator captured (deadlock halt, watchdog,
   /// retry exhaustion) — deterministic, part of the reproducible surface.

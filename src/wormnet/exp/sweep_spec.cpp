@@ -6,6 +6,7 @@
 
 #include "wormnet/core/registry.hpp"
 #include "wormnet/ft/fault_plan.hpp"
+#include "wormnet/reconfig/transition_plan.hpp"
 #include "wormnet/util/rng.hpp"
 
 namespace wormnet::exp {
@@ -86,6 +87,9 @@ ExpandedSweep expand(const SweepSpec& spec) {
   if (spec.fault_plans.empty()) {
     throw std::invalid_argument("sweep: no fault plans (use \"none\")");
   }
+  if (spec.reconfig_plans.empty()) {
+    throw std::invalid_argument("sweep: no reconfig plans (use \"none\")");
+  }
   if (spec.replications == 0) {
     throw std::invalid_argument("sweep: replications must be >= 1");
   }
@@ -125,20 +129,43 @@ ExpandedSweep expand(const SweepSpec& spec) {
         const ft::FaultPlan plan = ft::parse_fault_plan(plan_text);
         (void)ft::compile(plan, topo);
         const std::string normalized = plan.empty() ? "none" : plan.to_string();
-        for (const sim::Pattern pattern : spec.patterns) {
-          for (const double load : spec.loads) {
-            for (std::uint32_t rep = 0; rep < spec.replications; ++rep) {
-              SweepPoint point;
-              point.index = out.points.size();
-              point.topology = topo_spec;
-              point.routing = canonical;
-              point.fault_plan = normalized;
-              point.pattern = pattern;
-              point.load = load;
-              point.replication = rep;
-              point.seed = util::Xoshiro256(stream)();  // copy; stream stays
-              stream.jump();
-              out.points.push_back(std::move(point));
+        for (const auto& reconfig_text : spec.reconfig_plans) {
+          // Same eager discipline for transition plans; compiling against
+          // this point's base routing also normalizes identity plans (zero
+          // surviving cutovers) to "none", making their rows byte-identical
+          // to no-plan rows.
+          const reconfig::TransitionPlan tplan =
+              reconfig::parse_transition_plan(reconfig_text);
+          std::string reconfig_normalized = "none";
+          if (!tplan.empty()) {
+            const reconfig::CompiledTransitionPlan compiled =
+                reconfig::compile(tplan, topo, canonical);
+            if (!compiled.is_identity()) {
+              reconfig_normalized = tplan.to_string();
+            }
+          }
+          if (normalized != "none" && reconfig_normalized != "none") {
+            throw std::invalid_argument(
+                "sweep: fault and reconfig plans cannot be combined at one "
+                "point ('" + normalized + "' × '" + reconfig_normalized +
+                "')");
+          }
+          for (const sim::Pattern pattern : spec.patterns) {
+            for (const double load : spec.loads) {
+              for (std::uint32_t rep = 0; rep < spec.replications; ++rep) {
+                SweepPoint point;
+                point.index = out.points.size();
+                point.topology = topo_spec;
+                point.routing = canonical;
+                point.fault_plan = normalized;
+                point.reconfig_plan = reconfig_normalized;
+                point.pattern = pattern;
+                point.load = load;
+                point.replication = rep;
+                point.seed = util::Xoshiro256(stream)();  // copy; stream stays
+                stream.jump();
+                out.points.push_back(std::move(point));
+              }
             }
           }
         }
@@ -172,6 +199,9 @@ SweepSpec parse_grid(const std::string& text) {
       // Plan syntax uses '+' between events precisely because ',' and ';'
       // are taken by the grid grammar, so a plain comma split is safe here.
       spec.fault_plans = split(value, ',');
+    } else if (key == "reconfig") {
+      // Transition plans share the fault plans' '+'-joined event syntax.
+      spec.reconfig_plans = split(value, ',');
     } else if (key == "pattern") {
       for (const auto& name : split(value, ',')) {
         const auto pattern = sim::pattern_from_string(name);

@@ -32,6 +32,12 @@ struct SweepSpec {
   /// The default single "none" keeps fault-free grids' canonical order and
   /// seed derivation identical to pre-ft sweeps.
   std::vector<std::string> fault_plans{"none"};
+  /// Reconfiguration axis (reconfig::parse_transition_plan syntax; "none" =
+  /// no transition).  The default single "none" preserves canonical order
+  /// and seed derivation of pre-reconfig sweeps; plans that compile to the
+  /// identity (e.g. "switch:R@100" with base R) are normalized to "none" at
+  /// expansion, so their rows are byte-identical to no-plan rows.
+  std::vector<std::string> reconfig_plans{"none"};
   std::vector<sim::Pattern> patterns{sim::Pattern::kUniform};
   std::vector<double> loads{0.1};               ///< flits/node/cycle offered
   std::uint32_t replications = 1;
@@ -51,6 +57,9 @@ struct SweepPoint {
   std::string topology;
   std::string routing;
   std::string fault_plan;  ///< normalized plan text ("none" = no faults)
+  /// Normalized transition-plan text ("none" = no transition, including
+  /// plans that compile to the identity for this point's base routing).
+  std::string reconfig_plan;
   sim::Pattern pattern = sim::Pattern::kUniform;
   double load = 0.0;
   std::uint32_t replication = 0;
@@ -77,6 +86,8 @@ struct ExpandedSweep {
 ///   routing=e-cube,duato          (required, comma list of names/aliases)
 ///   fault=none,kill:5-6@250       (fault plans, default none; '+'-joined
 ///                                  events per plan, see ft/fault_plan.hpp)
+///   reconfig=none,switch:duato@500  (transition plans, default none; see
+///                                  reconfig/transition_plan.hpp)
 ///   pattern=uniform,transpose     (default uniform)
 ///   load=0.05,0.2 | load=0.05:0.45:0.10   (list or lo:hi:step range)
 ///   reps=3                        (default 1)

@@ -14,6 +14,7 @@
 #include "wormnet/audit/certificate.hpp"
 #include "wormnet/cdg/duato_checker.hpp"
 #include "wormnet/cdg/states.hpp"
+#include "wormnet/reconfig/transition_plan.hpp"
 #include "wormnet/routing/duato_adaptive.hpp"
 
 namespace wormnet::lint {
@@ -60,6 +61,16 @@ class LintContext {
   /// latter is exactly what WN023 reports.
   [[nodiscard]] const std::optional<audit::Certificate>& certificate();
 
+  /// Declared reconfiguration transition for this run (borrowed, nullable;
+  /// installed by the engine from LintOptions::reconfig_plan).  WN024
+  /// re-verifies its union epochs.
+  void set_transition(const reconfig::CompiledTransitionPlan* plan) {
+    transition_ = plan;
+  }
+  [[nodiscard]] const reconfig::CompiledTransitionPlan* transition() const {
+    return transition_;
+  }
+
  private:
   const Topology* topo_;
   const RoutingFunction* routing_;
@@ -70,6 +81,7 @@ class LintContext {
   std::optional<cdg::SearchResult> search_;
   bool certificate_emitted_ = false;
   std::optional<audit::Certificate> certificate_;
+  const reconfig::CompiledTransitionPlan* transition_ = nullptr;
 };
 
 }  // namespace wormnet::lint

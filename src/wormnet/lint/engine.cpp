@@ -38,6 +38,18 @@ LintResult run_lint(const Topology& topo, const RoutingFunction& routing,
   }
 
   LintContext ctx(topo, routing, options.duato_options);
+  reconfig::CompiledTransitionPlan transition;
+  if (!options.reconfig_plan.empty() && options.reconfig_plan != "none") {
+    if (options.reconfig_base.empty()) {
+      throw std::invalid_argument(
+          "lint: reconfig_plan requires reconfig_base (the registry name of "
+          "the base relation)");
+    }
+    transition =
+        reconfig::compile(reconfig::parse_transition_plan(options.reconfig_plan),
+                          topo, options.reconfig_base);
+    ctx.set_transition(&transition);
+  }
   LintResult result;
   for (const Rule* rule : selected) {
     const std::size_t before = result.diagnostics.size();

@@ -23,6 +23,14 @@ struct LintOptions {
   std::vector<std::string> rules;
   /// Budget for the subfunction search behind WN002.
   cdg::SearchOptions duato_options = LintContext::default_search_options();
+  /// Declared reconfiguration transition (reconfig::parse_transition_plan
+  /// syntax; "" or "none" = no transition).  When set, WN024 re-verifies
+  /// every union epoch of the plan compiled against `reconfig_base`.
+  std::string reconfig_plan;
+  /// Registry name of the transition's base relation.  Required alongside
+  /// reconfig_plan because RoutingFunction::name() is a description, not a
+  /// registry key, so the engine cannot recover it from `routing` alone.
+  std::string reconfig_base;
   /// Borrowed self-profiling registry (null = off): each rule's wall time
   /// lands as one "lint.WN0xx" sample.
   obs::Profiler* profiler = nullptr;

@@ -53,6 +53,10 @@ const std::vector<Rule>& all_rules() {
        "the Duato verdict is decisive but carries no certificate for "
        "independent re-validation",
        rules::certificate_missing},
+      {"WN024", "transition-union-unverified", Severity::kError,
+       "a declared reconfiguration transition has a union epoch that fails "
+       "Duato re-verification",
+       rules::transition_union_unverified},
   };
   return kRules;
 }

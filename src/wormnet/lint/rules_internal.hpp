@@ -31,4 +31,8 @@ void certificate_roundtrip_unstable(LintContext& ctx,
                                     std::vector<Diagnostic>& out);
 void certificate_missing(LintContext& ctx, std::vector<Diagnostic>& out);
 
+// rules_reconfig.cpp
+void transition_union_unverified(LintContext& ctx,
+                                 std::vector<Diagnostic>& out);
+
 }  // namespace wormnet::lint::rules

@@ -1,0 +1,53 @@
+// Dynamic-reconfiguration rule (DESIGN 3.12):
+//
+//   WN024 transition-union-unverified   a declared transition has a union
+//                                       epoch whose relation fails Duato
+//                                       re-verification — packets routed
+//                                       under the old relation can deadlock
+//                                       against packets routed under the new
+//                                       one mid-switch
+//
+// The rule runs only when the lint invocation declares a transition plan
+// (LintOptions::reconfig_plan + reconfig_base); declaring a plan and never
+// verifying its unions is exactly the hazard this rule exists to close, so
+// the rule performs the verification itself and reports every epoch whose
+// cumulative union is not certified.  The steady state is among the checked
+// epochs: certification is not subset-monotone, so a safe union does not
+// imply a safe end state.
+#include <sstream>
+
+#include "wormnet/core/verifier.hpp"
+#include "wormnet/lint/rules_internal.hpp"
+#include "wormnet/reconfig/union_routing.hpp"
+
+namespace wormnet::lint::rules {
+
+void transition_union_unverified(LintContext& ctx,
+                                 std::vector<Diagnostic>& out) {
+  const reconfig::CompiledTransitionPlan* plan = ctx.transition();
+  if (plan == nullptr || plan->empty()) return;
+
+  core::VerifyOptions options;
+  options.method = core::Method::kDuato;
+  for (const reconfig::UnionSpec& spec : plan->verification_epochs()) {
+    const std::unique_ptr<reconfig::UnionRouting> relation =
+        reconfig::make_union_routing(ctx.topo(), spec);
+    const core::Verdict verdict =
+        core::verify(ctx.topo(), *relation, options);
+    if (verdict.conclusion == core::Conclusion::kDeadlockFree) continue;
+
+    Diagnostic d;
+    d.rule_id = "WN024";
+    d.severity = Severity::kError;
+    std::ostringstream os;
+    os << "transition epoch union '" << spec.to_string()
+       << "' is not Duato-certified ("
+       << core::to_string(verdict.conclusion)
+       << ") — the cutover is not deadlock-free while packets stamped with "
+          "different relation versions coexist";
+    d.message = os.str();
+    out.push_back(std::move(d));
+  }
+}
+
+}  // namespace wormnet::lint::rules

@@ -15,6 +15,7 @@ const char* to_string(FlightKind kind) noexcept {
     case FlightKind::kDrop: return "drop";
     case FlightKind::kDeadlock: return "deadlock";
     case FlightKind::kWatchdog: return "watchdog";
+    case FlightKind::kSwitch: return "switch";
   }
   return "?";
 }

@@ -33,6 +33,7 @@ enum class FlightKind : std::uint8_t {
   kDrop,      ///< packet gave up (budget exhausted / drain refusal)
   kDeadlock,  ///< wait-for cycle detected
   kWatchdog,  ///< global no-progress watchdog fired
+  kSwitch,    ///< reconfig cutover step applied (aux = transition epoch)
 };
 
 [[nodiscard]] const char* to_string(FlightKind kind) noexcept;

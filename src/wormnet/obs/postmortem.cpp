@@ -180,6 +180,32 @@ PostmortemReport cross_reference(const cdg::StateGraph& states,
   return report;
 }
 
+void classify_transition_origins(PostmortemReport& report,
+                                 const graph::Digraph& old_cdg,
+                                 const graph::Digraph& new_cdg) {
+  report.transition = true;
+  for (CycleXref& x : report.cycles) {
+    bool any_old_only = false;
+    bool any_new_only = false;
+    for (EdgeXref& e : x.edges) {
+      const bool in_old = old_cdg.has_edge(e.from, e.to);
+      const bool in_new = new_cdg.has_edge(e.from, e.to);
+      if (in_old && in_new) {
+        e.origin = "shared";
+      } else if (in_old) {
+        e.origin = "old-only";
+        any_old_only = true;
+      } else if (in_new) {
+        e.origin = "new-only";
+        any_new_only = true;
+      } else {
+        e.origin = "neither";
+      }
+    }
+    x.union_crossing = any_old_only && any_new_only;
+  }
+}
+
 namespace {
 
 void write_channel_ref(JsonWriter& w, const topology::Topology& topo,
@@ -275,12 +301,14 @@ void write_postmortem_json(std::ostream& os, const topology::Topology& topo,
       w.field("in_cdg", e.in_cdg);
       w.field("escape", e.escape);
       w.field("kind", e.kind);
+      if (report.transition) w.field("origin", e.origin);
       w.end_object();
     }
     w.end_array();
     w.field("maps_to_cdg", x.maps_to_cdg);
     w.field("escape_confined", x.escape_confined);
     w.field("contradiction", x.contradiction);
+    if (report.transition) w.field("union_crossing", x.union_crossing);
     w.end_object();
   }
   w.end_array();

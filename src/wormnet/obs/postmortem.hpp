@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "wormnet/cdg/duato_checker.hpp"
+#include "wormnet/graph/digraph.hpp"
 #include "wormnet/obs/flight.hpp"
 #include "wormnet/sim/deadlock_detector.hpp"
 
@@ -111,6 +112,11 @@ struct EdgeXref {
   /// DepKind name for escape edges ("direct", "indirect", "direct-cross",
   /// "indirect-cross"); "adaptive" for everything outside the escape ECDG.
   std::string kind = "adaptive";
+  /// Transition provenance, set only by classify_transition_origins():
+  /// "old-only" / "new-only" / "shared" against the pure old/new relations'
+  /// CDGs, "neither" when the edge exists in neither (a lifting artifact).
+  /// Empty on non-transition postmortems — and then omitted from the JSON.
+  std::string origin;
 };
 
 /// A runtime cycle lifted into the static graphs.
@@ -121,6 +127,11 @@ struct CycleXref {
   bool maps_to_cdg = false;      ///< every edge exists in the plain CDG
   bool escape_confined = false;  ///< every edge is an escape edge
   bool contradiction = false;    ///< certified AND escape_confined
+  /// The transition hazard signature: the cycle uses at least one old-only
+  /// AND at least one new-only edge, so neither pure relation contains it —
+  /// only the union crossed mid-switch does.  Meaningful (and serialized)
+  /// only after classify_transition_origins().
+  bool union_crossing = false;
 };
 
 struct PostmortemReport {
@@ -132,6 +143,10 @@ struct PostmortemReport {
   RuntimePostmortem runtime;
   std::vector<CycleXref> cycles;  ///< parallel to runtime.cycles
   bool contradiction = false;     ///< any cycle flagged the contradiction
+  /// True once classify_transition_origins() annotated the report; gates
+  /// the origin / union_crossing fields in the JSON so non-transition
+  /// artifacts stay byte-identical to pre-reconfig ones.
+  bool transition = false;
 };
 
 /// Lifts every runtime cycle into the static CDG / extended CDG of the
@@ -143,6 +158,17 @@ struct PostmortemReport {
     const cdg::StateGraph& states, const cdg::SearchResult& search,
     const RuntimePostmortem& runtime, std::string topology,
     std::string routing);
+
+/// Annotates an already cross-referenced report with transition provenance:
+/// every lifted edge is classified against the CDGs of the pure old and new
+/// relations ("old-only" / "new-only" / "shared" / "neither"), and each
+/// cycle gains the union_crossing flag — the reconfiguration hazard where a
+/// deadlock cycle needs edges from BOTH relations, so it exists in the
+/// mid-switch union but in neither steady state.  Build the inputs with
+/// cdg::build_cdg(topo, old_relation) / (topo, new_relation).
+void classify_transition_origins(PostmortemReport& report,
+                                 const graph::Digraph& old_cdg,
+                                 const graph::Digraph& new_cdg);
 
 /// Deterministic JSON rendering (channel names from `topo` are embedded so
 /// the artifact is self-contained for wormnet-explain).

@@ -22,6 +22,7 @@ const char* to_string(EventKind kind) noexcept {
     case EventKind::kAbort: return "abort";
     case EventKind::kRetry: return "retry";
     case EventKind::kRecovered: return "recovered";
+    case EventKind::kSwitch: return "switch";
   }
   return "?";
 }
@@ -112,6 +113,13 @@ void JsonlTraceSink::emit(const TraceEvent& ev) {
     case EventKind::kRecovered:
       w.field("node", ev.node);
       w.field("attempts", ev.value);
+      break;
+    case EventKind::kSwitch:
+      w.field("epoch", ev.value);
+      w.key("dests");
+      w.begin_array();
+      for (const std::uint32_t d : ev.list) w.number(std::uint64_t{d});
+      w.end_array();
       break;
   }
   w.end_object();
@@ -300,6 +308,17 @@ void ChromeTraceSink::emit(const TraceEvent& ev) {
       os_ << ",\"s\":\"t\",\"args\":{\"pkt\":" << ev.packet
           << ",\"attempts\":" << ev.value << "}}";
       break;
+    case EventKind::kSwitch: {
+      event_prefix("i", "SWITCH", "reconfig", ts, kPacketTrack);
+      os_ << ",\"s\":\"g\",\"args\":{\"epoch\":" << ev.value
+          << ",\"dests\":[";
+      for (std::size_t i = 0; i < ev.list.size(); ++i) {
+        if (i) os_ << ',';
+        os_ << ev.list[i];
+      }
+      os_ << "]}}";
+      break;
+    }
   }
 }
 

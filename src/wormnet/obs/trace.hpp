@@ -46,6 +46,8 @@ enum class EventKind : std::uint8_t {
   kAbort,             ///< victim packet aborted (recovery)
   kRetry,             ///< aborted packet re-entered its source queue
   kRecovered,         ///< packet delivered after at least one abort
+  kSwitch,            ///< reconfig epoch: destinations cut over to a new
+                      ///< routing version
 };
 
 [[nodiscard]] const char* to_string(EventKind kind) noexcept;

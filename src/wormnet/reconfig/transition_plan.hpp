@@ -1,0 +1,152 @@
+// Deadlock-free dynamic reconfiguration plans (UPR-style, Crespo et al.).
+//
+// A TransitionPlan is a symbolic schedule migrating a live network from its
+// base routing relation R_old to one or more target relations without
+// draining: per-destination cutover batches applied between cycles.  Plans
+// are parsed from a compact text form (so they ride in sweep grids and CLI
+// flags), then *compiled* against a topology + base routing name into
+// per-cycle destination/version batches the Simulator applies between
+// cycles.  Compilation is where every error surfaces: unknown routing
+// names, inapplicable algorithms, out-of-range destinations and conflicting
+// same-cycle cutovers all throw before any simulation starts.
+//
+// Text grammar ('+'-joined events; ',' and ';' are reserved by the sweep
+// grid syntax, so plans embed cleanly as grid axis values):
+//
+//   none                      the empty plan (placeholder axis value)
+//   switch:NEW@CYCLE          every destination cuts over to routing NEW
+//   stage:NEW/LO-HI@CYCLE     destinations LO..HI (inclusive) cut over
+//   ramp:NEW/K/STRIDE@CYCLE   the destination space is split into K
+//                             contiguous batches; batch b cuts over at
+//                             CYCLE + b*STRIDE
+//
+// Example: "stage:duato-mesh/0-7@200+stage:duato-mesh/8-15@400".
+//
+// Cutover is *per destination*: every packet is routed for its whole
+// lifetime by the single pure relation that was current for its destination
+// when it injected (the in-flight coherence rule, DESIGN 3.12).  Safety of
+// the transition is certified per epoch on the cumulative union relation —
+// for each destination, the union of every relation any in-flight packet
+// may still be routed under — through the ordinary Duato certificate path.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "wormnet/routing/routing_function.hpp"
+#include "wormnet/topology/topology.hpp"
+
+namespace wormnet::reconfig {
+
+using topology::NodeId;
+using topology::Topology;
+
+/// One symbolic plan event (pre-compilation).
+struct TransitionEvent {
+  enum class Kind : std::uint8_t {
+    kSwitch,  ///< every destination cuts over to `target`
+    kStage,   ///< destinations [lo, hi] cut over
+    kRamp,    ///< `batches` contiguous batches, stride cycles apart
+  };
+  Kind kind = Kind::kSwitch;
+  std::uint64_t cycle = 0;
+  std::string target;       ///< routing-algorithm name (registry or alias)
+  NodeId lo = 0;            ///< stage events
+  NodeId hi = 0;
+  std::size_t batches = 0;  ///< ramp events
+  std::uint64_t stride = 0;
+};
+
+struct TransitionPlan {
+  std::vector<TransitionEvent> events;
+  [[nodiscard]] bool empty() const noexcept { return events.empty(); }
+  /// Round-trips through parse_transition_plan ("none" for the empty plan).
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Parses the text grammar above.  "none", "" and whitespace-only all mean
+/// the empty plan.  Throws std::invalid_argument on malformed input.
+[[nodiscard]] TransitionPlan parse_transition_plan(const std::string& text);
+
+/// One destination's cutover inside a compiled step.
+struct CutoverAssignment {
+  NodeId dest = 0;
+  std::uint32_t version = 0;  ///< 0 = base relation, v >= 1 = targets[v-1]
+};
+
+/// All cutovers of one cycle, sorted by destination.  Compilation prunes
+/// no-op assignments (destination already at the target version), so every
+/// surviving assignment changes routing at apply time.
+struct CompiledCutover {
+  std::uint64_t cycle = 0;
+  std::vector<CutoverAssignment> assignments;
+};
+
+/// The union relation one transition epoch must certify: which routing
+/// versions are live for which destinations.  `names[0]` is the base
+/// relation; `active[v][d]` says version v participates in destination d's
+/// candidate sets.  Serialized (to_string) it becomes the AnalysisCache key
+/// suffix and the certificate's `transition` binding, so an auditor can
+/// reconstruct the exact relation independently.
+struct UnionSpec {
+  std::size_t num_nodes = 0;
+  std::vector<std::string> names;            ///< canonical registry names
+  std::vector<std::vector<bool>> active;     ///< [version][dest]
+
+  /// True when only the base relation is active (nothing to re-verify).
+  [[nodiscard]] bool pure_base() const;
+
+  /// `base>target1>.../MASK0.MASK1....` — names joined by '>', one
+  /// lowercase-hex destination mask per version (ft::mask_to_hex layout).
+  /// Contains no ',', ';' or '"', so it embeds in CSV cells and JSON.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Inverse of UnionSpec::to_string for a network of `num_nodes` nodes.
+/// Throws std::invalid_argument on malformed input.
+[[nodiscard]] UnionSpec parse_union_spec(const std::string& text,
+                                         std::size_t num_nodes);
+
+/// A plan bound to a topology and base routing: steps sorted by strictly
+/// ascending cycle, targets instantiated, no-op cutovers pruned.
+class CompiledTransitionPlan {
+ public:
+  std::size_t num_nodes = 0;
+  std::string base;                      ///< canonical base routing name
+  std::vector<std::string> target_names; ///< canonical, version v = index v-1
+  std::vector<std::unique_ptr<routing::RoutingFunction>> targets;
+  std::vector<CompiledCutover> steps;
+
+  [[nodiscard]] bool empty() const noexcept { return steps.empty(); }
+
+  /// True when the plan never changes routing (e.g. R -> R): compiles to
+  /// zero steps, so the simulation is bit-identical to running with no plan.
+  [[nodiscard]] bool is_identity() const noexcept { return steps.empty(); }
+
+  /// Cumulative union relations, one per epoch: unions[k] is the relation
+  /// after steps[0..k] — for each destination, every version assigned
+  /// through that step plus the base.  size() == steps.size().
+  [[nodiscard]] std::vector<UnionSpec> epoch_unions() const;
+
+  /// The post-transition relation: for each destination, only its final
+  /// version.  This is what the network routes by once every in-flight
+  /// packet stamped under an older version has drained.
+  [[nodiscard]] UnionSpec steady_state() const;
+
+  /// Every distinct relation the transition must certify: the cumulative
+  /// union after each step plus the steady state, pure-base and duplicate
+  /// specs removed.  Empty for identity plans.
+  [[nodiscard]] std::vector<UnionSpec> verification_epochs() const;
+};
+
+/// Resolves `plan` against `topo` with base routing `base_name` (aliases
+/// accepted).  Throws std::invalid_argument when a routing name is unknown
+/// or inapplicable, a destination is out of range, a ramp has zero or too
+/// many batches, or two same-cycle events disagree about a destination.
+[[nodiscard]] CompiledTransitionPlan compile(const TransitionPlan& plan,
+                                             const Topology& topo,
+                                             const std::string& base_name);
+
+}  // namespace wormnet::reconfig

@@ -1,0 +1,130 @@
+#include "wormnet/reconfig/union_routing.hpp"
+
+#include <stdexcept>
+
+#include "wormnet/core/registry.hpp"
+
+namespace wormnet::reconfig {
+
+using routing::ChannelSet;
+using routing::RelationForm;
+using routing::RoutingFunction;
+using routing::WaitMode;
+using topology::ChannelId;
+
+UnionRouting::UnionRouting(
+    const Topology& topo, UnionSpec spec,
+    std::vector<std::unique_ptr<RoutingFunction>> members)
+    : RoutingFunction(topo), spec_(std::move(spec)),
+      members_(std::move(members)) {
+  if (spec_.names.size() != members_.size() ||
+      spec_.active.size() != members_.size()) {
+    throw std::invalid_argument("union routing: member count mismatch");
+  }
+  if (spec_.num_nodes != topo.num_nodes()) {
+    throw std::invalid_argument("union routing: node count mismatch");
+  }
+}
+
+std::string UnionRouting::name() const {
+  return "union[" + spec_.to_string() + "]";
+}
+
+RelationForm UnionRouting::form() const {
+  for (const auto& m : members_) {
+    if (m->form() == RelationForm::kChannelNodeDest) {
+      return RelationForm::kChannelNodeDest;
+    }
+  }
+  return RelationForm::kNodeDest;
+}
+
+WaitMode UnionRouting::wait_mode() const {
+  // Mixed disciplines degrade to wait-on-any, the conservative choice for
+  // the extended-CDG check (every waiting edge is considered).
+  WaitMode mode = WaitMode::kAnyOf;
+  bool first = true;
+  for (const auto& m : members_) {
+    if (first) {
+      mode = m->wait_mode();
+      first = false;
+    } else if (m->wait_mode() != mode) {
+      return WaitMode::kAnyOf;
+    }
+  }
+  return mode;
+}
+
+void UnionRouting::route_into(ChannelId input, NodeId current, NodeId dest,
+                              ChannelSet& out) const {
+  const std::size_t start = out.size();
+  for (std::size_t v = 0; v < members_.size(); ++v) {
+    if (!spec_.active[v][dest]) continue;
+    members_[v]->route_into(input, current, dest, out);
+  }
+  // Stable in-place dedup across members (sets are tiny: node degree).
+  std::size_t w = start;
+  for (std::size_t r = start; r < out.size(); ++r) {
+    bool seen = false;
+    for (std::size_t k = start; k < w; ++k) {
+      if (out[k] == out[r]) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) out[w++] = out[r];
+  }
+  out.resize(w);
+}
+
+ChannelSet UnionRouting::route(ChannelId input, NodeId current,
+                               NodeId dest) const {
+  ChannelSet out;
+  route_into(input, current, dest, out);
+  return out;
+}
+
+ChannelSet UnionRouting::waiting(ChannelId input, NodeId current,
+                                 NodeId dest) const {
+  // Union of member waiting sets: each is a subset of its member's route
+  // set, so the result is a subset of the union route set as required.
+  ChannelSet out;
+  for (std::size_t v = 0; v < members_.size(); ++v) {
+    if (!spec_.active[v][dest]) continue;
+    for (const ChannelId c : members_[v]->waiting(input, current, dest)) {
+      bool seen = false;
+      for (const ChannelId have : out) {
+        if (have == c) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) out.push_back(c);
+    }
+  }
+  return out;
+}
+
+bool UnionRouting::minimal() const {
+  for (const auto& m : members_) {
+    if (!m->minimal()) return false;
+  }
+  return true;
+}
+
+std::unique_ptr<UnionRouting> make_union_routing(const Topology& topo,
+                                                 const UnionSpec& spec) {
+  if (spec.num_nodes != topo.num_nodes()) {
+    throw std::invalid_argument(
+        "union spec describes " + std::to_string(spec.num_nodes) +
+        " nodes but topology has " + std::to_string(topo.num_nodes()));
+  }
+  std::vector<std::unique_ptr<routing::RoutingFunction>> members;
+  members.reserve(spec.names.size());
+  for (const std::string& name : spec.names) {
+    members.push_back(core::make_algorithm(name, topo));
+  }
+  return std::make_unique<UnionRouting>(topo, spec, std::move(members));
+}
+
+}  // namespace wormnet::reconfig

@@ -1,0 +1,59 @@
+// The union routing relation a transition epoch must certify.
+//
+// During a reconfiguration epoch, packets stamped under different routing
+// versions coexist: a packet injected before its destination's cutover is
+// still routed by the old relation while new injections use the new one.
+// The channel dependencies the network can exhibit are therefore those of
+// the *union* relation — for each destination, the union of the candidate
+// sets of every version that may still have packets in flight (UPR, Crespo
+// et al.).  UnionRouting materializes that relation as an ordinary
+// RoutingFunction so the existing Duato certificate path (and the
+// independent wormnet-audit checker) applies to it unchanged.
+//
+// This class never sits on the simulator hot path — the simulator routes
+// each packet by its own pure stamped relation; the union exists only for
+// static verification and audit replay.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "wormnet/reconfig/transition_plan.hpp"
+#include "wormnet/routing/routing_function.hpp"
+
+namespace wormnet::reconfig {
+
+class UnionRouting : public routing::RoutingFunction {
+ public:
+  /// `members[v]` realizes `spec.names[v]`; the relation owns them.
+  UnionRouting(const Topology& topo, UnionSpec spec,
+               std::vector<std::unique_ptr<routing::RoutingFunction>> members);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] routing::RelationForm form() const override;
+  [[nodiscard]] routing::WaitMode wait_mode() const override;
+  [[nodiscard]] routing::ChannelSet route(topology::ChannelId input,
+                                          NodeId current,
+                                          NodeId dest) const override;
+  void route_into(topology::ChannelId input, NodeId current, NodeId dest,
+                  routing::ChannelSet& out) const override;
+  [[nodiscard]] routing::ChannelSet waiting(topology::ChannelId input,
+                                            NodeId current,
+                                            NodeId dest) const override;
+  [[nodiscard]] bool minimal() const override;
+
+  [[nodiscard]] const UnionSpec& spec() const noexcept { return spec_; }
+
+ private:
+  UnionSpec spec_;
+  std::vector<std::unique_ptr<routing::RoutingFunction>> members_;
+};
+
+/// Rebuilds the union relation a spec (or a certificate's `transition`
+/// binding) describes: every named member is instantiated from the core
+/// registry against `topo`.  Throws std::invalid_argument for unknown or
+/// inapplicable names, or when the spec's node count mismatches `topo`.
+[[nodiscard]] std::unique_ptr<UnionRouting> make_union_routing(
+    const Topology& topo, const UnionSpec& spec);
+
+}  // namespace wormnet::reconfig

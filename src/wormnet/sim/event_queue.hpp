@@ -22,8 +22,9 @@ namespace wormnet::sim {
 
 /// Timed-event kinds, in within-cycle processing order.
 enum class TimedKind : std::uint8_t {
-  kFaultStep = 0,  ///< payload: index into CompiledFaultPlan::steps
-  kRetry = 1,      ///< payload: PacketId awaiting re-injection
+  kFaultStep = 0,       ///< payload: index into CompiledFaultPlan::steps
+  kTransitionStep = 1,  ///< payload: index into CompiledTransitionPlan::steps
+  kRetry = 2,           ///< payload: PacketId awaiting re-injection
 };
 
 struct TimedEvent {

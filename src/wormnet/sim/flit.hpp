@@ -49,6 +49,13 @@ struct Packet {
   /// Wait-specific semantics: the channel a blocked header committed to.
   ChannelId committed_wait = kInvalidChannel;
 
+  // --- reconfiguration bookkeeping (reconfig) ----------------------------
+  /// Routing version the packet was stamped with at injection: the packet
+  /// is routed for its whole lifetime by that one pure relation, even if
+  /// its destination cuts over mid-flight (in-flight coherence rule).
+  /// Source-queued packets re-arbitrate under the current version instead.
+  std::uint32_t route_version = 0;
+
   /// Channels acquired so far, in order (head of the chain last).  Used by
   /// the deadlock reporter and by tests asserting path legality.
   std::vector<ChannelId> path;

@@ -11,10 +11,17 @@ RouteAllocator::RouteAllocator(const Topology& topo,
                                std::uint32_t buffer_depth, std::uint64_t seed,
                                obs::TraceSink* trace,
                                const std::uint64_t* clock,
-                               const std::vector<bool>* faulty)
+                               const std::vector<bool>* faulty,
+                               const reconfig::TransitionOverlay* transition)
     : topo_(&topo), routing_(&routing), selection_(selection),
       wait_override_(wait_override), buffer_depth_(buffer_depth), rng_(seed),
-      trace_(trace), clock_(clock), faulty_(faulty) {}
+      trace_(trace), clock_(clock), faulty_(faulty), transition_(transition) {}
+
+const RoutingFunction& RouteAllocator::relation_for(const Packet& pkt) const {
+  if (transition_ == nullptr) return *routing_;
+  return transition_->relation(pkt.injecting ? pkt.route_version
+                                             : transition_->current(pkt.dst));
+}
 
 WaitMode RouteAllocator::effective_wait_mode() const {
   switch (wait_override_) {
@@ -39,7 +46,7 @@ void RouteAllocator::candidates_into(const Packet& pkt, ChannelId input,
   } else if (pkt.committed_wait != kInvalidChannel) {
     set.push_back(pkt.committed_wait);
   } else {
-    routing_->route_into(input, current, pkt.dst, set);
+    relation_for(pkt).route_into(input, current, pkt.dst, set);
   }
   if (faulty_ != nullptr) {
     std::erase_if(set, [this](ChannelId c) { return (*faulty_)[c]; });
@@ -98,7 +105,7 @@ std::optional<ChannelId> RouteAllocator::attempt(Packet& pkt, ChannelId input,
   if (effective_wait_mode() == WaitMode::kSpecific &&
       pkt.committed_wait == kInvalidChannel && pkt.forced_path.empty()) {
     const routing::ChannelSet waits =
-        routing_->waiting(input, current, pkt.dst);
+        relation_for(pkt).waiting(input, current, pkt.dst);
     if (!waits.empty()) {
       // The relation's preferred waiting channel; deterministic commitment.
       pkt.committed_wait = waits.front();

@@ -11,6 +11,7 @@
 #include <optional>
 
 #include "wormnet/obs/trace.hpp"
+#include "wormnet/reconfig/overlay.hpp"
 #include "wormnet/routing/routing_function.hpp"
 #include "wormnet/routing/selection.hpp"
 #include "wormnet/sim/network.hpp"
@@ -34,12 +35,17 @@ class RouteAllocator {
   /// borrowed live fault mask (the simulator's ft overlay): faulty channels
   /// are removed from every candidate set — including forced paths and
   /// wait commitments, which bypass the routing relation's own filter.
+  /// `transition`, when set, is the simulator's borrowed reconfig overlay:
+  /// injected packets route by the pure relation of their stamped
+  /// `route_version`, source-queued packets by the destination's current
+  /// version (in-flight coherence rule, DESIGN 3.12).
   RouteAllocator(const Topology& topo, const RoutingFunction& routing,
                  SelectionPolicy selection, WaitOverride wait_override,
                  std::uint32_t buffer_depth, std::uint64_t seed,
                  obs::TraceSink* trace = nullptr,
                  const std::uint64_t* clock = nullptr,
-                 const std::vector<bool>* faulty = nullptr);
+                 const std::vector<bool>* faulty = nullptr,
+                 const reconfig::TransitionOverlay* transition = nullptr);
 
   /// Attempts to allocate the next channel for `pkt`, whose header sits at
   /// node `current` having arrived on `input` (kInvalidChannel at the
@@ -64,6 +70,10 @@ class RouteAllocator {
   void candidates_into(const Packet& pkt, ChannelId input, NodeId current,
                        routing::ChannelSet& set) const;
 
+  /// The pure relation routing `pkt` right now (per-packet under a
+  /// transition overlay, the bound relation otherwise).
+  [[nodiscard]] const RoutingFunction& relation_for(const Packet& pkt) const;
+
   const Topology* topo_;
   const RoutingFunction* routing_;
   SelectionPolicy selection_;
@@ -73,6 +83,7 @@ class RouteAllocator {
   obs::TraceSink* trace_;
   const std::uint64_t* clock_;
   const std::vector<bool>* faulty_;
+  const reconfig::TransitionOverlay* transition_;
   // Scratch reused across attempts (hot path: no per-call allocation).
   std::vector<bool> free_;
   std::vector<std::uint32_t> credits_;

@@ -14,11 +14,13 @@ Simulator::Simulator(const Topology& topo,
                     ? std::make_unique<routing::DynamicFaultRouting>(
                           topo, routing, overlay_.mask())
                     : nullptr),
+      transition_(routing, config_.transition),
       net_(topo),
       allocator_(topo, degraded_ ? *degraded_ : routing, config_.selection,
                  config_.wait_override, config_.buffer_depth,
                  config_.seed ^ 0xa5a5a5a5ULL, config_.trace, &cycle_,
-                 degraded_ ? &overlay_.mask() : nullptr),
+                 degraded_ ? &overlay_.mask() : nullptr,
+                 transition_.active() ? &transition_ : nullptr),
       traffic_(topo, config_.pattern, config_.seed, config_.hotspot_fraction,
                config_.hotspots),
       rng_(config_.seed ^ 0x5a5a5a5aULL), sources_(topo.num_nodes()),
@@ -28,6 +30,16 @@ Simulator::Simulator(const Topology& topo,
       config_.fault_plan->num_channels != topo.num_channels()) {
     throw std::invalid_argument(
         "fault plan was compiled against a different topology");
+  }
+  if (config_.transition != nullptr) {
+    if (config_.fault_plan != nullptr) {
+      throw std::invalid_argument(
+          "fault plan and transition plan cannot be combined");
+    }
+    if (config_.transition->num_nodes != topo.num_nodes()) {
+      throw std::invalid_argument(
+          "transition plan was compiled against a different topology");
+    }
   }
   gen_end_ = config_.warmup_cycles + config_.measure_cycles;
 
@@ -55,6 +67,16 @@ Simulator::Simulator(const Topology& topo,
     timed_.reserve(steps.size());
     for (std::size_t i = 0; i < steps.size(); ++i) {
       timed_.push(steps[i].cycle, TimedKind::kFaultStep,
+                  static_cast<std::uint32_t>(i));
+    }
+  }
+  // Likewise compiled reconfiguration cutovers (identity plans compiled to
+  // zero steps queue nothing and leave the run bit-identical to no plan).
+  if (transition_active()) {
+    const auto& steps = config_.transition->steps;
+    timed_.reserve(steps.size());
+    for (std::size_t i = 0; i < steps.size(); ++i) {
+      timed_.push(steps[i].cycle, TimedKind::kTransitionStep,
                   static_cast<std::uint32_t>(i));
     }
   }
@@ -245,6 +267,9 @@ void Simulator::allocate_outputs() {
       ++activity_;
       Packet& pkt = packets_[sources_[node].queue.front()];
       if (allocator_.attempt(pkt, kInvalidChannel, node, net_)) {
+        // Stamp the routing version the packet injects under: it keeps this
+        // pure relation for its whole flight (in-flight coherence rule).
+        pkt.route_version = transition_.current(pkt.dst);
         pkt.injecting = true;
         pkt.first_injected = cycle_;
         if (track_progress_) pkt.last_progress = cycle_;
@@ -609,6 +634,43 @@ void Simulator::apply_fault_step(std::size_t step_index) {
   wake_blocked();
 }
 
+void Simulator::apply_transition_step(std::size_t step_index) {
+  const std::vector<NodeId> switched =
+      transition_.apply(config_.transition->steps[step_index]);
+  if (switched.empty()) return;  // cannot happen: compile prunes no-ops
+  ++stats_.reconfig_epochs;
+  stats_.dests_switched += switched.size();
+  const std::uint32_t epoch = transition_.epoch();
+  flight_.record({cycle_, obs::FlightKind::kSwitch, obs::FlightEvent::kNone,
+                  obs::FlightEvent::kNone, epoch});
+  // A source-queued packet toward a switched destination may have committed
+  // to a waiting channel under the old relation; void the commitment so it
+  // re-arbitrates under the new one.  In-flight packets keep their stamped
+  // relation, so their commitments stay coherent.
+  scratch_packets_.clear();
+  live_packets_.collect(scratch_packets_);
+  for (const std::uint32_t id : scratch_packets_) {
+    Packet& pkt = packets_[id];
+    if (pkt.injecting || pkt.committed_wait == kInvalidChannel) continue;
+    if (std::binary_search(switched.begin(), switched.end(), pkt.dst)) {
+      flight_.record({cycle_, obs::FlightKind::kWaitVoid, pkt.id,
+                      pkt.committed_wait, epoch});
+      pkt.committed_wait = kInvalidChannel;
+    }
+  }
+  if (trace_) {
+    obs::TraceEvent ev;
+    ev.kind = obs::EventKind::kSwitch;
+    ev.cycle = cycle_;
+    ev.value = epoch;
+    ev.list.assign(switched.begin(), switched.end());
+    trace_->emit(ev);
+  }
+  // Source-front headers toward switched destinations now draw candidates
+  // from a different relation: every blocked header gets a fresh attempt.
+  wake_blocked();
+}
+
 void Simulator::fire_retry(PacketId id) {
   Packet& pkt = packets_[id];
   pkt.aborted = false;
@@ -866,11 +928,17 @@ void Simulator::step() {
   if (timed_.has_due(cycle_)) {
     due_events_.clear();
     while (timed_.has_due(cycle_)) due_events_.push_back(timed_.pop());
-    // Legacy phase order within a cycle: every fault step, then every retry
-    // (each in schedule order).
+    // Legacy phase order within a cycle: every fault step, then every
+    // transition cutover, then every retry (each in schedule order).
     for (const TimedEvent& ev : due_events_) {
       if (ev.kind == TimedKind::kFaultStep) {
         apply_fault_step(ev.payload);
+        ++activity_;
+      }
+    }
+    for (const TimedEvent& ev : due_events_) {
+      if (ev.kind == TimedKind::kTransitionStep) {
+        apply_transition_step(ev.payload);
         ++activity_;
       }
     }
@@ -986,6 +1054,12 @@ void Simulator::export_final_metrics() {
     m.counter("packets_dropped").set(stats_.packets_dropped);
     m.counter("recovered_packets").set(stats_.recovered_packets);
     m.gauge("avg_recovery_latency").set(stats_.avg_recovery_latency);
+  }
+  // Reconfiguration counters likewise only exist for runs with a live
+  // transition plan, keeping identity-plan metric dumps byte-identical.
+  if (transition_active()) {
+    m.counter("reconfig_epochs").set(stats_.reconfig_epochs);
+    m.counter("dests_switched").set(stats_.dests_switched);
   }
 }
 

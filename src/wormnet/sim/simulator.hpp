@@ -37,6 +37,8 @@
 #include "wormnet/obs/metrics.hpp"
 #include "wormnet/obs/postmortem.hpp"
 #include "wormnet/obs/trace.hpp"
+#include "wormnet/reconfig/overlay.hpp"
+#include "wormnet/reconfig/transition_plan.hpp"
 #include "wormnet/routing/fault.hpp"
 #include "wormnet/routing/routing_function.hpp"
 #include "wormnet/sim/active_set.hpp"
@@ -96,6 +98,16 @@ struct SimConfig {
   // simulator.
   const ft::CompiledFaultPlan* fault_plan = nullptr;
   ft::RecoveryConfig recovery;
+
+  // Dynamic reconfiguration (wormnet::reconfig).  `transition` is a borrowed
+  // compiled plan (nullable; must be compiled against the same topology with
+  // this run's routing as base, and outlive the run): its cutover steps fire
+  // between cycles, restamping which routing version new injections toward
+  // each destination use, while in-flight packets keep the pure relation
+  // they were stamped with (in-flight coherence rule, DESIGN 3.12).
+  // Mutually exclusive with `fault_plan` — the per-epoch verification
+  // stories (degraded relation vs. union relation) do not compose.
+  const reconfig::CompiledTransitionPlan* transition = nullptr;
 
   // Observability (borrowed handles; callers own the sinks and must keep
   // them alive for the run).  Null = disabled; the disabled path costs one
@@ -207,6 +219,12 @@ class Simulator {
     return config_.fault_plan != nullptr;
   }
   void apply_fault_step(std::size_t step_index);
+
+  // --- reconfiguration (reconfig; no-ops without a transition plan) -------
+  [[nodiscard]] bool transition_active() const noexcept {
+    return config_.transition != nullptr && !config_.transition->empty();
+  }
+  void apply_transition_step(std::size_t step_index);
   void fire_retry(PacketId id);
   void abort_packet(Packet& pkt);
   void drop_packet(Packet& pkt);
@@ -229,6 +247,10 @@ class Simulator {
   // member-init list.
   ft::FaultOverlay overlay_;
   std::unique_ptr<routing::DynamicFaultRouting> degraded_;
+  // Reconfig overlay state: current routing version per destination plus
+  // the pure relation for every version.  Declared before allocator_ so the
+  // allocator can borrow it in the member-init list; inert without a plan.
+  reconfig::TransitionOverlay transition_;
   NetworkState net_;
   RouteAllocator allocator_;
   TrafficGenerator traffic_;

@@ -63,6 +63,10 @@ std::string SimStats::summary() const {
        << " aborts, " << packets_retried << " retries, " << packets_dropped
        << " dropped, " << recovered_packets << " recovered";
   }
+  if (reconfig_epochs > 0) {
+    os << "; reconfig: " << reconfig_epochs << " epochs, " << dests_switched
+       << " destination cutovers";
+  }
   if (saturated) os << " [saturated]";
   return os.str();
 }
@@ -116,6 +120,8 @@ std::string SimStats::to_json() const {
   w.field("measured_dropped", measured_dropped);
   w.field("recovered_packets", recovered_packets);
   w.field("avg_recovery_latency", avg_recovery_latency);
+  w.field("reconfig_epochs", reconfig_epochs);
+  w.field("dests_switched", dests_switched);
   w.field("watchdog_cycles", watchdog_cycles);
   w.field("packet_timeout_cycles", packet_timeout_cycles);
   w.field("recovery", recovery_policy);

@@ -66,6 +66,12 @@ struct SimStats {
   std::uint64_t recovered_packets = 0;  ///< delivered after >= 1 abort
   double avg_recovery_latency = 0.0;  ///< first abort -> delivery (cycles)
 
+  // Reconfiguration accounting (wormnet::reconfig) — all zero for runs
+  // without a transition plan (and for identity plans, which compile to
+  // zero cutover steps).
+  std::uint64_t reconfig_epochs = 0;  ///< cutover steps applied
+  std::uint64_t dests_switched = 0;   ///< destination cutovers applied
+
   // Detector configuration echo: the effective thresholds and policy the
   // run used (packet_timeout_cycles falls back to watchdog_cycles).
   std::uint64_t watchdog_cycles = 0;

@@ -63,6 +63,9 @@
 #include "wormnet/obs/probe.hpp"
 #include "wormnet/obs/profiler.hpp"
 #include "wormnet/obs/trace.hpp"
+#include "wormnet/reconfig/overlay.hpp"
+#include "wormnet/reconfig/transition_plan.hpp"
+#include "wormnet/reconfig/union_routing.hpp"
 #include "wormnet/routing/dateline.hpp"
 #include "wormnet/routing/dimension_order.hpp"
 #include "wormnet/routing/duato_adaptive.hpp"
