@@ -96,10 +96,16 @@ int audit_file(const char* argv0, const std::string& path,
     if (!transition.empty()) {
       // The certificate speaks about a reconfiguration epoch's union
       // relation; the persisted UnionSpec rebuilds it member by member.
-      // A fault mask cannot coexist with a transition (the sweep engine
-      // forbids combining the axes), so the mask is ignored here.
+      // A composed certificate (fault x reconfig, DESIGN 3.13) carries a
+      // fault mask as well — the bound relation is the union degraded by
+      // that mask, in that order.
       routing = reconfig::make_union_routing(
           *topo, reconfig::parse_union_spec(transition, topo->num_nodes()));
+      if (!fault_mask.empty()) {
+        routing = std::make_unique<routing::FaultAwareRouting>(
+            *topo, std::move(routing),
+            ft::mask_from_hex(fault_mask, topo->num_channels()));
+      }
     } else {
       routing = core::make_algorithm(routing_name, *topo);
       if (!fault_mask.empty()) {

@@ -44,6 +44,13 @@ int usage(const char* argv0) {
       << "  --reconfig-plan P   declare a reconfiguration transition (WN024\n"
       << "                      re-verifies every union epoch); base relation\n"
       << "                      is the --routing name\n"
+      << "  --reconfig-target R declare a reconfiguration *target* relation\n"
+      << "                      (registry name, optional %HEXMASK); WN025\n"
+      << "                      reports when the staging-order planner finds\n"
+      << "                      no certified multi-stage path from the\n"
+      << "                      --routing relation to it\n"
+      << "  --planner-budget N  certifier-call budget for the WN025 planner\n"
+      << "                      search (default 64; budget-monotone)\n"
       << "  --all-examples      lint the whole golden example matrix\n"
       << "  --stats             print per-rule timings and checker counters\n"
       << "                      to stderr\n"
@@ -69,6 +76,8 @@ int main(int argc, char** argv) {
   std::string format = "human";
   std::string fail_on = "error";
   std::string reconfig_plan;
+  std::string reconfig_target;
+  std::size_t planner_budget = 0;
   std::vector<std::string> rule_filter;
   bool all_examples = false;
   bool list_rules = false;
@@ -107,6 +116,22 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return 2;
       reconfig_plan = v;
+    } else if (arg == "--reconfig-target") {
+      const char* v = value();
+      if (v == nullptr) return 2;
+      reconfig_target = v;
+    } else if (arg == "--planner-budget") {
+      const char* v = value();
+      if (v == nullptr) return 2;
+      try {
+        std::size_t used = 0;
+        planner_budget = std::stoull(v, &used);
+        if (used != std::strlen(v)) throw std::invalid_argument(v);
+      } catch (const std::exception&) {
+        std::cerr << argv[0] << ": bad value for " << arg << ": " << v
+                  << "\n";
+        return 2;
+      }
     } else if (arg == "--all-examples") {
       all_examples = true;
     } else if (arg == "--list-rules") {
@@ -181,8 +206,10 @@ int main(int argc, char** argv) {
       const auto routing = core::make_algorithm(routing_name, *topo);
       lint::LintOptions options;
       options.rules = rule_filter;
-      if (!reconfig_plan.empty()) {
+      if (!reconfig_plan.empty() || !reconfig_target.empty()) {
         options.reconfig_plan = reconfig_plan;
+        options.reconfig_target = reconfig_target;
+        options.planner_budget = planner_budget;
         // The CLI knows the registry name the relation came from; resolve
         // aliases so the compiled plan's base matches the built routing.
         options.reconfig_base =

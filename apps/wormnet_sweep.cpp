@@ -16,7 +16,8 @@
 //              1 = a certified configuration deadlocked — certified meaning
 //                  the pristine pair passed the Duato check AND every fault
 //                  epoch's degraded relation AND every transition epoch's
-//                  union relation re-certified (the library contradicting
+//                  union relation AND every composed fault x reconfig
+//                  epoch re-certified (the library contradicting
 //                  the theorem — always a bug) — or, with --certify-out, an
 //                  emitted certificate failed its own audit (same class of
 //                  bug: the checker emitted evidence the relation does not
@@ -81,6 +82,10 @@ int usage(const char* argv0) {
       << "                     (equivalent to fault=PLAN in the grid)\n"
       << "  --reconfig-plan P  shorthand for a single-plan reconfiguration\n"
       << "                     axis (equivalent to reconfig=P in the grid)\n"
+      << "  --rollback         build a transition guard per reconfig point:\n"
+      << "                     refuted composed epochs trigger certified\n"
+      << "                     rollback (or drain-then-switch) at runtime\n"
+      << "                     instead of running uncertified\n"
       << "  --recovery POLICY  halt (default) | abort-retry | drain\n"
       << "  --retry-budget N   aborts per packet before dropping (default 8)\n"
       << "  --packet-timeout N per-packet no-progress cycles before abort\n"
@@ -169,10 +174,18 @@ std::size_t write_certificates(const char* argv0, const std::string& dir,
     if (!cert.transition.empty()) {
       // Transition-epoch certificates speak about the union relation; the
       // persisted UnionSpec rebuilds it exactly (the base relation is the
-      // spec's first member, so cert.routing is informative only).
+      // spec's first member, so cert.routing is informative only).  A
+      // composed certificate (DESIGN 3.13) additionally carries the fault
+      // mask the epoch ran under — the relation is the union degraded by
+      // that mask, in that order.
       routing = reconfig::make_union_routing(
           topo, reconfig::parse_union_spec(cert.transition,
                                            topo.num_nodes()));
+      if (!cert.fault_mask.empty()) {
+        routing = std::make_unique<routing::FaultAwareRouting>(
+            topo, std::move(routing),
+            ft::mask_from_hex(cert.fault_mask, topo.num_channels()));
+      }
     } else {
       routing = core::make_algorithm(cert.routing, topo);
       if (!cert.fault_mask.empty()) {
@@ -333,6 +346,8 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return 2;
       base.watchdog_cycles = parse_u64_arg(argv[0], arg, v, ok);
+    } else if (arg == "--rollback") {
+      runner.rollback = true;
     } else if (arg == "--progress") {
       progress = true;
     } else if (arg == "--cwg") {
@@ -496,6 +511,13 @@ int main(int argc, char** argv) {
       std::cerr << "; reconfig: " << outcome.aggregate.reconfig_epochs
                 << " epochs, " << outcome.aggregate.dests_switched
                 << " destination cutovers";
+    }
+    if (outcome.aggregate.rollbacks > 0 ||
+        outcome.aggregate.drain_switches > 0) {
+      std::cerr << "; self-heal: " << outcome.aggregate.rollbacks
+                << " rollbacks (" << outcome.aggregate.rollback_dests
+                << " dests), " << outcome.aggregate.drain_switches
+                << " drain-switches";
     }
     std::cerr << "\n";
   }

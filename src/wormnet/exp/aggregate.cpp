@@ -28,6 +28,10 @@ void Aggregate::add(const sim::SimStats& stats, bool certified) {
   reconfig_epochs += stats.reconfig_epochs;
   dests_switched += stats.dests_switched;
 
+  rollbacks += stats.rollbacks;
+  rollback_dests += stats.rollback_dests;
+  drain_switches += stats.drain_switches;
+
   const double weight = static_cast<double>(stats.measured_delivered);
   latency_weight += weight;
   latency_sum += stats.avg_latency * weight;
@@ -57,6 +61,10 @@ void Aggregate::merge(const Aggregate& other) {
 
   reconfig_epochs += other.reconfig_epochs;
   dests_switched += other.dests_switched;
+
+  rollbacks += other.rollbacks;
+  rollback_dests += other.rollback_dests;
+  drain_switches += other.drain_switches;
 
   latency_weight += other.latency_weight;
   latency_sum += other.latency_sum;
@@ -90,6 +98,9 @@ void Aggregate::write_fields(obs::JsonWriter& w) const {
   w.field("recovered_packets", recovered_packets);
   w.field("reconfig_epochs", reconfig_epochs);
   w.field("dests_switched", dests_switched);
+  w.field("rollbacks", rollbacks);
+  w.field("rollback_dests", rollback_dests);
+  w.field("drain_switches", drain_switches);
   w.field("mean_latency", mean_latency());
   w.field("mean_throughput", mean_throughput());
   w.field("worst_p99", worst_p99);

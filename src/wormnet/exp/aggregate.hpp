@@ -46,6 +46,12 @@ struct Aggregate {
   std::uint64_t reconfig_epochs = 0;
   std::uint64_t dests_switched = 0;
 
+  // Self-healing sums (all zero unless the runner passed a guard to the
+  // simulator — RunnerOptions::rollback).
+  std::uint64_t rollbacks = 0;
+  std::uint64_t rollback_dests = 0;
+  std::uint64_t drain_switches = 0;
+
   // Per-point scalar sums (divide by `points` for grid means); latency is
   // weighted by each point's measured deliveries so it reads as a latency
   // over packets, not over grid cells.

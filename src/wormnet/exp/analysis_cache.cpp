@@ -186,6 +186,76 @@ const AnalysisEntry& AnalysisCache::get_transition(
   return slot->entry;
 }
 
+const AnalysisEntry& AnalysisCache::get_composed(
+    const std::string& topo_spec, const reconfig::UnionSpec& spec,
+    const std::vector<bool>& mask) {
+  bool pristine = true;
+  for (const bool dead : mask) {
+    if (dead) {
+      pristine = false;
+      break;
+    }
+  }
+  if (pristine) return get_transition(topo_spec, spec);
+
+  const std::string hex = ft::mask_to_hex(mask);
+  const std::string key =
+      topo_spec + "|transition|" + spec.to_string() + "|" + hex;
+  Slot* slot = nullptr;
+  {
+    std::lock_guard lock(registry_mutex_);
+    auto& owned = slots_[key];
+    if (!owned) owned = std::make_unique<Slot>();
+    slot = owned.get();
+  }
+  if (slot->ready.load(std::memory_order_acquire)) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return slot->entry;
+  }
+  std::lock_guard fill_lock(slot->fill);
+  if (slot->ready.load(std::memory_order_acquire)) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return slot->entry;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+
+  // Shares the topology with the base pair's entry (see get_degraded for
+  // why the nested get() is lock-safe).
+  const AnalysisEntry& base = get(topo_spec, spec.names.front());
+  obs::Profiler::Scope miss_timer(profiler_, "sweep.epoch_reverify");
+
+  AnalysisEntry entry;
+  entry.topo = base.topo;
+  entry.routing = base.routing;
+  routing::FaultAwareRouting composed(
+      *entry.topo, reconfig::make_union_routing(*entry.topo, spec), mask);
+
+  core::VerifyOptions options;
+  options.method = core::Method::kDuato;
+  options.profiler = profiler_;
+  if (certify_) {
+    core::CertifiedVerdict certified =
+        core::verify_certified(*entry.topo, composed, options);
+    entry.duato = std::move(certified.verdict);
+    if (certified.certificate) {
+      certified.certificate->topology = topo_spec;
+      certified.certificate->routing = entry.routing;
+      certified.certificate->fault_mask = hex;
+      certified.certificate->transition = spec.to_string();
+      entry.certificate = std::make_shared<const audit::Certificate>(
+          std::move(*certified.certificate));
+    }
+  } else {
+    entry.duato = core::verify(*entry.topo, composed, options);
+  }
+  entry.certified =
+      entry.duato.conclusion == core::Conclusion::kDeadlockFree;
+
+  slot->entry = std::move(entry);
+  slot->ready.store(true, std::memory_order_release);
+  return slot->entry;
+}
+
 std::vector<CertificateRecord> AnalysisCache::certificates() {
   std::vector<CertificateRecord> out;
   std::lock_guard lock(registry_mutex_);

@@ -46,8 +46,9 @@ struct AnalysisEntry {
 
 /// One persisted certificate, in deterministic (cache-key) order.
 struct CertificateRecord {
-  std::string key;  ///< "topo|routing", "topo|routing|mask" or
-                    ///< "topo|transition|spec"
+  std::string key;  ///< "topo|routing", "topo|routing|mask",
+                    ///< "topo|transition|spec" or
+                    ///< "topo|transition|spec|mask"
   std::shared_ptr<const audit::Certificate> certificate;
 };
 
@@ -92,6 +93,17 @@ class AnalysisCache {
   /// `transition` binding and the base relation as `routing`.
   const AnalysisEntry& get_transition(const std::string& topo_spec,
                                       const reconfig::UnionSpec& spec);
+
+  /// Like get_transition(), but for a *composed* epoch: the union relation
+  /// additionally degraded by a live fault mask (DESIGN 3.13) — the relation
+  /// a fault x reconfig point actually runs between two of its steps.
+  /// Keyed by (topo spec, spec.to_string(), mask hex); a pristine mask
+  /// delegates to get_transition so the pure epoch owns a single slot.
+  /// Emitted certificates carry the spec in `transition` AND the mask in
+  /// `fault_mask`, so the auditor rebuilds FaultAwareRouting(UnionRouting).
+  const AnalysisEntry& get_composed(const std::string& topo_spec,
+                                    const reconfig::UnionSpec& spec,
+                                    const std::vector<bool>& mask);
 
   [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
   [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }

@@ -28,6 +28,8 @@ void write_jsonl(std::ostream& os, const SweepOutcome& outcome,
     w.field("transition_epochs", r.transition_epochs);
     w.field("uncertified_transition_epochs",
             r.uncertified_transition_epochs);
+    w.field("composed_epochs", r.composed_epochs);
+    w.field("uncertified_composed_epochs", r.uncertified_composed_epochs);
     w.field("deadlocked", r.stats.deadlocked);
     if (r.stats.deadlocked) {
       w.field("deadlock_cycle", r.stats.deadlock.cycle);
@@ -41,6 +43,9 @@ void write_jsonl(std::ostream& os, const SweepOutcome& outcome,
     w.field("packets_retried", r.stats.packets_retried);
     w.field("packets_dropped", r.stats.packets_dropped);
     w.field("recovered_packets", r.stats.recovered_packets);
+    w.field("rollbacks", r.stats.rollbacks);
+    w.field("rollback_dests", r.stats.rollback_dests);
+    w.field("drain_switches", r.stats.drain_switches);
     w.field("avg_latency", r.stats.avg_latency);
     w.field("p50_latency", r.stats.p50_latency);
     w.field("p99_latency", r.stats.p99_latency);
@@ -82,9 +87,11 @@ void write_csv(std::ostream& os, const SweepOutcome& outcome,
         "duato,cwg,"
         "fault_epochs,uncertified_epochs,"
         "transition_epochs,uncertified_transition_epochs,"
+        "composed_epochs,uncertified_composed_epochs,"
         "deadlocked,saturated,"
         "packets_created,packets_delivered,measured_delivered,"
         "packets_aborted,packets_retried,packets_dropped,recovered_packets,"
+        "rollbacks,rollback_dests,drain_switches,"
         "avg_latency,p50_latency,p99_latency,"
         "avg_network_latency,offered_load,accepted_throughput,"
         "avg_channel_utilization,max_channel_utilization,max_hops,"
@@ -106,11 +113,14 @@ void write_csv(std::ostream& os, const SweepOutcome& outcome,
        << core::to_string(r.duato) << ',' << core::to_string(r.cwg) << ','
        << r.fault_epochs << ',' << r.uncertified_epochs << ','
        << r.transition_epochs << ',' << r.uncertified_transition_epochs << ','
+       << r.composed_epochs << ',' << r.uncertified_composed_epochs << ','
        << (r.stats.deadlocked ? 1 : 0) << ',' << (r.stats.saturated ? 1 : 0)
        << ',' << r.stats.packets_created << ',' << r.stats.packets_delivered
        << ',' << r.stats.measured_delivered << ','
        << r.stats.packets_aborted << ',' << r.stats.packets_retried << ','
        << r.stats.packets_dropped << ',' << r.stats.recovered_packets << ','
+       << r.stats.rollbacks << ',' << r.stats.rollback_dests << ','
+       << r.stats.drain_switches << ','
        << obs::json_double(r.stats.avg_latency) << ','
        << obs::json_double(r.stats.p50_latency) << ','
        << obs::json_double(r.stats.p99_latency) << ','

@@ -7,6 +7,7 @@
 
 #include "wormnet/core/registry.hpp"
 #include "wormnet/ft/fault_plan.hpp"
+#include "wormnet/reconfig/guard.hpp"
 #include "wormnet/reconfig/transition_plan.hpp"
 #include "wormnet/util/thread_pool.hpp"
 
@@ -17,7 +18,8 @@ namespace {
 /// one simulation.  Everything written is local to the point's result slot,
 /// so points are embarrassingly parallel.
 SweepResult run_point(const SweepSpec& spec, const SweepPoint& point,
-                      AnalysisCache& cache, obs::Profiler* profiler) {
+                      AnalysisCache& cache, const RunnerOptions& options) {
+  obs::Profiler* profiler = options.profiler;
   const auto point_start = std::chrono::steady_clock::now();
   obs::Profiler::Scope point_timer(profiler, "sweep.point");
   const AnalysisEntry& analysis = cache.get(point.topology, point.routing);
@@ -62,6 +64,7 @@ SweepResult run_point(const SweepSpec& spec, const SweepPoint& point,
   // base routing and certify every cumulative union epoch (plus the steady
   // state) before running.  Borrowed by the config like the fault plan.
   reconfig::CompiledTransitionPlan transition;
+  reconfig::TransitionGuard guard;
   if (point.reconfig_plan != "none" && !point.reconfig_plan.empty()) {
     transition =
         reconfig::compile(reconfig::parse_transition_plan(point.reconfig_plan),
@@ -75,8 +78,44 @@ SweepResult run_point(const SweepSpec& spec, const SweepPoint& point,
         ++result.transition_epochs;
         if (!epoch.certified) ++result.uncertified_transition_epochs;
       }
+      // Composed space (DESIGN 3.13): when both axes are live, walk the
+      // merged fault x transition timeline and certify every composed
+      // epoch — the union relation under the then-current fault mask.
+      // The same walk yields the guard; the cache-backed certifier means
+      // every consulted epoch (rollback unions included) also flows
+      // through the certificate pipeline.
+      const bool composed_point = cfg.fault_plan != nullptr;
+      if (composed_point || options.rollback) {
+        const std::size_t channels = analysis.topo->num_channels();
+        reconfig::GuardCertifier certifier =
+            [&](const reconfig::UnionSpec& epoch_spec,
+                const std::string& mask_hex) {
+              std::vector<bool> mask(channels, false);
+              if (!mask_hex.empty()) {
+                mask = ft::mask_from_hex(mask_hex, channels);
+              }
+              bool pristine = true;
+              for (const bool dead : mask) {
+                if (dead) {
+                  pristine = false;
+                  break;
+                }
+              }
+              const AnalysisEntry& epoch =
+                  cache.get_composed(point.topology, epoch_spec, mask);
+              if (!pristine) {
+                ++result.composed_epochs;
+                if (!epoch.certified) ++result.uncertified_composed_epochs;
+              }
+              return epoch.certified;
+            };
+        guard = reconfig::build_transition_guard(*analysis.topo, transition,
+                                                 cfg.fault_plan, certifier);
+        if (options.rollback) cfg.guard = &guard;
+      }
       result.epochs_certified = result.uncertified_epochs == 0 &&
-                                result.uncertified_transition_epochs == 0;
+                                result.uncertified_transition_epochs == 0 &&
+                                result.uncertified_composed_epochs == 0;
     }
   }
 
@@ -165,7 +204,7 @@ SweepOutcome run_sweep(const SweepSpec& spec, const RunnerOptions& options) {
     // Inline reference path: what the determinism tests compare against.
     for (std::size_t i = 0; i < total; ++i) {
       out.results[i] =
-          run_point(spec, expanded.points[i], cache, options.profiler);
+          run_point(spec, expanded.points[i], cache, options);
       if (options.progress) options.progress(i + 1, total);
     }
   } else {
@@ -182,7 +221,7 @@ SweepOutcome run_sweep(const SweepSpec& spec, const RunnerOptions& options) {
       const bool accepted = pool.submit([&, begin, end] {
         for (std::size_t i = begin; i < end; ++i) {
           out.results[i] =
-              run_point(spec, expanded.points[i], cache, options.profiler);
+              run_point(spec, expanded.points[i], cache, options);
           if (options.progress) {
             std::lock_guard lock(progress_mutex);
             options.progress(++done, total);

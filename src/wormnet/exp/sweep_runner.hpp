@@ -58,11 +58,20 @@ struct SweepResult {
   /// violation.
   std::uint32_t transition_epochs = 0;   ///< union epochs checked
   std::uint32_t uncertified_transition_epochs = 0;  ///< failed re-check
+  /// Per-epoch re-verification (fault x reconfig points, DESIGN 3.13):
+  /// every *composed* epoch the merged timeline produces — a cumulative
+  /// union relation degraded by the live fault mask — is checked by the
+  /// Duato condition, memoized by (UnionSpec, mask) in the AnalysisCache.
+  /// Pristine-mask epochs are counted under transition_epochs, not here.
+  std::uint32_t composed_epochs = 0;     ///< composed epochs checked
+  std::uint32_t uncertified_composed_epochs = 0;  ///< failed re-check
   /// Duato proved the pristine pair deadlock-free AND every fault epoch's
-  /// degraded relation AND every transition epoch's union relation
-  /// re-certified.  This is the bit the differential harness trusts: a
-  /// deadlock on a certified point falsifies the theorem or (far more
-  /// likely) the implementation.
+  /// degraded relation AND every transition epoch's union relation AND
+  /// every composed epoch re-certified.  This is the bit the differential
+  /// harness trusts: a deadlock on a certified point falsifies the theorem
+  /// or (far more likely) the implementation.  Guard repairs never widen
+  /// this bit — a healed point stays uncertified, its health shows up as
+  /// rollbacks with full packet conservation instead.
   bool certified = false;
   /// Postmortems the point's simulator captured (deadlock halt, watchdog,
   /// retry exhaustion) — deterministic, part of the reproducible surface.
@@ -84,6 +93,13 @@ struct RunnerOptions {
   /// pairs and fault epochs alike); they surface in
   /// SweepOutcome::certificates in deterministic cache-key order.
   bool certify = false;
+  /// Build a TransitionGuard per reconfig point and hand it to the
+  /// simulator: refuted composed epochs trigger certified rollback (or
+  /// drain-then-switch) instead of running uncertified.  Off by default so
+  /// the differential property stays non-vacuous — uncertified composed
+  /// points must be able to deadlock for "deadlock implies uncertified"
+  /// to mean anything.
+  bool rollback = false;
   /// Borrowed; populated after the parallel phase (counters `sweep.*`).
   /// Null = disabled.
   obs::MetricsRegistry* metrics = nullptr;

@@ -127,7 +127,7 @@ ExpandedSweep expand(const SweepSpec& spec) {
         // Parse + compile eagerly: a malformed plan or one that names links
         // absent from this topology throws here, not mid-run on a worker.
         const ft::FaultPlan plan = ft::parse_fault_plan(plan_text);
-        (void)ft::compile(plan, topo);
+        const ft::CompiledFaultPlan compiled_faults = ft::compile(plan, topo);
         const std::string normalized = plan.empty() ? "none" : plan.to_string();
         for (const auto& reconfig_text : spec.reconfig_plans) {
           // Same eager discipline for transition plans; compiling against
@@ -137,18 +137,39 @@ ExpandedSweep expand(const SweepSpec& spec) {
           const reconfig::TransitionPlan tplan =
               reconfig::parse_transition_plan(reconfig_text);
           std::string reconfig_normalized = "none";
+          reconfig::CompiledTransitionPlan compiled_transition;
           if (!tplan.empty()) {
-            const reconfig::CompiledTransitionPlan compiled =
-                reconfig::compile(tplan, topo, canonical);
-            if (!compiled.is_identity()) {
+            compiled_transition = reconfig::compile(tplan, topo, canonical);
+            if (!compiled_transition.is_identity()) {
               reconfig_normalized = tplan.to_string();
             }
           }
+          // Fault and transition plans compose (DESIGN 3.13) — except when
+          // one cycle both kills a channel and cuts its head node's traffic
+          // over: the two events would race for the same packets' waiting
+          // state with no defined winner.  Stagger either event by a cycle.
           if (normalized != "none" && reconfig_normalized != "none") {
-            throw std::invalid_argument(
-                "sweep: fault and reconfig plans cannot be combined at one "
-                "point ('" + normalized + "' × '" + reconfig_normalized +
-                "')");
+            for (const ft::CompiledStep& fs : compiled_faults.steps) {
+              for (const reconfig::CompiledCutover& cs :
+                   compiled_transition.steps) {
+                if (fs.cycle != cs.cycle) continue;
+                for (const topology::ChannelId c : fs.down) {
+                  const topology::NodeId victim = topo.channel(c).dst;
+                  for (const reconfig::CutoverAssignment& a :
+                       cs.assignments) {
+                    if (a.dest == victim) {
+                      throw std::invalid_argument(
+                          "sweep: at cycle " + std::to_string(fs.cycle) +
+                          " the fault plan kills channel " +
+                          std::to_string(c) +
+                          " while the reconfig plan cuts destination " +
+                          std::to_string(victim) +
+                          " over; stagger one of the events by a cycle");
+                    }
+                  }
+                }
+              }
+            }
           }
           for (const sim::Pattern pattern : spec.patterns) {
             for (const double load : spec.loads) {

@@ -71,6 +71,23 @@ class LintContext {
     return transition_;
   }
 
+  /// Declared reconfiguration *target* for this run (a registry name, may
+  /// carry a %HEXMASK restriction; installed by the engine from
+  /// LintOptions::reconfig_target).  WN025 runs the certified staging-order
+  /// planner from `staging_base` towards it.  Empty target = not declared.
+  void set_staging(std::string base, std::string target, std::size_t budget) {
+    staging_base_ = std::move(base);
+    staging_target_ = std::move(target);
+    planner_budget_ = budget;
+  }
+  [[nodiscard]] const std::string& staging_base() const {
+    return staging_base_;
+  }
+  [[nodiscard]] const std::string& staging_target() const {
+    return staging_target_;
+  }
+  [[nodiscard]] std::size_t planner_budget() const { return planner_budget_; }
+
  private:
   const Topology* topo_;
   const RoutingFunction* routing_;
@@ -82,6 +99,9 @@ class LintContext {
   bool certificate_emitted_ = false;
   std::optional<audit::Certificate> certificate_;
   const reconfig::CompiledTransitionPlan* transition_ = nullptr;
+  std::string staging_base_;
+  std::string staging_target_;
+  std::size_t planner_budget_ = 0;
 };
 
 }  // namespace wormnet::lint

@@ -50,6 +50,15 @@ LintResult run_lint(const Topology& topo, const RoutingFunction& routing,
                           topo, options.reconfig_base);
     ctx.set_transition(&transition);
   }
+  if (!options.reconfig_target.empty() && options.reconfig_target != "none") {
+    if (options.reconfig_base.empty()) {
+      throw std::invalid_argument(
+          "lint: reconfig_target requires reconfig_base (the registry name "
+          "of the base relation)");
+    }
+    ctx.set_staging(options.reconfig_base, options.reconfig_target,
+                    options.planner_budget);
+  }
   LintResult result;
   for (const Rule* rule : selected) {
     const std::size_t before = result.diagnostics.size();

@@ -31,6 +31,15 @@ struct LintOptions {
   /// reconfig_plan because RoutingFunction::name() is a description, not a
   /// registry key, so the engine cannot recover it from `routing` alone.
   std::string reconfig_base;
+  /// Declared reconfiguration *target* (a registry name, may carry a
+  /// %HEXMASK restriction; "" or "none" = none).  When set, WN025 runs the
+  /// certified staging-order planner from `reconfig_base` to it and reports
+  /// if no certified multi-stage path exists within `planner_budget`.
+  std::string reconfig_target;
+  /// Certifier-call budget for the WN025 planner search (0 = planner
+  /// default).  Plans are budget-monotone, so raising this only ever turns
+  /// a finding into silence, never the reverse.
+  std::size_t planner_budget = 0;
   /// Borrowed self-profiling registry (null = off): each rule's wall time
   /// lands as one "lint.WN0xx" sample.
   obs::Profiler* profiler = nullptr;

@@ -57,6 +57,10 @@ const std::vector<Rule>& all_rules() {
        "a declared reconfiguration transition has a union epoch that fails "
        "Duato re-verification",
        rules::transition_union_unverified},
+      {"WN025", "no-certified-staging-order", Severity::kError,
+       "the staging-order planner found no certified multi-stage path from "
+       "the base relation to the declared reconfiguration target",
+       rules::no_certified_staging_order},
   };
   return kRules;
 }

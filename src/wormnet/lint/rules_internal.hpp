@@ -34,5 +34,7 @@ void certificate_missing(LintContext& ctx, std::vector<Diagnostic>& out);
 // rules_reconfig.cpp
 void transition_union_unverified(LintContext& ctx,
                                  std::vector<Diagnostic>& out);
+void no_certified_staging_order(LintContext& ctx,
+                                std::vector<Diagnostic>& out);
 
 }  // namespace wormnet::lint::rules

@@ -1,4 +1,4 @@
-// Dynamic-reconfiguration rule (DESIGN 3.12):
+// Dynamic-reconfiguration rules (DESIGN 3.12 / 3.13):
 //
 //   WN024 transition-union-unverified   a declared transition has a union
 //                                       epoch whose relation fails Duato
@@ -6,6 +6,14 @@
 //                                       under the old relation can deadlock
 //                                       against packets routed under the new
 //                                       one mid-switch
+//
+//   WN025 no-certified-staging-order    the certified staging-order planner
+//                                       found no multi-stage path from the
+//                                       base relation to the declared target
+//                                       within its certifier-call budget —
+//                                       no known safe way to perform the
+//                                       reconfiguration at all (WN024 only
+//                                       refutes one specific plan)
 //
 // The rule runs only when the lint invocation declares a transition plan
 // (LintOptions::reconfig_plan + reconfig_base); declaring a plan and never
@@ -18,6 +26,7 @@
 
 #include "wormnet/core/verifier.hpp"
 #include "wormnet/lint/rules_internal.hpp"
+#include "wormnet/reconfig/planner.hpp"
 #include "wormnet/reconfig/union_routing.hpp"
 
 namespace wormnet::lint::rules {
@@ -48,6 +57,30 @@ void transition_union_unverified(LintContext& ctx,
     d.message = os.str();
     out.push_back(std::move(d));
   }
+}
+
+void no_certified_staging_order(LintContext& ctx,
+                                std::vector<Diagnostic>& out) {
+  if (ctx.staging_target().empty()) return;
+
+  reconfig::PlannerOptions options;
+  if (ctx.planner_budget() > 0) options.budget = ctx.planner_budget();
+  const reconfig::StagedPlan plan = reconfig::plan_certified_transition(
+      ctx.topo(), ctx.staging_base(), ctx.staging_target(), options);
+  if (plan.certified) return;
+
+  Diagnostic d;
+  d.rule_id = "WN025";
+  d.severity = Severity::kError;
+  std::ostringstream os;
+  os << "no certified staging order from '" << ctx.staging_base()
+     << "' to '" << ctx.staging_target() << "' (" << plan.strategy << ", "
+     << plan.verify_calls << " certifier calls): " << plan.detail
+     << " — every staging ladder the planner tried leaves some cumulative "
+        "union epoch uncertified; raise the budget or pick a different "
+        "intermediate relation";
+  d.message = os.str();
+  out.push_back(std::move(d));
 }
 
 }  // namespace wormnet::lint::rules

@@ -16,6 +16,8 @@ const char* to_string(FlightKind kind) noexcept {
     case FlightKind::kDeadlock: return "deadlock";
     case FlightKind::kWatchdog: return "watchdog";
     case FlightKind::kSwitch: return "switch";
+    case FlightKind::kRollback: return "rollback";
+    case FlightKind::kDrainSwitch: return "drain-switch";
   }
   return "?";
 }

@@ -34,6 +34,10 @@ enum class FlightKind : std::uint8_t {
   kDeadlock,  ///< wait-for cycle detected
   kWatchdog,  ///< global no-progress watchdog fired
   kSwitch,    ///< reconfig cutover step applied (aux = transition epoch)
+  kRollback,     ///< guard reverted migrated destinations to the base
+                 ///< relation (aux = transition epoch)
+  kDrainSwitch,  ///< guard engaged drain-then-switch; second record fires
+                 ///< when the empty network takes the steady state
 };
 
 [[nodiscard]] const char* to_string(FlightKind kind) noexcept;

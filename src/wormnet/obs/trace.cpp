@@ -23,6 +23,8 @@ const char* to_string(EventKind kind) noexcept {
     case EventKind::kRetry: return "retry";
     case EventKind::kRecovered: return "recovered";
     case EventKind::kSwitch: return "switch";
+    case EventKind::kRollback: return "rollback";
+    case EventKind::kDrainSwitch: return "drain_switch";
   }
   return "?";
 }
@@ -115,6 +117,8 @@ void JsonlTraceSink::emit(const TraceEvent& ev) {
       w.field("attempts", ev.value);
       break;
     case EventKind::kSwitch:
+    case EventKind::kRollback:
+    case EventKind::kDrainSwitch:
       w.field("epoch", ev.value);
       w.key("dests");
       w.begin_array();
@@ -308,8 +312,15 @@ void ChromeTraceSink::emit(const TraceEvent& ev) {
       os_ << ",\"s\":\"t\",\"args\":{\"pkt\":" << ev.packet
           << ",\"attempts\":" << ev.value << "}}";
       break;
-    case EventKind::kSwitch: {
-      event_prefix("i", "SWITCH", "reconfig", ts, kPacketTrack);
+    case EventKind::kSwitch:
+    case EventKind::kRollback:
+    case EventKind::kDrainSwitch: {
+      event_prefix("i",
+                   ev.kind == EventKind::kSwitch
+                       ? "SWITCH"
+                       : (ev.kind == EventKind::kRollback ? "ROLLBACK"
+                                                          : "DRAIN-SWITCH"),
+                   "reconfig", ts, kPacketTrack);
       os_ << ",\"s\":\"g\",\"args\":{\"epoch\":" << ev.value
           << ",\"dests\":[";
       for (std::size_t i = 0; i < ev.list.size(); ++i) {

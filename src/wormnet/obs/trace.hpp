@@ -48,6 +48,9 @@ enum class EventKind : std::uint8_t {
   kRecovered,         ///< packet delivered after at least one abort
   kSwitch,            ///< reconfig epoch: destinations cut over to a new
                       ///< routing version
+  kRollback,          ///< guard reverted migrated destinations to the base
+  kDrainSwitch,       ///< guard drained the network, then applied the
+                      ///< steady state through it
 };
 
 [[nodiscard]] const char* to_string(EventKind kind) noexcept;

@@ -1,0 +1,195 @@
+#include "wormnet/reconfig/guard.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "wormnet/core/verifier.hpp"
+#include "wormnet/reconfig/union_routing.hpp"
+#include "wormnet/routing/fault.hpp"
+
+namespace wormnet::reconfig {
+
+const char* to_string(GuardAction action) {
+  switch (action) {
+    case GuardAction::kProceed:
+      return "proceed";
+    case GuardAction::kRollback:
+      return "rollback";
+    case GuardAction::kDrainThenSwitch:
+      return "drain-then-switch";
+  }
+  return "?";
+}
+
+bool TransitionGuard::all_proceed() const {
+  const auto proceeds = [](const GuardDecision& d) {
+    return d.action == GuardAction::kProceed;
+  };
+  return std::all_of(step.begin(), step.end(), proceeds) &&
+         std::all_of(fault_step.begin(), fault_step.end(), proceeds);
+}
+
+namespace {
+
+bool default_certify(const Topology& topo, const UnionSpec& spec,
+                     const std::string& mask_hex) {
+  try {
+    std::unique_ptr<routing::RoutingFunction> relation =
+        make_union_routing(topo, spec);
+    if (!mask_hex.empty()) {
+      relation = std::make_unique<routing::FaultAwareRouting>(
+          topo, std::move(relation),
+          ft::mask_from_hex(mask_hex, topo.num_channels()));
+    }
+    return core::verify(topo, *relation).conclusion ==
+           core::Conclusion::kDeadlockFree;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+TransitionGuard build_transition_guard(const Topology& topo,
+                                       const CompiledTransitionPlan& plan,
+                                       const ft::CompiledFaultPlan* faults,
+                                       const GuardCertifier& certifier) {
+  const GuardCertifier certify =
+      certifier ? certifier
+                : [&topo](const UnionSpec& spec, const std::string& mask_hex) {
+                    return default_certify(topo, spec, mask_hex);
+                  };
+
+  const std::size_t n = plan.num_nodes;
+  const std::size_t versions = plan.target_names.size() + 1;
+
+  TransitionGuard guard;
+  guard.step.resize(plan.steps.size());
+  guard.fault_step.resize(faults != nullptr ? faults->steps.size() : 0);
+
+  // Merged nominal timeline; at equal cycles fault steps come first, the
+  // simulator's own due-event order.  Barrier steps use their scheduled
+  // cycle (a lower bound on the apply time) — the guard judges the
+  // nominal schedule, exactly like per-epoch verification does.
+  struct Item {
+    std::uint64_t cycle;
+    bool fault;
+    std::size_t index;
+  };
+  std::vector<Item> timeline;
+  for (std::size_t f = 0; f < guard.fault_step.size(); ++f) {
+    timeline.push_back({faults->steps[f].cycle, true, f});
+  }
+  for (std::size_t s = 0; s < plan.steps.size(); ++s) {
+    timeline.push_back({plan.steps[s].cycle, false, s});
+  }
+  std::stable_sort(timeline.begin(), timeline.end(),
+                   [](const Item& a, const Item& b) {
+                     if (a.cycle != b.cycle) return a.cycle < b.cycle;
+                     return a.fault && !b.fault;
+                   });
+
+  // Walk state: per-destination current version plus the cumulative union
+  // (with barrier resets), mirroring epoch_unions().
+  std::vector<std::uint32_t> current(n, 0);
+  std::vector<std::vector<bool>> active(versions, std::vector<bool>(n, false));
+  active[0].assign(n, true);
+  std::vector<std::uint32_t> steady(n, 0);
+  for (const CompiledCutover& step : plan.steps) {
+    for (const CutoverAssignment& a : step.assignments) {
+      steady[a.dest] = a.version;
+    }
+  }
+  const std::vector<std::vector<bool>> masks =
+      faults != nullptr ? faults->epoch_masks()
+                        : std::vector<std::vector<bool>>{};
+  std::string mask_hex;  // "" while pristine
+  bool aborted = false;
+
+  const auto spec_from = [&](const std::vector<std::vector<bool>>& act) {
+    UnionSpec spec;
+    spec.num_nodes = n;
+    spec.names.push_back(plan.base);
+    for (const std::string& name : plan.target_names) {
+      spec.names.push_back(name);
+    }
+    spec.active = act;
+    return spec;
+  };
+
+  const auto pure_base = [&]() {
+    for (std::size_t v = 1; v < versions; ++v) {
+      for (const bool live : active[v]) {
+        if (live) return false;
+      }
+    }
+    return true;
+  };
+
+  // Decides the repair for a refuted composed epoch and aborts the walk.
+  const auto repair = [&](GuardDecision& decision) {
+    std::vector<std::vector<bool>> rb = active;
+    rb[0].assign(n, true);
+    const UnionSpec rollback_union = spec_from(rb);
+    if (certify(rollback_union, mask_hex)) {
+      decision.action = GuardAction::kRollback;
+      decision.rollback_epoch = rollback_union.to_string();
+      for (std::size_t d = 0; d < n; ++d) {
+        if (current[d] != 0) {
+          decision.cutover.assignments.push_back(
+              {static_cast<NodeId>(d), 0});
+        }
+      }
+    } else {
+      decision.action = GuardAction::kDrainThenSwitch;
+      for (std::size_t d = 0; d < n; ++d) {
+        decision.cutover.assignments.push_back(
+            {static_cast<NodeId>(d), steady[d]});
+      }
+    }
+    aborted = true;
+  };
+
+  for (const Item& item : timeline) {
+    if (item.fault) {
+      GuardDecision& decision = guard.fault_step[item.index];
+      mask_hex = ft::mask_to_hex(masks[item.index + 1]);
+      decision.fault_mask = mask_hex;
+      // Once rolled back (or never migrated) the network routes by the
+      // pure base relation; the ordinary per-fault-epoch verification
+      // covers that, so the guard has nothing to add.
+      if (aborted || pure_base()) continue;
+      const UnionSpec candidate = spec_from(active);
+      decision.epoch = candidate.to_string();
+      if (certify(candidate, mask_hex)) continue;
+      repair(decision);
+    } else {
+      GuardDecision& decision = guard.step[item.index];
+      decision.fault_mask = mask_hex;
+      if (aborted) continue;  // cancelled at runtime
+      const CompiledCutover& step = plan.steps[item.index];
+      std::vector<std::vector<bool>> next_active = active;
+      if (step.barrier) {
+        for (auto& mask : next_active) mask.assign(n, false);
+        for (std::size_t d = 0; d < n; ++d) next_active[current[d]][d] = true;
+      }
+      std::vector<std::uint32_t> next_current = current;
+      for (const CutoverAssignment& a : step.assignments) {
+        next_active[a.version][a.dest] = true;
+        next_current[a.dest] = a.version;
+      }
+      const UnionSpec candidate = spec_from(next_active);
+      decision.epoch = candidate.to_string();
+      if (certify(candidate, mask_hex)) {
+        active = std::move(next_active);
+        current = std::move(next_current);
+        continue;
+      }
+      repair(decision);
+    }
+  }
+  return guard;
+}
+
+}  // namespace wormnet::reconfig

@@ -8,6 +8,8 @@
 
 #include "wormnet/core/registry.hpp"
 #include "wormnet/ft/fault_plan.hpp"
+#include "wormnet/reconfig/planner.hpp"
+#include "wormnet/reconfig/union_routing.hpp"
 
 namespace wormnet::reconfig {
 
@@ -69,6 +71,13 @@ std::string TransitionPlan::to_string() const {
         break;
       case TransitionEvent::Kind::kRamp:
         os << "ramp:" << ev.target << '/' << ev.batches << '/' << ev.stride;
+        break;
+      case TransitionEvent::Kind::kBarrier:
+        os << "barrier:" << ev.target;
+        if (ev.ranged) os << '/' << ev.lo << '-' << ev.hi;
+        break;
+      case TransitionEvent::Kind::kPlan:
+        os << "plan:" << ev.target;
         break;
     }
     os << '@' << ev.cycle;
@@ -143,6 +152,32 @@ TransitionPlan parse_transition_plan(const std::string& text) {
           parse_number(spec.substr(s1 + 1, s2 - s1 - 1), "batch count", token));
       ev.stride = parse_number(spec.substr(s2 + 1), "stride", token);
       if (ev.batches == 0) bad("zero batches in \"" + token + "\"");
+    } else if (kind == "barrier") {
+      ev.kind = TransitionEvent::Kind::kBarrier;
+      const std::size_t slash = spec.find('/');
+      ev.target = spec.substr(0, slash);
+      check_target_name(ev.target, token);
+      if (slash != std::string::npos) {
+        ev.ranged = true;
+        const std::string range = spec.substr(slash + 1);
+        const std::size_t dash = range.find('-');
+        if (dash == std::string::npos) {
+          bad("malformed destination range \"" + range + "\" in \"" + token +
+              "\"");
+        }
+        ev.lo = static_cast<NodeId>(
+            parse_number(range.substr(0, dash), "destination", token));
+        ev.hi = static_cast<NodeId>(
+            parse_number(range.substr(dash + 1), "destination", token));
+        if (ev.lo > ev.hi) {
+          bad("empty destination range \"" + range + "\" in \"" + token +
+              "\"");
+        }
+      }
+    } else if (kind == "plan") {
+      ev.kind = TransitionEvent::Kind::kPlan;
+      ev.target = spec;
+      check_target_name(ev.target, token);
     } else {
       bad("unknown event kind \"" + kind + "\"");
     }
@@ -225,9 +260,20 @@ std::vector<UnionSpec> CompiledTransitionPlan::epoch_unions() const {
   for (const std::string& name : target_names) cum.names.push_back(name);
   cum.active.assign(cum.names.size(), std::vector<bool>(num_nodes, false));
   cum.active[0].assign(num_nodes, true);
+  std::vector<std::uint32_t> current(num_nodes, 0);
   for (const CompiledCutover& step : steps) {
+    if (step.barrier) {
+      // The drain gate guarantees no packet is stamped with a version other
+      // than its destination's current one, so the union collapses to the
+      // current assignment before the barrier's own cutovers go live.
+      for (auto& mask : cum.active) mask.assign(num_nodes, false);
+      for (std::size_t d = 0; d < num_nodes; ++d) {
+        cum.active[current[d]][d] = true;
+      }
+    }
     for (const CutoverAssignment& a : step.assignments) {
       cum.active[a.version][a.dest] = true;
+      current[a.dest] = a.version;
     }
     unions.push_back(cum);
   }
@@ -279,12 +325,52 @@ CompiledTransitionPlan compile(const TransitionPlan& plan,
   if (plan.empty()) return out;
 
   const std::size_t n = out.num_nodes;
+
+  // Expand planner invocations first: each `plan:NEW@CYCLE` event becomes
+  // the certified staging order plan_certified_transition finds (or a naive
+  // switch when none exists within budget — per-epoch verification then
+  // refutes the union, exactly as if the user had written the switch).
+  std::vector<TransitionEvent> events;
+  for (const TransitionEvent& ev : plan.events) {
+    if (ev.kind != TransitionEvent::Kind::kPlan) {
+      events.push_back(ev);
+      continue;
+    }
+    PlannerOptions planner_options;
+    planner_options.start_cycle = ev.cycle;
+    const StagedPlan staged =
+        plan_certified_transition(topo, out.base, ev.target, planner_options);
+    if (staged.certified) {
+      for (const TransitionEvent& sub : staged.plan.events) {
+        events.push_back(sub);
+      }
+    } else {
+      TransitionEvent naive;
+      naive.kind = TransitionEvent::Kind::kSwitch;
+      naive.cycle = ev.cycle;
+      naive.target = ev.target;
+      events.push_back(naive);
+    }
+  }
+
   const auto version_of = [&](const std::string& target,
                               const std::string& where) -> std::uint32_t {
     std::string canon;
     try {
-      canon = core::canonical_algorithm_name(target, topo);
-      if (canon != out.base) (void)core::make_algorithm(canon, topo);
+      const std::size_t pct = target.find('%');
+      if (pct == std::string::npos) {
+        canon = core::canonical_algorithm_name(target, topo);
+        if (canon != out.base) (void)core::make_algorithm(canon, topo);
+      } else {
+        // NAME%HEXMASK: canonicalize the algorithm part and normalize the
+        // channel mask through a hex round-trip so equal masks dedup.
+        const std::string algo =
+            core::canonical_algorithm_name(target.substr(0, pct), topo);
+        (void)core::make_algorithm(algo, topo);
+        const std::vector<bool> mask =
+            ft::mask_from_hex(target.substr(pct + 1), topo.num_channels());
+        canon = algo + '%' + ft::mask_to_hex(mask);
+      }
     } catch (const std::invalid_argument& e) {
       bad(std::string(e.what()) + " in \"" + where + "\"");
     }
@@ -298,8 +384,10 @@ CompiledTransitionPlan compile(const TransitionPlan& plan,
     return static_cast<std::uint32_t>(out.target_names.size());
   };
 
-  // cycle -> dest -> version, conflicts rejected.
+  // cycle -> dest -> version, conflicts rejected.  A cycle touched by any
+  // barrier event compiles to a drain-gated (barrier) step.
   std::map<std::uint64_t, std::map<NodeId, std::uint32_t>> schedule;
+  std::vector<std::uint64_t> barrier_cycles;
   const auto assign = [&](std::uint64_t cycle, NodeId dest,
                           std::uint32_t version, const std::string& where) {
     auto& dests = schedule[cycle];
@@ -311,7 +399,7 @@ CompiledTransitionPlan compile(const TransitionPlan& plan,
     dests[dest] = version;
   };
 
-  for (const TransitionEvent& ev : plan.events) {
+  for (const TransitionEvent& ev : events) {
     const std::string where = TransitionPlan{{ev}}.to_string();
     const std::uint32_t version = version_of(ev.target, where);
     switch (ev.kind) {
@@ -342,6 +430,24 @@ CompiledTransitionPlan compile(const TransitionPlan& plan,
         }
         break;
       }
+      case TransitionEvent::Kind::kBarrier: {
+        NodeId lo = 0;
+        NodeId hi = static_cast<NodeId>(n - 1);
+        if (ev.ranged) {
+          if (ev.hi >= n) {
+            bad("destination " + std::to_string(ev.hi) +
+                " out of range for " + std::to_string(n) + " nodes in \"" +
+                where + "\"");
+          }
+          lo = ev.lo;
+          hi = ev.hi;
+        }
+        for (NodeId d = lo; d <= hi; ++d) assign(ev.cycle, d, version, where);
+        barrier_cycles.push_back(ev.cycle);
+        break;
+      }
+      case TransitionEvent::Kind::kPlan:
+        bad("unexpanded plan event \"" + where + "\"");  // unreachable
     }
   }
 
@@ -353,6 +459,8 @@ CompiledTransitionPlan compile(const TransitionPlan& plan,
   for (const auto& [cycle, dests] : schedule) {
     CompiledCutover step;
     step.cycle = cycle;
+    step.barrier = std::find(barrier_cycles.begin(), barrier_cycles.end(),
+                             cycle) != barrier_cycles.end();
     for (const auto& [dest, version] : dests) {
       if (current[dest] == version) continue;
       current[dest] = version;
@@ -380,7 +488,7 @@ CompiledTransitionPlan compile(const TransitionPlan& plan,
     }
   }
   for (const std::string& name : out.target_names) {
-    out.targets.push_back(core::make_algorithm(name, topo));
+    out.targets.push_back(make_member_routing(topo, name));
   }
   return out;
 }

@@ -19,8 +19,23 @@
 //   ramp:NEW/K/STRIDE@CYCLE   the destination space is split into K
 //                             contiguous batches; batch b cuts over at
 //                             CYCLE + b*STRIDE
+//   barrier:NEW@CYCLE         drain-gated switch: applies at the first
+//   barrier:NEW/LO-HI@CYCLE   cycle >= CYCLE at which no in-flight packet
+//                             is stamped with a stale routing version —
+//                             the union relation *resets* across a barrier
+//                             (only versions still current stay live)
+//   plan:NEW@CYCLE            certified staging-order search: compile runs
+//                             reconfig::plan_certified_transition and
+//                             splices the found stages (falling back to a
+//                             naive switch when no certified order exists,
+//                             which per-epoch verification then refutes)
 //
-// Example: "stage:duato-mesh/0-7@200+stage:duato-mesh/8-15@400".
+// Routing names may carry a per-channel migration mask, `NAME%HEXMASK`
+// (lowercase hex over the topology's channels, ft::mask_to_hex layout):
+// the relation routes like NAME with every candidate outside the mask
+// removed — an intermediate finer than any per-destination step.
+//
+// Example: "stage:duato-mesh/0-7@200+barrier:duato-mesh/8-15@400".
 //
 // Cutover is *per destination*: every packet is routed for its whole
 // lifetime by the single pure relation that was current for its destination
@@ -46,15 +61,18 @@ using topology::Topology;
 /// One symbolic plan event (pre-compilation).
 struct TransitionEvent {
   enum class Kind : std::uint8_t {
-    kSwitch,  ///< every destination cuts over to `target`
-    kStage,   ///< destinations [lo, hi] cut over
-    kRamp,    ///< `batches` contiguous batches, stride cycles apart
+    kSwitch,   ///< every destination cuts over to `target`
+    kStage,    ///< destinations [lo, hi] cut over
+    kRamp,     ///< `batches` contiguous batches, stride cycles apart
+    kBarrier,  ///< drain-gated cutover (all destinations, or [lo, hi])
+    kPlan,     ///< planner invocation: compile searches a certified order
   };
   Kind kind = Kind::kSwitch;
   std::uint64_t cycle = 0;
-  std::string target;       ///< routing-algorithm name (registry or alias)
-  NodeId lo = 0;            ///< stage events
+  std::string target;       ///< routing-algorithm name (may carry %HEXMASK)
+  NodeId lo = 0;            ///< stage/barrier events
   NodeId hi = 0;
+  bool ranged = false;      ///< barrier events: [lo, hi] vs all destinations
   std::size_t batches = 0;  ///< ramp events
   std::uint64_t stride = 0;
 };
@@ -78,9 +96,13 @@ struct CutoverAssignment {
 
 /// All cutovers of one cycle, sorted by destination.  Compilation prunes
 /// no-op assignments (destination already at the target version), so every
-/// surviving assignment changes routing at apply time.
+/// surviving assignment changes routing at apply time.  A `barrier` step is
+/// drain-gated: the simulator defers it (whole cycles at a time) until no
+/// in-flight packet is stamped with a version other than its destination's
+/// current one, so `cycle` is a lower bound, not the apply time.
 struct CompiledCutover {
   std::uint64_t cycle = 0;
+  bool barrier = false;
   std::vector<CutoverAssignment> assignments;
 };
 
@@ -127,7 +149,10 @@ class CompiledTransitionPlan {
 
   /// Cumulative union relations, one per epoch: unions[k] is the relation
   /// after steps[0..k] — for each destination, every version assigned
-  /// through that step plus the base.  size() == steps.size().
+  /// through that step plus the base.  A barrier step resets the
+  /// accumulation first (only each destination's *current* version stays
+  /// active — the drain gate guarantees no packet is stamped with anything
+  /// older), then applies its assignments.  size() == steps.size().
   [[nodiscard]] std::vector<UnionSpec> epoch_unions() const;
 
   /// The post-transition relation: for each destination, only its final

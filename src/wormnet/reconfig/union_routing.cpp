@@ -1,8 +1,12 @@
 #include "wormnet/reconfig/union_routing.hpp"
 
 #include <stdexcept>
+#include <string>
+#include <utility>
 
 #include "wormnet/core/registry.hpp"
+#include "wormnet/ft/fault_plan.hpp"
+#include "wormnet/routing/fault.hpp"
 
 namespace wormnet::reconfig {
 
@@ -112,6 +116,68 @@ bool UnionRouting::minimal() const {
   return true;
 }
 
+namespace {
+
+/// A masked member is some packet's *only* relation between its switch and
+/// the lifting barrier, so it must stay connected on its own: every source
+/// must reach every destination through in-mask channels alone.  (Without
+/// this, a stamped packet can strand forever and the barrier's drain gate
+/// never opens.)  Forward search over (input channel, node) states.
+void require_connected(const Topology& topo,
+                       const routing::RoutingFunction& relation,
+                       const std::string& name) {
+  const std::size_t n = topo.num_nodes();
+  const std::size_t channels = topo.num_channels();
+  std::vector<std::vector<bool>> visited(channels,
+                                         std::vector<bool>(n, false));
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId d = 0; d < n; ++d) {
+      if (s == d) continue;
+      for (auto& row : visited) row.assign(n, false);
+      std::vector<std::pair<topology::ChannelId, NodeId>> frontier;
+      frontier.emplace_back(topology::kInvalidChannel, s);
+      bool reached = false;
+      while (!frontier.empty() && !reached) {
+        const auto [in, at] = frontier.back();
+        frontier.pop_back();
+        for (const topology::ChannelId c : relation.route(in, at, d)) {
+          const NodeId next = topo.channel(c).dst;
+          if (next == d) {
+            reached = true;
+            break;
+          }
+          if (!visited[c][next]) {
+            visited[c][next] = true;
+            frontier.emplace_back(c, next);
+          }
+        }
+      }
+      if (!reached) {
+        throw std::invalid_argument(
+            "masked routing \"" + name + "\" disconnects node " +
+            std::to_string(s) + " from destination " + std::to_string(d));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<routing::RoutingFunction> make_member_routing(
+    const Topology& topo, const std::string& name) {
+  const std::size_t pct = name.find('%');
+  if (pct == std::string::npos) return core::make_algorithm(name, topo);
+  auto base = core::make_algorithm(name.substr(0, pct), topo);
+  const std::vector<bool> allowed =
+      ft::mask_from_hex(name.substr(pct + 1), topo.num_channels());
+  std::vector<bool> faulty(allowed.size());
+  for (std::size_t c = 0; c < allowed.size(); ++c) faulty[c] = !allowed[c];
+  auto masked = std::make_unique<routing::FaultAwareRouting>(
+      topo, std::move(base), std::move(faulty));
+  require_connected(topo, *masked, name);
+  return masked;
+}
+
 std::unique_ptr<UnionRouting> make_union_routing(const Topology& topo,
                                                  const UnionSpec& spec) {
   if (spec.num_nodes != topo.num_nodes()) {
@@ -122,7 +188,7 @@ std::unique_ptr<UnionRouting> make_union_routing(const Topology& topo,
   std::vector<std::unique_ptr<routing::RoutingFunction>> members;
   members.reserve(spec.names.size());
   for (const std::string& name : spec.names) {
-    members.push_back(core::make_algorithm(name, topo));
+    members.push_back(make_member_routing(topo, name));
   }
   return std::make_unique<UnionRouting>(topo, spec, std::move(members));
 }

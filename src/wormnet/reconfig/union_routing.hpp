@@ -49,9 +49,19 @@ class UnionRouting : public routing::RoutingFunction {
   std::vector<std::unique_ptr<routing::RoutingFunction>> members_;
 };
 
+/// Instantiates one transition member relation by name.  Plain names come
+/// from the core registry; `NAME%HEXMASK` names wrap the registry relation
+/// in routing::FaultAwareRouting with every channel *outside* the mask
+/// marked faulty — the per-channel migration restriction the planner
+/// searches over.  Throws std::invalid_argument for unknown or
+/// inapplicable names and malformed masks.
+[[nodiscard]] std::unique_ptr<routing::RoutingFunction> make_member_routing(
+    const Topology& topo, const std::string& name);
+
 /// Rebuilds the union relation a spec (or a certificate's `transition`
 /// binding) describes: every named member is instantiated from the core
-/// registry against `topo`.  Throws std::invalid_argument for unknown or
+/// registry against `topo` (masked `NAME%HEXMASK` members through
+/// make_member_routing).  Throws std::invalid_argument for unknown or
 /// inapplicable names, or when the spec's node count mismatches `topo`.
 [[nodiscard]] std::unique_ptr<UnionRouting> make_union_routing(
     const Topology& topo, const UnionSpec& spec);

@@ -31,14 +31,21 @@ Simulator::Simulator(const Topology& topo,
     throw std::invalid_argument(
         "fault plan was compiled against a different topology");
   }
-  if (config_.transition != nullptr) {
-    if (config_.fault_plan != nullptr) {
+  if (config_.transition != nullptr &&
+      config_.transition->num_nodes != topo.num_nodes()) {
+    throw std::invalid_argument(
+        "transition plan was compiled against a different topology");
+  }
+  if (config_.guard != nullptr) {
+    const std::size_t plan_steps =
+        config_.transition != nullptr ? config_.transition->steps.size() : 0;
+    const std::size_t fault_steps =
+        config_.fault_plan != nullptr ? config_.fault_plan->steps.size() : 0;
+    if (config_.guard->step.size() != plan_steps ||
+        config_.guard->fault_step.size() != fault_steps) {
       throw std::invalid_argument(
-          "fault plan and transition plan cannot be combined");
-    }
-    if (config_.transition->num_nodes != topo.num_nodes()) {
-      throw std::invalid_argument(
-          "transition plan was compiled against a different topology");
+          "transition guard was built against a different plan/fault "
+          "timeline");
     }
   }
   gen_end_ = config_.warmup_cycles + config_.measure_cycles;
@@ -632,11 +639,59 @@ void Simulator::apply_fault_step(std::size_t step_index) {
   // The candidate space changed (downed channels shrink it, repairs grow
   // it): every blocked header gets a fresh attempt.
   wake_blocked();
+  // A fault epoch can refute an already-certified union mid-transition; the
+  // guard pre-walked the composed timeline and carries the repair here.
+  if (config_.guard != nullptr && !transition_aborted_) {
+    const reconfig::GuardDecision& decision =
+        config_.guard->fault_step[step_index];
+    if (decision.action != reconfig::GuardAction::kProceed) {
+      apply_guard_repair(decision, step_index);
+    }
+  }
 }
 
 void Simulator::apply_transition_step(std::size_t step_index) {
-  const std::vector<NodeId> switched =
-      transition_.apply(config_.transition->steps[step_index]);
+  // A guard repair cancels every remaining step; the queued events still
+  // fire but consume nothing.
+  if (transition_aborted_) return;
+  // Steps execute strictly in index order.  Out-of-order due events (a
+  // barrier ahead of us is still waiting) park one cycle and retry.
+  if (step_index != next_transition_step_) {
+    timed_.push(cycle_ + 1, TimedKind::kTransitionStep,
+                static_cast<std::uint32_t>(step_index));
+    return;
+  }
+  const reconfig::CompiledCutover& step =
+      config_.transition->steps[step_index];
+  if (step.barrier) {
+    // Drain gate: the barrier lifts only once no stamped packet still rides
+    // a superseded version (the union reset is only sound then).  Packets
+    // still in their source queue carry no stamp yet — they will take the
+    // current version at acquire.
+    scratch_packets_.clear();
+    live_packets_.collect(scratch_packets_);
+    for (const std::uint32_t id : scratch_packets_) {
+      const Packet& pkt = packets_[id];
+      if (!pkt.injecting && pkt.path.empty()) continue;  // unstamped
+      if (pkt.route_version != transition_.current(pkt.dst)) {
+        timed_.push(cycle_ + 1, TimedKind::kTransitionStep,
+                    static_cast<std::uint32_t>(step_index));
+        return;
+      }
+    }
+  }
+  // The guard re-certified this step against the live fault mask when it
+  // was built; a non-proceed decision replaces the step with its repair.
+  if (config_.guard != nullptr) {
+    const reconfig::GuardDecision& decision = config_.guard->step[step_index];
+    if (decision.action != reconfig::GuardAction::kProceed) {
+      ++next_transition_step_;
+      apply_guard_repair(decision, step_index);
+      return;
+    }
+  }
+  ++next_transition_step_;
+  const std::vector<NodeId> switched = transition_.apply(step);
   if (switched.empty()) return;  // cannot happen: compile prunes no-ops
   ++stats_.reconfig_epochs;
   stats_.dests_switched += switched.size();
@@ -668,6 +723,94 @@ void Simulator::apply_transition_step(std::size_t step_index) {
   }
   // Source-front headers toward switched destinations now draw candidates
   // from a different relation: every blocked header gets a fresh attempt.
+  wake_blocked();
+}
+
+void Simulator::apply_guard_repair(const reconfig::GuardDecision& decision,
+                                   std::uint64_t epoch_index) {
+  transition_aborted_ = true;
+  if (decision.action == reconfig::GuardAction::kRollback) {
+    // Revert every migrated destination to the base relation.  In-flight
+    // packets keep their stamped versions (coherence holds: the rollback
+    // epoch's union was certified before this decision was emitted).
+    const std::vector<NodeId> switched = transition_.apply(decision.cutover);
+    ++stats_.rollbacks;
+    stats_.rollback_dests += switched.size();
+    const std::uint32_t epoch = transition_.epoch();
+    flight_.record({cycle_, obs::FlightKind::kRollback,
+                    obs::FlightEvent::kNone, obs::FlightEvent::kNone, epoch});
+    scratch_packets_.clear();
+    live_packets_.collect(scratch_packets_);
+    for (const std::uint32_t id : scratch_packets_) {
+      Packet& pkt = packets_[id];
+      if (pkt.injecting || pkt.committed_wait == kInvalidChannel) continue;
+      if (std::binary_search(switched.begin(), switched.end(), pkt.dst)) {
+        flight_.record({cycle_, obs::FlightKind::kWaitVoid, pkt.id,
+                        pkt.committed_wait, epoch});
+        pkt.committed_wait = kInvalidChannel;
+      }
+    }
+    if (trace_) {
+      obs::TraceEvent ev;
+      ev.kind = obs::EventKind::kRollback;
+      ev.cycle = cycle_;
+      ev.value = epoch;
+      ev.list.assign(switched.begin(), switched.end());
+      trace_->emit(ev);
+    }
+    wake_blocked();
+    return;
+  }
+  // Drain-then-switch: even the rollback union was uncertifiable, so the
+  // only safe move is through an empty network.  Park the steady cutover;
+  // step() applies it once the last in-flight worm retires.
+  (void)epoch_index;
+  drain_was_engaged_ = draining_;
+  pending_switch_ = decision.cutover;
+  drain_switch_pending_ = true;
+  ++stats_.drain_switches;
+  flight_.record({cycle_, obs::FlightKind::kDrainSwitch,
+                  obs::FlightEvent::kNone, obs::FlightEvent::kNone,
+                  transition_.epoch()});
+  if (trace_) {
+    obs::TraceEvent ev;
+    ev.kind = obs::EventKind::kDrainSwitch;
+    ev.cycle = cycle_;
+    ev.value = transition_.epoch();
+    for (const reconfig::CutoverAssignment& a : pending_switch_.assignments) {
+      ev.list.push_back(a.dest);
+    }
+    trace_->emit(ev);
+  }
+  engage_drain();
+}
+
+void Simulator::complete_drain_switch() {
+  // The network is empty: the steady state applies atomically with nothing
+  // stamped against any prior version — packet conservation carries over
+  // because drains drop (and count) refused packets, never lose them.
+  drain_switch_pending_ = false;
+  const std::vector<NodeId> switched = transition_.apply(pending_switch_);
+  const std::uint32_t epoch = transition_.epoch();
+  flight_.record({cycle_, obs::FlightKind::kDrainSwitch,
+                  obs::FlightEvent::kNone, obs::FlightEvent::kNone, epoch});
+  if (trace_) {
+    obs::TraceEvent ev;
+    ev.kind = obs::EventKind::kDrainSwitch;
+    ev.cycle = cycle_;
+    ev.value = epoch;
+    ev.list.assign(switched.begin(), switched.end());
+    trace_->emit(ev);
+  }
+  // Resume admissions unless a recovery-policy drain had independently
+  // engaged before the guard's (that one is permanent).
+  draining_ = drain_was_engaged_;
+  if (!draining_) {
+    for (NodeId node = 0; node < topo_->num_nodes(); ++node) {
+      touch_source(node);
+    }
+  }
+  ++activity_;
   wake_blocked();
 }
 
@@ -952,6 +1095,7 @@ void Simulator::step() {
   generate_traffic();
   allocate_outputs();
   move_flits();
+  if (drain_switch_pending_ && in_flight_ == 0) complete_drain_switch();
   if (config_.deadlock_check_interval != 0 &&
       cycle_ % config_.deadlock_check_interval == 0) {
     check_deadlock();
@@ -1060,6 +1204,13 @@ void Simulator::export_final_metrics() {
   if (transition_active()) {
     m.counter("reconfig_epochs").set(stats_.reconfig_epochs);
     m.counter("dests_switched").set(stats_.dests_switched);
+  }
+  // Self-healing counters only exist for guarded runs, keeping unguarded
+  // transition metric dumps byte-identical.
+  if (config_.guard != nullptr) {
+    m.counter("rollbacks").set(stats_.rollbacks);
+    m.counter("rollback_dests").set(stats_.rollback_dests);
+    m.counter("drain_switches").set(stats_.drain_switches);
   }
 }
 

@@ -37,6 +37,7 @@
 #include "wormnet/obs/metrics.hpp"
 #include "wormnet/obs/postmortem.hpp"
 #include "wormnet/obs/trace.hpp"
+#include "wormnet/reconfig/guard.hpp"
 #include "wormnet/reconfig/overlay.hpp"
 #include "wormnet/reconfig/transition_plan.hpp"
 #include "wormnet/routing/fault.hpp"
@@ -105,9 +106,18 @@ struct SimConfig {
   // between cycles, restamping which routing version new injections toward
   // each destination use, while in-flight packets keep the pure relation
   // they were stamped with (in-flight coherence rule, DESIGN 3.12).
-  // Mutually exclusive with `fault_plan` — the per-epoch verification
-  // stories (degraded relation vs. union relation) do not compose.
+  // Composes with `fault_plan`: the allocator filters the stamped relation
+  // through the live fault mask, and verification covers the composed
+  // (union x degraded) epochs (DESIGN 3.13).
   const reconfig::CompiledTransitionPlan* transition = nullptr;
+
+  // Self-healing guard (DESIGN 3.13; nullable, borrowed, must be built from
+  // the same plan/fault timeline).  Consulted before each transition step
+  // and after each fault step: a kRollback decision reverts migrated
+  // destinations to the base relation, a kDrainThenSwitch decision drains
+  // the network and applies the steady state through it.  Null = every step
+  // proceeds unconditionally (PR 9 behaviour).
+  const reconfig::TransitionGuard* guard = nullptr;
 
   // Observability (borrowed handles; callers own the sinks and must keep
   // them alive for the run).  Null = disabled; the disabled path costs one
@@ -225,6 +235,12 @@ class Simulator {
     return config_.transition != nullptr && !config_.transition->empty();
   }
   void apply_transition_step(std::size_t step_index);
+  /// Applies a guard repair decision (rollback or drain-then-switch) in
+  /// place of transition step `step_index`; cancels the remaining steps.
+  void apply_guard_repair(const reconfig::GuardDecision& decision,
+                          std::uint64_t epoch_index);
+  /// Completes a pending drain-then-switch once the network is empty.
+  void complete_drain_switch();
   void fire_retry(PacketId id);
   void abort_packet(Packet& pkt);
   void drop_packet(Packet& pkt);
@@ -326,6 +342,19 @@ class Simulator {
   // Recovery state.
   bool draining_ = false;  ///< drain policy engaged: no new admissions
   double recovery_latency_sum_ = 0.0;
+
+  // Self-healing transition state (DESIGN 3.13).  Steps execute strictly in
+  // index order (next_transition_step_); a barrier step whose stale stamped
+  // packets are still injecting re-queues itself one cycle later.  A guard
+  // repair sets transition_aborted_ (remaining steps become no-ops); a
+  // drain-then-switch repair parks its cutover in pending_switch_ until the
+  // network is empty, then restores draining_ unless a recovery-policy
+  // drain had already engaged it.
+  std::size_t next_transition_step_ = 0;
+  bool transition_aborted_ = false;
+  bool drain_switch_pending_ = false;
+  bool drain_was_engaged_ = false;  ///< draining_ before the guard drain
+  reconfig::CompiledCutover pending_switch_;
 
   // Measurement.
   LatencyAccumulator latency_;

@@ -67,6 +67,10 @@ std::string SimStats::summary() const {
     os << "; reconfig: " << reconfig_epochs << " epochs, " << dests_switched
        << " destination cutovers";
   }
+  if (rollbacks > 0 || drain_switches > 0) {
+    os << "; self-heal: " << rollbacks << " rollbacks (" << rollback_dests
+       << " dests), " << drain_switches << " drain-switches";
+  }
   if (saturated) os << " [saturated]";
   return os.str();
 }

@@ -72,6 +72,14 @@ struct SimStats {
   std::uint64_t reconfig_epochs = 0;  ///< cutover steps applied
   std::uint64_t dests_switched = 0;   ///< destination cutovers applied
 
+  // Self-healing accounting (DESIGN 3.13) — all zero for runs without a
+  // transition guard.  A rollback reverts migrated destinations to the base
+  // relation; a drain-then-switch empties the network before applying the
+  // steady state.
+  std::uint64_t rollbacks = 0;        ///< guard rollback decisions applied
+  std::uint64_t rollback_dests = 0;   ///< destinations reverted by rollbacks
+  std::uint64_t drain_switches = 0;   ///< drain-then-switch repairs engaged
+
   // Detector configuration echo: the effective thresholds and policy the
   // run used (packet_timeout_cycles falls back to watchdog_cycles).
   std::uint64_t watchdog_cycles = 0;
